@@ -1,0 +1,104 @@
+"""A3 — Extension: loose stratification admits programs plain
+stratification rejects.
+
+The calibration bands flag the "loose stratification variant" as the
+niche extension of the stratification story: a rule-level test (no
+instantiation) that uses unifier compatibility along negative chains, so
+constants can break predicate-level negative cycles.  The table classifies
+a spectrum of programs under all three analyses.
+"""
+
+import pytest
+
+from repro.analysis.loose import is_locally_stratified, is_loosely_stratified
+from repro.analysis.stratify import is_stratifiable
+from repro.bench.reporting import render_table
+from repro.datalog.parser import parse_program
+from repro.facts.database import Database
+
+PROGRAMS = [
+    (
+        "ancestor (no negation)",
+        """
+        anc(X,Y) :- par(X,Y).
+        anc(X,Y) :- par(X,Z), anc(Z,Y).
+        """,
+        [("par", ("a", "b"))],
+    ),
+    (
+        "unreachable (2 strata)",
+        """
+        r(X,Y) :- e(X,Y).
+        unreach(X,Y) :- node(X), node(Y), not r(X,Y).
+        """,
+        [("e", ("a", "b")), ("node", ("a",))],
+    ),
+    (
+        "constant-guarded self-negation",
+        "p(X, a) :- q(X, Y), not p(Y, b).",
+        [("q", ("a", "b"))],
+    ),
+    (
+        "two-constant chain",
+        """
+        p(X, a) :- q(X), not s(X, b).
+        s(X, c) :- q(X), not p(X, d).
+        """,
+        [("q", ("a",))],
+    ),
+    (
+        "win game (negative self-loop)",
+        "win(X) :- move(X,Y), not win(Y).",
+        [("move", ("a", "a"))],
+    ),
+    (
+        "mutual negation",
+        """
+        p(X) :- b(X), not q(X).
+        q(X) :- b(X), not p(X).
+        """,
+        [("b", ("a",))],
+    ),
+]
+
+
+def classify():
+    rows = []
+    for label, source, facts in PROGRAMS:
+        program = parse_program(source)
+        database = Database()
+        for predicate, row in facts:
+            database.add(predicate, row)
+        rows.append(
+            (
+                label,
+                "yes" if is_stratifiable(program) else "no",
+                "yes" if is_loosely_stratified(program) else "no",
+                "yes" if is_locally_stratified(program, database) else "no",
+            )
+        )
+    return rows
+
+
+def test_a3_loose_stratification(benchmark, report):
+    rows = benchmark.pedantic(classify, rounds=1, iterations=1)
+    table = render_table(
+        ("program", "stratified", "loosely stratified", "locally stratified"),
+        rows,
+        title="A3: stratification spectrum (loose admits constant-guarded negation)",
+    )
+    report("a3_loose_stratification", table)
+    classification = {row[0]: row[1:] for row in rows}
+    # Negation-free / classically stratified: all three say yes.
+    assert classification["ancestor (no negation)"] == ("yes", "yes", "yes")
+    assert classification["unreachable (2 strata)"] == ("yes", "yes", "yes")
+    # The headline: loose stratification strictly extends stratification.
+    assert classification["constant-guarded self-negation"][0] == "no"
+    assert classification["constant-guarded self-negation"][1] == "yes"
+    # Genuinely bad programs rejected by every analysis.
+    assert classification["win game (negative self-loop)"][1] == "no"
+    assert classification["mutual negation"][1] == "no"
+    # Loose => local on every row (they coincide in function-free Datalog).
+    for label, (strat, loose, local) in classification.items():
+        if loose == "yes":
+            assert local == "yes", label

@@ -1,0 +1,70 @@
+"""A4 — Ablation: variant-based vs subsumption-based tabling in OLDT.
+
+Seki's correspondence is stated for OLDT's original *variant* tabling —
+one table per call pattern up to renaming.  Subsumption tabling answers a
+specific call from any more general table.  For open queries this merges
+the per-node tables into one; for bound queries no general table exists
+and the modes coincide exactly.  The ablation quantifies both regimes and
+checks answers never change.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.topdown.oldt import OLDTEngine
+from repro.workloads import ancestor, same_generation
+
+CASES = [
+    ("chain-32 open", ancestor(graph="chain", n=32), 1),
+    ("chain-32 bound", ancestor(graph="chain", n=32), 0),
+    ("tree-d4 open", ancestor(graph="tree", depth=4, branching=2), 1),
+    ("tree-d4 bound", ancestor(graph="tree", depth=4, branching=2), 0),
+    ("sg-d4 open", same_generation(depth=4, branching=2), 1),
+    ("sg-d4 bound", same_generation(depth=4, branching=2), 0),
+]
+
+
+def run_cases():
+    rows = []
+    for label, scenario, query_index in CASES:
+        query = scenario.query(query_index)
+        engines = {}
+        for mode in ("variant", "subsumption"):
+            engine = OLDTEngine(
+                scenario.program, scenario.database, tabling=mode
+            )
+            answers = engine.query(query)
+            engines[mode] = (engine, {str(a) for a in answers})
+        assert engines["variant"][1] == engines["subsumption"][1], label
+        variant, subsumed = engines["variant"][0], engines["subsumption"][0]
+        rows.append(
+            (
+                label,
+                variant.stats.calls,
+                subsumed.stats.calls,
+                variant.stats.inferences,
+                subsumed.stats.inferences,
+            )
+        )
+    return rows
+
+
+def test_a4_tabling_ablation(benchmark, report):
+    rows = benchmark.pedantic(run_cases, rounds=1, iterations=1)
+    table = render_table(
+        ("case", "tables (variant)", "tables (subsumption)", "inf (variant)", "inf (subsumption)"),
+        rows,
+        title="A4: variant vs subsumption tabling in OLDT (same answers everywhere)",
+    )
+    report("a4_tabling_ablation", table)
+    by_label = {row[0]: row[1:] for row in rows}
+    # Open queries: subsumption collapses the table space.
+    for label in ("chain-32 open", "tree-d4 open"):
+        v_tables, s_tables, v_inf, s_inf = by_label[label]
+        assert s_tables < v_tables, table
+        assert s_inf <= v_inf, table
+    # Bound queries: the modes coincide (no general table to reuse).
+    for label in ("chain-32 bound", "tree-d4 bound", "sg-d4 bound"):
+        v_tables, s_tables, v_inf, s_inf = by_label[label]
+        assert s_tables == v_tables, table
+        assert s_inf == v_inf, table

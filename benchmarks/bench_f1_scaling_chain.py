@@ -1,0 +1,45 @@
+"""F1 — Scaling series on chain graphs (the paper-style figure, as text).
+
+Inference counts of every strategy for the bound query ``anc(0, X)`` over
+chain(n).  All strategies are Θ(n²) here (the query's cone is the whole
+chain), so the figure's content is the *constant*: Alexander equals
+supplementary magic exactly, tracks OLDT within a vanishing margin, and
+QSQR pays roughly double (its outer restart re-scans answer tables).
+"""
+
+import pytest
+
+from repro.bench.harness import scaling_series
+from repro.bench.reporting import render_series
+from repro.workloads import ancestor
+
+SIZES = (8, 16, 32, 64, 128)
+STRATEGIES = ("seminaive", "magic", "supplementary", "alexander", "oldt", "qsqr")
+
+
+def run_series():
+    return scaling_series(
+        lambda n: ancestor(graph="chain", n=n), SIZES, list(STRATEGIES)
+    )
+
+
+def test_f1_scaling_chain(benchmark, report):
+    series = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    figure = render_series(
+        "F1: inferences for anc(0, X) over chain(n)", "n", series
+    )
+    report("f1_scaling_chain", figure)
+    by_name = {
+        name: [y for _, y in points] for name, points in series.items()
+    }
+    # Alexander == supplementary at every size.
+    assert by_name["alexander"] == by_name["supplementary"], figure
+    # Monotone growth for every strategy.
+    for name, values in by_name.items():
+        assert values == sorted(values), (name, values)
+    # Alexander/OLDT ratio approaches 1 from below as n grows.
+    ratios = [
+        a / o for a, o in zip(by_name["alexander"], by_name["oldt"])
+    ]
+    assert ratios == sorted(ratios), ratios
+    assert 0.8 <= ratios[-1] <= 1.1, ratios

@@ -1,0 +1,54 @@
+"""F2 — Scaling on cyclic and random graphs: termination under cycles.
+
+Plain SLD is excluded (it diverges; see T5b).  On a cycle every node
+reaches every node, so all memoing strategies do Θ(n²) work; on sparse
+random digraphs the bound query touches only the query's cone.
+"""
+
+import pytest
+
+from repro.bench.harness import scaling_series
+from repro.bench.reporting import render_series
+from repro.workloads import ancestor
+
+STRATEGIES = ("seminaive", "magic", "alexander", "oldt", "qsqr")
+
+
+def run_cycle_series():
+    return scaling_series(
+        lambda n: ancestor(graph="cycle", n=n), (8, 16, 32, 64), list(STRATEGIES)
+    )
+
+
+def run_random_series():
+    return scaling_series(
+        lambda n: ancestor(
+            graph="random", n=n, edge_probability=0.1, seed=17
+        ),
+        (10, 20, 30, 40),
+        list(STRATEGIES),
+    )
+
+
+def test_f2_cycle_series(benchmark, report):
+    series = benchmark.pedantic(run_cycle_series, rounds=1, iterations=1)
+    figure = render_series(
+        "F2a: inferences for anc(0, X) over cycle(n)", "n", series
+    )
+    report("f2a_scaling_cycle", figure)
+    for name, points in series.items():
+        values = [y for _, y in points]
+        assert values == sorted(values), (name, values)
+        # Θ(n²): quadrupling is expected when n doubles; allow slack.
+        assert values[-1] > values[0] * 8, (name, values)
+
+
+def test_f2_random_series(benchmark, report):
+    series = benchmark.pedantic(run_random_series, rounds=1, iterations=1)
+    figure = render_series(
+        "F2b: inferences for anc(0, X) over random(n, p=0.1)", "n", series
+    )
+    report("f2b_scaling_random", figure)
+    # All strategies terminated and produced rows for every size.
+    for name, points in series.items():
+        assert len(points) == 4, (name, points)

@@ -1,0 +1,70 @@
+"""F3 — Non-linear recursion: same-generation and non-linear TC series.
+
+Same-generation over balanced trees with a bound leaf is the magic-sets
+literature's showcase: the transformation explores one root-to-leaf cone
+instead of the full quadratic sg relation.  Non-linear transitive closure
+(tc :- tc, tc) stresses the two-delta-variant path of the semi-naive
+engine and the double recursion of the tabled engines.
+"""
+
+import pytest
+
+from repro.bench.harness import scaling_series
+from repro.bench.reporting import render_series
+from repro.workloads import ancestor, same_generation
+
+STRATEGIES = ("seminaive", "magic", "alexander", "oldt")
+
+
+def run_sg_series():
+    return scaling_series(
+        lambda depth: same_generation(depth=depth, branching=2),
+        (3, 4, 5, 6),
+        list(STRATEGIES),
+    )
+
+
+def run_nltc_series():
+    return scaling_series(
+        lambda n: ancestor(graph="chain", variant="nonlinear", n=n),
+        (8, 12, 16, 24),
+        list(STRATEGIES),
+    )
+
+
+def test_f3_same_generation_series(benchmark, report):
+    series = benchmark.pedantic(run_sg_series, rounds=1, iterations=1)
+    figure = render_series(
+        "F3a: inferences for sg(leaf, X) over balanced trees (depth d)",
+        "d",
+        series,
+    )
+    report("f3a_same_generation", figure)
+    semi = [y for _, y in series["seminaive"]]
+    alex = [y for _, y in series["alexander"]]
+    # Bound-leaf queries: the transformation beats full bottom-up at every
+    # depth, and the gap widens (cone vs whole-tree growth).
+    assert all(a < s for a, s in zip(alex, semi)), figure
+    assert semi[-1] / alex[-1] > semi[0] / alex[0], figure
+
+
+def test_f3_nonlinear_tc_series(benchmark, report):
+    series = benchmark.pedantic(run_nltc_series, rounds=1, iterations=1)
+    figure = render_series(
+        "F3b: inferences for nonlinear tc(0, X) over chain(n)", "n", series
+    )
+    report("f3b_nonlinear_tc", figure)
+    for name, points in series.items():
+        values = [y for _, y in points]
+        assert values == sorted(values), (name, values)
+    # The non-linear variant derives each pair many ways; bottom-up pays
+    # more inferences than the right-linear program would (cross-check
+    # against the linear series at the same size).
+    linear = scaling_series(
+        lambda n: ancestor(graph="chain", variant="right", n=n),
+        (24,),
+        ["seminaive"],
+    )
+    nonlinear_24 = [y for x, y in series["seminaive"] if x == 24][0]
+    linear_24 = linear["seminaive"][0][1]
+    assert nonlinear_24 > linear_24, (nonlinear_24, linear_24)

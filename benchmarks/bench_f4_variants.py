@@ -1,0 +1,87 @@
+"""F4 — Writing the same closure four ways: recursion variants.
+
+Right-linear, left-linear, non-linear, and double recursion all define
+the same ancestor relation, but under a bound-first-argument query they
+behave very differently — the classical observation from the magic-sets
+literature that this figure reproduces:
+
+* **left-linear** (`anc(X,Y) :- anc(X,Z), par(Z,Y)`) keeps the *same*
+  bf call pattern in the recursive call, so the transformed program has
+  a single call/table and each answer is extended by one edge join:
+  O(answers) inferences — the best shape for bf queries under
+  magic/Alexander/OLDT by a wide margin;
+* **right-linear** spawns one subquery per reached node and each
+  subquery derives its own suffix closure: Θ(n²) on a chain even though
+  only the cone is explored;
+* **non-linear** derives every pair many ways — the most expensive for
+  every strategy;
+* **double** adds the left-linear rule's redundant derivations on top of
+  the right-linear shape.
+
+The figure fixes chain(24) and tabulates inferences per (variant,
+strategy) — who wins depends on how you *write* the recursion, not just
+how you evaluate it.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.strategy import run_strategy
+from repro.workloads import ancestor
+
+VARIANTS = ("right", "left", "nonlinear", "double")
+STRATEGIES = ("seminaive", "magic", "alexander", "oldt", "qsqr")
+
+
+def run_matrix():
+    rows = []
+    reference = None
+    for variant in VARIANTS:
+        scenario = ancestor(graph="chain", variant=variant, n=24)
+        query = scenario.query(0)
+        cells = [variant]
+        answer_rows = None
+        for strategy in STRATEGIES:
+            result = run_strategy(
+                strategy, scenario.program, query, scenario.database
+            )
+            if answer_rows is None:
+                answer_rows = result.answer_rows
+            else:
+                assert result.answer_rows == answer_rows, strategy
+            cells.append(result.stats.inferences)
+        if reference is None:
+            reference = answer_rows
+        else:
+            # All variants define the same relation.
+            assert answer_rows == reference, variant
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_f4_variant_matrix(benchmark, report):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    table = render_table(
+        ("variant",) + STRATEGIES,
+        rows,
+        title="F4: inferences for anc(0, X) on chain(24), by recursion variant",
+    )
+    report("f4_variants", table)
+    by_variant = {row[0]: dict(zip(STRATEGIES, row[1:])) for row in rows}
+    # Non-linear recursion derives each pair many ways: costlier than
+    # right-linear for every strategy.
+    for strategy in STRATEGIES:
+        assert (
+            by_variant["nonlinear"][strategy]
+            > by_variant["right"][strategy]
+        ), (strategy, table)
+    # Double recursion adds redundant derivations over right-linear under
+    # bottom-up evaluation.
+    assert by_variant["double"]["seminaive"] > by_variant["right"]["seminaive"]
+    # The headline: for bf queries the left-linear variant keeps a single
+    # call pattern, so the goal-directed strategies beat their own
+    # right-linear cost by a wide margin.
+    for strategy in ("magic", "alexander", "oldt"):
+        assert (
+            by_variant["left"][strategy] * 4 < by_variant["right"][strategy]
+        ), (strategy, table)

@@ -1,0 +1,60 @@
+"""T1 — Call/answer correspondence (the paper's Theorem 1).
+
+For every scenario and query class, bottom-up evaluation of the
+Alexander-transformed program must generate exactly the subgoals (calls)
+and answers that OLDT resolution generates.  The table reports the shared
+counts; the assertion demands exactness on every row.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.compare import check_correspondence
+from repro.datalog.parser import parse_query
+from repro.workloads import ancestor, bounded_reachability, same_generation
+
+SCENARIOS = [
+    ("chain bf", ancestor(graph="chain", n=24), "anc(0, X)?"),
+    ("chain bb", ancestor(graph="chain", n=24), "anc(0, 20)?"),
+    ("chain ff", ancestor(graph="chain", n=12), "anc(X, Y)?"),
+    ("cycle bf", ancestor(graph="cycle", n=16), "anc(0, X)?"),
+    ("tree bf", ancestor(graph="tree", depth=4, branching=2), "anc(0, X)?"),
+    ("random bf", ancestor(graph="random", n=14, edge_probability=0.2, seed=11), "anc(0, X)?"),
+    ("grid bf", ancestor(graph="grid", width=4, height=4), "anc(0, X)?"),
+    ("left-linear bf", ancestor(graph="chain", variant="left", n=16), "anc(0, X)?"),
+    ("nonlinear bf", ancestor(graph="chain", variant="nonlinear", n=12), "anc(0, X)?"),
+    ("double bf", ancestor(graph="chain", variant="double", n=12), "anc(0, X)?"),
+    ("same-gen bf", same_generation(depth=4, branching=2), None),
+    ("builtins bf", bounded_reachability(graph="chain", n=16, bound=10), None),
+]
+
+
+def run_all():
+    rows = []
+    for label, scenario, query_text in SCENARIOS:
+        query = parse_query(query_text) if query_text else scenario.query(0)
+        corr = check_correspondence(scenario.program, query, scenario.database)
+        rows.append(
+            (
+                label,
+                str(query),
+                len(corr.calls_matched),
+                len(corr.calls_only_alexander) + len(corr.calls_only_oldt),
+                len(corr.answers_matched),
+                len(corr.answers_only_alexander) + len(corr.answers_only_oldt),
+                "yes" if corr.exact else "NO",
+            )
+        )
+    return rows
+
+
+def test_t1_correspondence_exact_everywhere(benchmark, report):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        ("scenario", "query", "calls", "call-mismatch", "answers", "answer-mismatch", "exact"),
+        rows,
+        title="T1: Alexander (bottom-up) vs OLDT — call/answer correspondence",
+    )
+    report("t1_correspondence", table)
+    assert all(row[-1] == "yes" for row in rows), table
+    assert all(row[3] == 0 and row[5] == 0 for row in rows), table

@@ -1,0 +1,64 @@
+"""T2 — Inference-count parity between Alexander and OLDT (Theorem 2).
+
+The paper bounds the two engines' step counts by a small constant factor
+of each other.  The table reports the counts and the ratio; the assertion
+demands that every ratio sits in the band [1/4, 4] and that the ratio does
+not drift with input size (no asymptotic gap).
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.strategy import run_strategy
+from repro.workloads import ancestor, bounded_reachability, same_generation
+
+SUITE = [
+    ("chain-16", ancestor(graph="chain", n=16)),
+    ("chain-64", ancestor(graph="chain", n=64)),
+    ("chain-128", ancestor(graph="chain", n=128)),
+    ("cycle-32", ancestor(graph="cycle", n=32)),
+    ("tree-d4", ancestor(graph="tree", depth=4, branching=2)),
+    ("tree-d5", ancestor(graph="tree", depth=5, branching=2)),
+    ("random-16", ancestor(graph="random", n=16, edge_probability=0.15, seed=3)),
+    ("grid-5x5", ancestor(graph="grid", width=5, height=5)),
+    ("sg-d4", same_generation(depth=4, branching=2)),
+    ("sg-d5", same_generation(depth=5, branching=2)),
+    ("builtins-24", bounded_reachability(graph="chain", n=24, bound=16)),
+]
+
+
+def run_suite():
+    rows = []
+    for label, scenario in SUITE:
+        query = scenario.query(0)
+        alexander = run_strategy(
+            "alexander", scenario.program, query, scenario.database
+        )
+        oldt = run_strategy("oldt", scenario.program, query, scenario.database)
+        assert alexander.answer_rows == oldt.answer_rows
+        ratio = alexander.stats.inferences / max(1, oldt.stats.inferences)
+        rows.append(
+            (
+                label,
+                str(query),
+                alexander.stats.inferences,
+                oldt.stats.inferences,
+                ratio,
+            )
+        )
+    return rows
+
+
+def test_t2_inference_parity(benchmark, report):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    table = render_table(
+        ("scenario", "query", "alexander", "oldt", "ratio"),
+        rows,
+        title="T2: inference counts — Alexander (semi-naive) vs OLDT",
+    )
+    report("t2_inference_parity", table)
+    ratios = [row[4] for row in rows]
+    assert all(0.25 <= ratio <= 4.0 for ratio in ratios), table
+    # Growing chains must not show ratio drift (the constant is a constant).
+    chain_ratios = [row[4] for row in rows if row[0].startswith("chain")]
+    assert max(chain_ratios) / min(chain_ratios) < 1.5, table

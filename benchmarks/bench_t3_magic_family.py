@@ -1,0 +1,75 @@
+"""T3 — The transformation family: Alexander == supplementary magic,
+plain magic re-joins prefixes.
+
+Structural claim: the Alexander rewriting is supplementary magic under
+other predicate names, so under the same semi-naive engine the inference,
+attempt, and fact counts coincide *exactly*.  Plain generalized magic
+re-evaluates each rule prefix once per IDB body literal, so its join
+*attempts* are at least as many on multi-literal bodies, while its derived
+fact count is lower (no continuation facts).
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.strategy import run_strategy
+from repro.workloads import ancestor, same_generation
+
+SUITE = [
+    ("chain-32", ancestor(graph="chain", n=32)),
+    ("chain-128", ancestor(graph="chain", n=128)),
+    ("cycle-24", ancestor(graph="cycle", n=24)),
+    ("tree-d5", ancestor(graph="tree", depth=5, branching=2)),
+    ("sg-d5", same_generation(depth=5, branching=2)),
+    ("nonlinear-16", ancestor(graph="chain", variant="nonlinear", n=16)),
+]
+
+
+def run_suite():
+    rows = []
+    for label, scenario in SUITE:
+        query = scenario.query(0)
+        results = {
+            name: run_strategy(name, scenario.program, query, scenario.database)
+            for name in ("alexander", "supplementary", "magic")
+        }
+        reference = results["alexander"].answer_rows
+        assert all(r.answer_rows == reference for r in results.values())
+        rows.append(
+            (
+                label,
+                results["alexander"].stats.inferences,
+                results["supplementary"].stats.inferences,
+                results["magic"].stats.inferences,
+                results["alexander"].stats.attempts,
+                results["supplementary"].stats.attempts,
+                results["magic"].stats.attempts,
+            )
+        )
+    return rows
+
+
+def test_t3_magic_family(benchmark, report):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    table = render_table(
+        (
+            "scenario",
+            "alex-inf",
+            "supp-inf",
+            "magic-inf",
+            "alex-att",
+            "supp-att",
+            "magic-att",
+        ),
+        rows,
+        title="T3: Alexander == supplementary magic; plain magic re-joins prefixes",
+    )
+    report("t3_magic_family", table)
+    for row in rows:
+        label, alex_inf, supp_inf, magic_inf, alex_att, supp_att, magic_att = row
+        # Exact identity between Alexander and supplementary magic.
+        assert alex_inf == supp_inf, table
+        assert alex_att == supp_att, table
+        # Plain magic pays more join attempts whenever bodies have >1
+        # literal (all of these scenarios).
+        assert magic_att >= supp_att, table

@@ -1,0 +1,64 @@
+"""T4 — Query selectivity decides transformation vs plain bottom-up.
+
+The magic/Alexander rewritings restrict evaluation to the query's cone;
+plain semi-naive computes the whole closure.  A query bound near the tail
+of a chain touches a small cone — the transformation wins by a factor
+that grows with n.  The fully open query reverses the ranking: the
+call/continuation bookkeeping is pure overhead when everything is asked
+for anyway.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_query
+from repro.workloads import ancestor
+
+SIZES = (16, 32, 64, 128)
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        scenario = ancestor(graph="chain", n=n)
+        # Selective: bound five nodes from the tail — a constant-size cone,
+        # so the transformation's advantage grows with n.
+        source = n - 5
+        selective = parse_query(f"anc({source}, X)?")
+        open_query = parse_query("anc(X, Y)?")
+        cells = [n]
+        for query in (selective, open_query):
+            semi = run_strategy(
+                "seminaive", scenario.program, query, scenario.database
+            )
+            alex = run_strategy(
+                "alexander", scenario.program, query, scenario.database
+            )
+            assert semi.answer_rows == alex.answer_rows
+            cells.extend([semi.stats.inferences, alex.stats.inferences])
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_t4_selectivity_crossover(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        (
+            "n",
+            "semi (bound n-5)",
+            "alex (bound n-5)",
+            "semi (open)",
+            "alex (open)",
+        ),
+        rows,
+        title="T4: selective queries favour the transformation; open queries favour plain semi-naive",
+    )
+    report("t4_selectivity_crossover", table)
+    for row in rows:
+        n, semi_sel, alex_sel, semi_open, alex_open = row
+        assert alex_sel < semi_sel, table       # transformation wins when bound
+        assert semi_open <= alex_open, table    # plain bottom-up wins when open
+    # The selective-case advantage must *grow* with n.
+    advantages = [row[1] / row[2] for row in rows]
+    assert advantages[-1] > advantages[0] * 2, advantages

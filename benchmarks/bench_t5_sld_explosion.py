@@ -1,0 +1,86 @@
+"""T5 — Memoing beats plain top-down: SLD explodes, OLDT/Alexander do not.
+
+Two failure modes of un-memoed SLD resolution:
+
+* **Combinatorial re-derivation** on a layered DAG with full density —
+  the number of source-to-sink paths doubles per layer, and SLD pays for
+  every path while the tabled methods pay per *edge*.
+* **Outright divergence** on cyclic data, reported as DIVERGED rows.
+"""
+
+import pytest
+
+from repro.bench.harness import DIVERGED, measure
+from repro.bench.reporting import render_table
+from repro.core.strategy import run_strategy
+from repro.errors import BudgetExceededError
+from repro.topdown.sld import sld_query
+from repro.workloads import ancestor
+
+LAYER_COUNTS = (3, 5, 7, 9)
+
+
+def run_dag_sweep():
+    rows = []
+    for layers in LAYER_COUNTS:
+        scenario = ancestor(
+            graph="dag", layers=layers, width=2, density=1.0, seed=0
+        )
+        query = scenario.query(0)
+        try:
+            _, sld_stats = sld_query(
+                scenario.program, query, scenario.database, max_steps=200_000
+            )
+            sld_cost = sld_stats.inferences
+        except BudgetExceededError:
+            sld_cost = DIVERGED
+        oldt = run_strategy("oldt", scenario.program, query, scenario.database)
+        alex = run_strategy(
+            "alexander", scenario.program, query, scenario.database
+        )
+        assert oldt.answer_rows == alex.answer_rows
+        rows.append(
+            (layers, sld_cost, oldt.stats.inferences, alex.stats.inferences)
+        )
+    return rows
+
+
+def test_t5_sld_explosion_on_dags(benchmark, report):
+    rows = benchmark.pedantic(run_dag_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ("layers", "sld", "oldt", "alexander"),
+        rows,
+        title="T5a: inference counts on dense layered DAGs (path count doubles per layer)",
+    )
+    report("t5a_sld_explosion", table)
+    numeric = [row for row in rows if row[1] != DIVERGED]
+    # SLD grows much faster than OLDT: compare growth factors.
+    assert len(numeric) >= 2, table
+    sld_growth = numeric[-1][1] / numeric[0][1]
+    oldt_growth = numeric[-1][2] / numeric[0][2]
+    assert sld_growth > 2 * oldt_growth, table
+
+
+def run_cycle_rows():
+    rows = []
+    for n in (8, 32, 128):
+        scenario = ancestor(graph="cycle", n=n)
+        sld_row = measure(scenario, "sld")
+        oldt_row = measure(scenario, "oldt")
+        alex_row = measure(scenario, "alexander")
+        rows.append(
+            (n, sld_row.inferences, oldt_row.inferences, alex_row.inferences)
+        )
+    return rows
+
+
+def test_t5_sld_diverges_on_cycles(benchmark, report):
+    rows = benchmark.pedantic(run_cycle_rows, rounds=1, iterations=1)
+    table = render_table(
+        ("cycle n", "sld", "oldt", "alexander"),
+        rows,
+        title="T5b: cyclic data — plain SLD diverges, memoing terminates",
+    )
+    report("t5b_sld_divergence", table)
+    assert all(row[1] == DIVERGED for row in rows), table
+    assert all(isinstance(row[2], int) and isinstance(row[3], int) for row in rows)

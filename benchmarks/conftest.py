@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench prints its table (visible with ``pytest -s``) and also writes
+it under ``benchmarks/results/`` so EXPERIMENTS.md can quote the output of
+the latest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """A callable ``report(experiment_id, text)`` that persists and echoes
+    a rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(experiment_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

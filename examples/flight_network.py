@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Flight connections: a cyclic reachability workload with a twist.
+
+The route graph is cyclic (hub airports), so plain SLD resolution
+diverges on it — while OLDT and the Alexander strategy both terminate.
+This script demonstrates the divergence and then answers routing
+questions with the terminating strategies.
+
+Run with::
+
+    python examples/flight_network.py
+"""
+
+from repro import Engine, BudgetExceededError
+from repro.topdown.sld import sld_query
+from repro.datalog import parse_query
+
+SOURCE = """
+% Hub-and-spoke with cycles between hubs.
+flight(sfo, jfk). flight(jfk, lhr). flight(lhr, fra).
+flight(fra, jfk). flight(fra, nrt). flight(nrt, sfo).
+flight(jfk, sfo). flight(lhr, jfk).
+flight(sea, sfo). flight(nrt, syd).
+
+route(X, Y) :- flight(X, Y).
+route(X, Y) :- flight(X, Z), route(Z, Y).
+"""
+
+
+def main() -> None:
+    engine = Engine.from_source(SOURCE)
+
+    # 1. Plain SLD diverges on the hub cycle.
+    print("== Plain SLD on a cyclic route graph")
+    try:
+        sld_query(engine.program, parse_query("route(sea, X)?"),
+                  engine.database, max_steps=20_000)
+        print("   finished (unexpected!)")
+    except BudgetExceededError as error:
+        print(f"   diverged as expected: {error}")
+
+    # 2. Tabling and the Alexander strategy terminate.
+    print("\n== Where can you fly from Seattle?")
+    result = engine.query("route(sea, X)?", strategy="alexander")
+    destinations = sorted(str(atom.args[1]) for atom in result.answers)
+    print("  ", ", ".join(destinations))
+    print("   alexander:", result.stats)
+
+    oldt = engine.query("route(sea, X)?", strategy="oldt")
+    print("   oldt:     ", oldt.stats)
+    assert {str(a) for a in result.answers} == {str(a) for a in oldt.answers}
+
+    # 3. A fully bound question.
+    print("\n== Can you get from Sydney to London?")
+    print("  ", "yes" if engine.ask("route(syd, lhr)?") else "no")
+
+    # 4. Which airports can reach every other airport?
+    airports = sorted(
+        {row[0] for row in engine.database.rows("flight")}
+        | {row[1] for row in engine.database.rows("flight")}
+    )
+    reach_all = []
+    for airport in airports:
+        reachable = {
+            atom.args[1].value
+            for atom in engine.query(f"route({airport}, X)?").answers
+        }
+        if reachable >= set(airports) - {airport}:
+            reach_all.append(airport)
+    print("\n== Airports connected to the whole network:")
+    print("  ", ", ".join(reach_all) if reach_all else "(none)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Org-chart analytics: recursion + comparison built-ins.
+
+``reports_to`` is the management chain's transitive closure; comparison
+built-ins (``>``, ``!=``, ``>=``) then express the classic HR queries —
+who out-earns their (transitive) boss, who are same-band peers — and the
+whole thing still runs under every strategy, including the Alexander
+transformation.
+
+Run with::
+
+    python examples/org_chart.py
+"""
+
+from repro import Engine
+
+SOURCE = """
+% manager(Boss, Report).         salary(Person, Amount).
+manager(meg, sam).   manager(meg, ana).
+manager(sam, raj).   manager(sam, ivy).
+manager(ana, leo).   manager(leo, kim).
+
+salary(meg, 220). salary(sam, 150). salary(ana, 160).
+salary(raj, 155). salary(ivy, 120). salary(leo, 140). salary(kim, 160).
+
+% The transitive management chain.
+reports_to(X, Y) :- manager(Y, X).
+reports_to(X, Y) :- manager(Z, X), reports_to(Z, Y).
+
+% Anomaly: someone earning more than a (transitive) boss.
+outearns_boss(X, Y) :- reports_to(X, Y), salary(X, SX), salary(Y, SY), SX > SY.
+
+% Same salary band (within the chain irrelevant), distinct people.
+band_peer(X, Y) :- salary(X, S), salary(Y, S), X != Y.
+
+% Well paid: at or above 150.
+well_paid(X) :- salary(X, S), S >= 150.
+"""
+
+
+def main() -> None:
+    engine = Engine.from_source(SOURCE)
+
+    print("== Who transitively reports to meg?")
+    for atom in engine.query("reports_to(X, meg)?").answers:
+        print("  ", atom.args[0])
+
+    print("\n== Salary anomalies (report out-earning a transitive boss)")
+    for atom in engine.query("outearns_boss(X, Y)?").answers:
+        print(f"   {atom.args[0]} > {atom.args[1]}")
+
+    print("\n== Same-band peers")
+    seen = set()
+    for atom in engine.query("band_peer(X, Y)?").answers:
+        pair = frozenset((atom.args[0].value, atom.args[1].value))
+        if pair not in seen:
+            seen.add(pair)
+            left, right = sorted(pair)
+            print(f"   {left} == {right}")
+
+    print("\n== Strategy agreement on the anomaly query")
+    for name, result in engine.explain("outearns_boss(X, Y)?").items():
+        print(f"   {name:14s} answers={len(result.answers)} "
+              f"inferences={result.stats.inferences}")
+
+
+if __name__ == "__main__":
+    main()

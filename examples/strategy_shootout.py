@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Strategy shoot-out: the paper's comparison, on one screen.
+
+Sweeps chain sizes and prints the inference-count series of every
+strategy side by side, then verifies the Alexander/OLDT correspondence at
+each size — a miniature of benchmarks/bench_f1_scaling_chain.py and
+bench_t1_correspondence.py.
+
+Run with::
+
+    python examples/strategy_shootout.py [max_n]
+"""
+
+import sys
+
+from repro import check_correspondence
+from repro.bench import render_series, scaling_series
+from repro.workloads import ancestor
+
+STRATEGIES = ("seminaive", "magic", "supplementary", "alexander", "oldt", "qsqr")
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    sizes = [n for n in (8, 16, 32, 64, 128, 256) if n <= max_n]
+
+    series = scaling_series(
+        lambda n: ancestor(graph="chain", n=n), sizes, list(STRATEGIES)
+    )
+    print(render_series(
+        "inferences for anc(0, X) on chain(n)", "n", series
+    ))
+
+    print("\ncorrespondence (Alexander calls/answers == OLDT tables):")
+    for n in sizes:
+        scenario = ancestor(graph="chain", n=n)
+        corr = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        status = "exact" if corr.exact else "MISMATCH"
+        print(f"  n={n:4d}  {status}  calls={len(corr.calls_matched):4d} "
+              f"answers={len(corr.answers_matched):5d} "
+              f"ratio={corr.inference_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

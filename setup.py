@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` works without the wheel package.
+
+The environment has no network and no `wheel` distribution, so PEP 517
+editable installs fail with `invalid command 'bdist_wheel'`.  A
+`repro-dev.pth` file pointing at ./src provides the editable install; this
+setup.py keeps `python setup.py develop` working too.
+"""
+
+from setuptools import setup
+
+setup()

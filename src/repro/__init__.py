@@ -1,0 +1,105 @@
+"""repro — a reproduction of "On the Power of Alexander Templates"
+(Hirohisa Seki, PODS 1989).
+
+The library implements, from scratch, the full experimental apparatus the
+paper's theorems speak about:
+
+* a function-free Datalog kernel (parsing, unification, programs),
+* bottom-up engines (naive, semi-naive, stratified negation),
+* top-down engines (plain SLD, OLDT with tabulation, QSQR),
+* the transformation family: adornment + SIPS, generalized magic sets,
+  supplementary magic sets, and the Alexander templates,
+* a correspondence checker turning Seki's Alexander/OLDT theorem into an
+  executable property, and
+* workload generators + a benchmark harness regenerating every experiment
+  in EXPERIMENTS.md.
+
+Quick start::
+
+    from repro import Engine
+
+    engine = Engine.from_source('''
+        par(a,b). par(b,c).
+        anc(X,Y) :- par(X,Y).
+        anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ''')
+    result = engine.query("anc(a, X)?")           # Alexander strategy
+    for atom in result.answers:
+        print(atom)
+    print(result.stats)
+"""
+
+from .core.compare import Correspondence, check_correspondence
+from .core.engine import Engine
+from .core.strategy import QueryResult, available_strategies, run_strategy
+from .datalog import (
+    Atom,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    pred,
+    variables,
+)
+from .engine.counters import EvaluationStats
+from .engine.incremental import IncrementalEngine
+from .engine.provenance import format_proof, traced_fixpoint
+from .engine.wellfounded import WellFoundedModel, alternating_fixpoint
+from .repl import Repl
+from .errors import (
+    BudgetExceededError,
+    EvaluationError,
+    ParseError,
+    ProgramError,
+    ReproError,
+    SafetyError,
+    StratificationError,
+    TransformError,
+)
+from .facts import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "QueryResult",
+    "available_strategies",
+    "run_strategy",
+    "Correspondence",
+    "check_correspondence",
+    "Atom",
+    "Literal",
+    "Rule",
+    "Program",
+    "Variable",
+    "Constant",
+    "parse_program",
+    "parse_rule",
+    "parse_atom",
+    "parse_query",
+    "pred",
+    "variables",
+    "Database",
+    "Relation",
+    "EvaluationStats",
+    "IncrementalEngine",
+    "traced_fixpoint",
+    "format_proof",
+    "alternating_fixpoint",
+    "WellFoundedModel",
+    "Repl",
+    "ReproError",
+    "ParseError",
+    "ProgramError",
+    "SafetyError",
+    "StratificationError",
+    "EvaluationError",
+    "BudgetExceededError",
+    "TransformError",
+    "__version__",
+]

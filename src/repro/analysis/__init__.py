@@ -1,0 +1,22 @@
+"""Static program analysis: dependencies, stratification, safety."""
+
+from .dependency import DependencyGraph, RecursionKind
+from .loose import is_locally_stratified, is_loosely_stratified
+from .report import PredicateInfo, ProgramReport
+from .safety import check_program_safety, check_rule_safety, require_safe
+from .stratify import Stratification, is_stratifiable, stratify
+
+__all__ = [
+    "DependencyGraph",
+    "RecursionKind",
+    "Stratification",
+    "stratify",
+    "is_stratifiable",
+    "check_program_safety",
+    "check_rule_safety",
+    "require_safe",
+    "is_loosely_stratified",
+    "is_locally_stratified",
+    "ProgramReport",
+    "PredicateInfo",
+]

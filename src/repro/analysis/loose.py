@@ -1,0 +1,230 @@
+"""Loose stratification (extension) and local stratification.
+
+The reproduction bands note a "loose stratification variant" as a niche
+extension of the stratification story.  Loose stratification (Bry, PODS
+1989, after Lewis's cycles of unifiability) is a *rule-level* sufficient
+condition for consistency that is weaker than plain stratification but,
+unlike local stratification, needs no rule instantiation:
+
+    A program is loosely stratified when its adorned dependency graph
+    contains no chain with at least one negative arc whose arc unifiers
+    are compatible and whose endpoints unify under the common unifier.
+
+The checker below explores exactly those chains: starting from the most
+general instance of each rule head, it follows "head resolves against
+body atom" steps composing the unifiers as it goes (incremental mgu
+composition decides compatibility), and reports a violation when a chain
+that crossed a negative arc returns to an atom unifiable with its start.
+States are memoised by the variant pattern of the (start, current) atom
+pair, which is finite in function-free Datalog, so the search terminates.
+
+For function-free programs loose stratification coincides with local
+stratification; :func:`is_locally_stratified` implements the latter by
+grounding over the active domain, giving an independent oracle the test
+suite cross-checks against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..datalog.atoms import Atom
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Variable
+from ..datalog.unify import unify_atoms
+from ..facts.database import Database
+
+__all__ = [
+    "is_loosely_stratified",
+    "find_loose_violation",
+    "is_locally_stratified",
+    "ground_program",
+]
+
+
+def _rename_rule(rule: Rule, suffix: int) -> Rule:
+    """A variant of *rule* with variables tagged by *suffix*.
+
+    Deterministic renaming (rather than global fresh counters) keeps the
+    memoised state space small and the search reproducible.
+    """
+    mapping = {
+        var: Variable(f"{var.name}~{suffix}") for var in rule.variables()
+    }
+    return rule.substitute(mapping)
+
+
+def _pair_key(start: Atom, current: Atom, negative_seen: bool) -> tuple:
+    """Canonical state: the joint variant pattern of (start, current).
+
+    Encoding both atoms through one shared variable numbering preserves
+    the variable-sharing constraints accumulated along the chain.
+    """
+    numbering: dict[Variable, int] = {}
+    parts: list[object] = [negative_seen]
+    for atom in (start, current):
+        parts.append(atom.predicate)
+        for arg in atom.args:
+            if isinstance(arg, Variable):
+                parts.append(("v", numbering.setdefault(arg, len(numbering))))
+            else:
+                parts.append(("c", arg.value))
+    return tuple(parts)
+
+
+def find_loose_violation(
+    program: Program, max_states: int = 100_000
+) -> tuple[Atom, Atom] | None:
+    """Search for a chain witnessing non-loose-stratification.
+
+    Returns:
+        ``(start, back)`` — an atom instance and the later atom instance
+        that unifies with it after a chain containing a negative arc — or
+        ``None`` when the program is loosely stratified.
+
+    Raises:
+        RuntimeError: if the memoised state budget is exhausted (cannot
+            happen for function-free programs of sane size; the budget is
+            a backstop, not a semantic limit).
+    """
+    rules = program.proper_rules
+    visited: set[tuple] = set()
+    # Work items: (start atom instance, current atom instance, negative_seen)
+    stack: list[tuple[Atom, Atom, bool]] = []
+    for index, rule in enumerate(rules):
+        fresh = _rename_rule(rule, 0)
+        stack.append((fresh.head, fresh.head, False))
+    counter = itertools.count(1)
+    while stack:
+        start, current, negative_seen = stack.pop()
+        state = _pair_key(start, current, negative_seen)
+        if state in visited:
+            continue
+        visited.add(state)
+        if len(visited) > max_states:
+            raise RuntimeError(
+                "loose-stratification search exceeded its state budget"
+            )
+        for rule in rules:
+            fresh = _rename_rule(rule, next(counter))
+            unifier = unify_atoms(current, fresh.head)
+            if unifier is None:
+                continue
+            new_start = unifier.apply_atom(start)
+            for literal in fresh.body:
+                next_atom = unifier.apply_atom(literal.atom)
+                crossed = negative_seen or literal.negative
+                if crossed and unify_atoms(new_start, next_atom) is not None:
+                    return (new_start, next_atom)
+                stack.append((new_start, next_atom, crossed))
+    return None
+
+
+def is_loosely_stratified(program: Program, max_states: int = 100_000) -> bool:
+    """True iff no negative chain closes on a unifiable atom."""
+    return find_loose_violation(program, max_states) is None
+
+
+# ---------------------------------------------------------------------------
+# Local stratification by grounding (the oracle for cross-checking).
+# ---------------------------------------------------------------------------
+
+def ground_program(program: Program, database: Database | None = None) -> list[Rule]:
+    """All ground instances of the proper rules over the active domain.
+
+    The active domain is the set of constants occurring in the program and
+    in *database*.  Exponential in the number of variables per rule — this
+    is an analysis oracle, not an evaluation path.
+    """
+    domain: set[object] = set(program.constants())
+    if database is not None:
+        for relation in database.relations():
+            for row in relation:
+                domain.update(row)
+    domain_values = sorted(domain, key=repr)
+    instances: list[Rule] = []
+    for rule in program.proper_rules:
+        rule_vars = sorted(rule.variables(), key=lambda v: v.name)
+        if not rule_vars:
+            instances.append(rule)
+            continue
+        for combo in itertools.product(domain_values, repeat=len(rule_vars)):
+            binding = {
+                var: Constant(value) for var, value in zip(rule_vars, combo)
+            }
+            instances.append(rule.substitute(binding))
+    return instances
+
+
+def is_locally_stratified(
+    program: Program,
+    database: Database | None = None,
+    filter_edb: bool = False,
+) -> bool:
+    """True iff the ground dependency graph has no cycle through negation.
+
+    This is the classical definition of local stratification restricted to
+    function-free programs (where the Herbrand instantiation is finite).
+
+    Args:
+        filter_edb: when set, ground instances that can never fire against
+            *database* are dropped before building the graph — a positive
+            extensional literal that is false, or a negative extensional
+            literal that is true, disables the instance.  The strict
+            Przymusinski definition (default) keeps every instance; the
+            filtered variant is the evaluation-relevant notion (e.g. the
+            win/lose game over an acyclic move graph is filtered-locally
+            stratified but not strictly so, because the instantiation
+            contains self-move instances with unsatisfiable bodies).
+    """
+    instances = ground_program(program, database)
+    if filter_edb:
+        idb = program.idb_predicates
+        base = database if database is not None else Database()
+
+        def can_fire(rule: Rule) -> bool:
+            for literal in rule.body:
+                if literal.predicate in idb:
+                    continue
+                present = base.has_fact(literal.atom)
+                if literal.positive and not present:
+                    return False
+                if literal.negative and present:
+                    return False
+            return True
+
+        instances = [rule for rule in instances if can_fire(rule)]
+    # Ground atom dependency graph with polarity.
+    positive_edges: dict[Atom, set[Atom]] = {}
+    negative_edges: dict[Atom, set[Atom]] = {}
+    for rule in instances:
+        for literal in rule.body:
+            target = positive_edges if literal.positive else negative_edges
+            target.setdefault(rule.head, set()).add(literal.atom)
+    nodes: set[Atom] = set()
+    for mapping in (positive_edges, negative_edges):
+        for head, bodies in mapping.items():
+            nodes.add(head)
+            nodes.update(bodies)
+    # A program is locally stratifiable iff we can assign ordinals with
+    # stratum(head) >= stratum(pos body) and > stratum(neg body); the
+    # fixpoint diverges exactly on a negative cycle.
+    numbers: dict[Atom, int] = {node: 0 for node in nodes}
+    limit = len(nodes) + 1
+    changed = True
+    while changed:
+        changed = False
+        for head, bodies in positive_edges.items():
+            for body in bodies:
+                if numbers[head] < numbers[body]:
+                    numbers[head] = numbers[body]
+                    changed = True
+        for head, bodies in negative_edges.items():
+            for body in bodies:
+                if numbers[head] < numbers[body] + 1:
+                    numbers[head] = numbers[body] + 1
+                    if numbers[head] > limit:
+                        return False
+                    changed = True
+    return True

@@ -1,0 +1,23 @@
+"""Benchmark harness: measurement, sweeps, and ASCII reporting."""
+
+from .harness import (
+    DIVERGED,
+    Measurement,
+    assert_same_answers,
+    measure,
+    scaling_series,
+    sweep,
+)
+from .reporting import render_kv, render_series, render_table
+
+__all__ = [
+    "DIVERGED",
+    "Measurement",
+    "measure",
+    "sweep",
+    "scaling_series",
+    "assert_same_answers",
+    "render_table",
+    "render_series",
+    "render_kv",
+]

@@ -1,0 +1,168 @@
+"""The experiment harness: run strategies over scenarios, collect counters.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper around
+:func:`measure`, :func:`sweep`, or :func:`scaling_series`; the harness
+handles divergence (plain SLD on cyclic data), answer cross-checking, and
+uniform row construction so the printed tables always carry the same
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..core.strategy import QueryResult, run_strategy
+from ..errors import BudgetExceededError
+from ..workloads.programs import Scenario
+
+__all__ = ["Measurement", "measure", "sweep", "scaling_series", "assert_same_answers"]
+
+DIVERGED = "diverged"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (scenario, query, strategy) data point."""
+
+    scenario: str
+    query: str
+    strategy: str
+    answers: int | str
+    inferences: int | str
+    attempts: int | str
+    facts: int | str
+    calls: int | str
+    diverged: bool
+    result: QueryResult | None
+
+    def row(self) -> tuple:
+        return (
+            self.scenario,
+            self.query,
+            self.strategy,
+            self.answers,
+            self.inferences,
+            self.attempts,
+            self.facts,
+            self.calls,
+        )
+
+    @staticmethod
+    def headers() -> tuple[str, ...]:
+        return (
+            "scenario",
+            "query",
+            "strategy",
+            "answers",
+            "inferences",
+            "attempts",
+            "facts",
+            "calls",
+        )
+
+
+def measure(
+    scenario: Scenario, strategy: str, query_index: int = 0
+) -> Measurement:
+    """Run one strategy on one scenario query; divergence becomes a row."""
+    query = scenario.query(query_index)
+    try:
+        result = run_strategy(
+            strategy, scenario.program, query, scenario.database
+        )
+    except BudgetExceededError:
+        return Measurement(
+            scenario=scenario.name,
+            query=str(query),
+            strategy=strategy,
+            answers=DIVERGED,
+            inferences=DIVERGED,
+            attempts=DIVERGED,
+            facts=DIVERGED,
+            calls=DIVERGED,
+            diverged=True,
+            result=None,
+        )
+    stats = result.stats
+    return Measurement(
+        scenario=scenario.name,
+        query=str(query),
+        strategy=strategy,
+        answers=len(result.answers),
+        inferences=stats.inferences,
+        attempts=stats.attempts,
+        facts=stats.facts_derived,
+        calls=stats.calls if stats.calls else len(result.calls),
+        diverged=False,
+        result=result,
+    )
+
+
+def sweep(
+    scenarios: Iterable[Scenario],
+    strategies: Sequence[str],
+    query_index: int = 0,
+    check_agreement: bool = True,
+) -> list[Measurement]:
+    """Cross product of scenarios × strategies.
+
+    Args:
+        check_agreement: when set, every non-divergent strategy must
+            return the same answer set as the first non-divergent one
+            (raises AssertionError otherwise) — benches double as
+            correctness checks.
+    """
+    measurements: list[Measurement] = []
+    for scenario in scenarios:
+        per_scenario = [
+            measure(scenario, strategy, query_index) for strategy in strategies
+        ]
+        if check_agreement:
+            assert_same_answers(per_scenario)
+        measurements.extend(per_scenario)
+    return measurements
+
+
+def assert_same_answers(measurements: Sequence[Measurement]) -> None:
+    """Every completed measurement must agree on the answer set."""
+    reference: frozenset | None = None
+    reference_strategy = ""
+    for measurement in measurements:
+        if measurement.diverged or measurement.result is None:
+            continue
+        rows = measurement.result.answer_rows
+        if reference is None:
+            reference = rows
+            reference_strategy = measurement.strategy
+        elif rows != reference:
+            raise AssertionError(
+                f"{measurement.strategy} disagrees with {reference_strategy} "
+                f"on {measurement.scenario} / {measurement.query}: "
+                f"{sorted(rows)} != {sorted(reference)}"
+            )
+
+
+def scaling_series(
+    make_scenario: Callable[[int], Scenario],
+    sizes: Sequence[int],
+    strategies: Sequence[str],
+    query_index: int = 0,
+    metric: str = "inferences",
+) -> dict[str, list[tuple[int, object]]]:
+    """Inference-count (or other metric) series per strategy over a size sweep.
+
+    Returns ``{strategy: [(size, value), ...]}`` ready for
+    :func:`repro.bench.reporting.render_series`.
+    """
+    series: dict[str, list[tuple[int, object]]] = {name: [] for name in strategies}
+    for size in sizes:
+        scenario = make_scenario(size)
+        per_size = [
+            measure(scenario, strategy, query_index) for strategy in strategies
+        ]
+        assert_same_answers(per_size)
+        for measurement in per_size:
+            value = getattr(measurement, metric)
+            series[measurement.strategy].append((size, value))
+    return series

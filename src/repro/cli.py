@@ -1,0 +1,248 @@
+"""Command-line interface: parse a Datalog file, run queries, compare
+strategies.
+
+Usage examples::
+
+    repro-datalog query program.dl "anc(a, X)?"
+    repro-datalog query program.dl "anc(a, X)?" --strategy oldt --stats
+    repro-datalog query rules.dl "anc(a, X)?" --facts data.dl
+    repro-datalog explain program.dl "anc(a, X)?"
+    repro-datalog check program.dl "anc(a, X)?"       # Alexander vs OLDT
+    repro-datalog transform program.dl "anc(a, X)?" --kind alexander
+    repro-datalog lint program.dl
+    repro-datalog why program.dl "anc(a, c)"          # proof tree
+    repro-datalog repl program.dl                     # interactive session
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.dependency import DependencyGraph
+from .analysis.safety import check_program_safety
+from .analysis.stratify import is_stratifiable
+from .core.compare import check_correspondence
+from .core.engine import Engine
+from .core.strategy import available_strategies
+from .datalog.parser import parse_program, parse_query
+from .datalog.pretty import format_bindings, format_program
+from .errors import ReproError
+from .transform.alexander import alexander_templates
+from .transform.magic import magic_sets
+from .transform.supplementary import supplementary_magic_sets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-datalog",
+        description=(
+            "Datalog engines and the Alexander/magic transformation family "
+            "(reproduction of Seki, PODS 1989)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_facts_option(subparser) -> None:
+        subparser.add_argument(
+            "--facts",
+            action="append",
+            default=[],
+            metavar="FILE",
+            help="additional facts file(s) to load (repeatable)",
+        )
+
+    query = commands.add_parser("query", help="evaluate a query")
+    query.add_argument("file", help="Datalog source file")
+    query.add_argument("goal", help='query atom, e.g. "anc(a, X)?"')
+    add_facts_option(query)
+    query.add_argument(
+        "--strategy",
+        default="alexander",
+        choices=available_strategies(),
+        help="evaluation strategy (default: alexander)",
+    )
+    query.add_argument(
+        "--sips",
+        default=None,
+        choices=("left_to_right", "most_bound_first"),
+        help="SIPS for the transformation strategies",
+    )
+    query.add_argument("--stats", action="store_true", help="print counters")
+    query.add_argument(
+        "--limit", type=int, default=None, help="print at most N answers"
+    )
+
+    explain = commands.add_parser(
+        "explain", help="run a query under every strategy and compare counts"
+    )
+    explain.add_argument("file")
+    explain.add_argument("goal")
+    add_facts_option(explain)
+
+    check = commands.add_parser(
+        "check", help="verify the Alexander/OLDT call-answer correspondence"
+    )
+    check.add_argument("file")
+    check.add_argument("goal")
+    add_facts_option(check)
+
+    transform = commands.add_parser(
+        "transform", help="print the rewritten program for a query"
+    )
+    transform.add_argument("file")
+    transform.add_argument("goal")
+    transform.add_argument(
+        "--kind",
+        default="alexander",
+        choices=("alexander", "magic", "supplementary"),
+    )
+
+    lint = commands.add_parser(
+        "lint", help="report safety and stratification problems"
+    )
+    lint.add_argument("file")
+
+    why = commands.add_parser(
+        "why", help="print a proof tree for a ground goal"
+    )
+    why.add_argument("file")
+    why.add_argument("goal", help='ground atom, e.g. "anc(a, c)"')
+    add_facts_option(why)
+
+    repl = commands.add_parser("repl", help="interactive session")
+    repl.add_argument("file")
+    add_facts_option(repl)
+    return parser
+
+
+def _load(path: str, fact_files: list[str] | None = None) -> Engine:
+    engine = Engine.from_file(path, check_safety=False)
+    from .facts.io import load_facts
+
+    for fact_file in fact_files or []:
+        load_facts(fact_file, into=engine.database)
+    return engine
+
+
+def _cmd_query(args) -> int:
+    engine = _load(args.file, args.facts)
+    goal = parse_query(args.goal)
+    result = engine.query(goal, strategy=args.strategy, sips=args.sips)
+    print(format_bindings(goal, result.answers, limit=args.limit))
+    if args.stats:
+        print(result.stats, file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    engine = _load(args.file, args.facts)
+    goal = parse_query(args.goal)
+    results = engine.explain(goal)
+    width = max(len(name) for name in results)
+    header = (
+        f"{'strategy':<{width}}  answers  inferences  attempts  facts  calls"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        stats = result.stats
+        print(
+            f"{name:<{width}}  {len(result.answers):>7}  "
+            f"{stats.inferences:>10}  {stats.attempts:>8}  "
+            f"{stats.facts_derived:>5}  {stats.calls:>5}"
+        )
+    return 0
+
+
+def _cmd_check(args) -> int:
+    engine = _load(args.file, args.facts)
+    goal = parse_query(args.goal)
+    correspondence = check_correspondence(
+        engine.program, goal, engine.database
+    )
+    print(correspondence.summary())
+    return 0 if correspondence.exact else 1
+
+
+def _cmd_transform(args) -> int:
+    engine = _load(args.file)
+    goal = parse_query(args.goal)
+    transforms = {
+        "alexander": alexander_templates,
+        "magic": magic_sets,
+        "supplementary": supplementary_magic_sets,
+    }
+    transformed = transforms[args.kind](engine.program, goal)
+    print(f"% {args.kind} rewriting for {goal}")
+    for seed in transformed.seeds:
+        print(f"{seed}.")
+    print(format_program(transformed.program, group_by_head=False))
+    print(f"% goal: {transformed.goal}?")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    problems = 0
+    for violation in check_program_safety(program):
+        print(f"unsafe: {violation}")
+        problems += 1
+    if not is_stratifiable(program):
+        print("not stratifiable: the program has a cycle through negation")
+        problems += 1
+    graph = DependencyGraph(program)
+    for predicate in sorted(program.idb_predicates):
+        kind = graph.recursion_kind(predicate)
+        print(f"info: {predicate} is {kind}")
+    if problems:
+        print(f"{problems} problem(s) found")
+        return 1
+    print("ok")
+    return 0
+
+
+def _cmd_why(args) -> int:
+    engine = _load(args.file, args.facts)
+    text = engine.why(args.goal)
+    print(text)
+    return 0 if "not derivable" not in text else 1
+
+
+def _cmd_repl(args) -> int:
+    from .repl import Repl
+
+    engine = _load(args.file, args.facts)
+    Repl(engine).run()
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "check": _cmd_check,
+    "transform": _cmd_transform,
+    "lint": _cmd_lint,
+    "why": _cmd_why,
+    "repl": _cmd_repl,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

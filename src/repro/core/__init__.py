@@ -1,0 +1,15 @@
+"""The strategy layer: unified querying, the engine facade, and the
+Alexander/OLDT correspondence checker."""
+
+from .compare import Correspondence, check_correspondence
+from .engine import Engine
+from .strategy import QueryResult, available_strategies, run_strategy
+
+__all__ = [
+    "Engine",
+    "QueryResult",
+    "available_strategies",
+    "run_strategy",
+    "Correspondence",
+    "check_correspondence",
+]

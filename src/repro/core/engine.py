@@ -1,0 +1,155 @@
+"""The top-level facade: load a program once, query it many ways.
+
+This is the entry point a downstream user sees first::
+
+    from repro import Engine
+
+    engine = Engine.from_source('''
+        par(a,b). par(b,c).
+        anc(X,Y) :- par(X,Y).
+        anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ''')
+    result = engine.query("anc(a, X)?")            # Alexander by default
+    result.answers                                  # (anc(a,b), anc(a,c))
+    result.stats.inferences
+
+    engine.query("anc(a, X)?", strategy="oldt")    # same answers, tabled
+    engine.explain("anc(a, X)?")                   # strategy shoot-out
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..analysis.safety import require_safe
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_program, parse_query
+from ..datalog.rules import Program
+from ..facts.database import Database
+from ..transform.sips import Sips, named_sips
+from .strategy import QueryResult, available_strategies, run_strategy
+
+__all__ = ["Engine"]
+
+DEFAULT_STRATEGY = "alexander"
+
+
+class Engine:
+    """A loaded program + database, queryable under any strategy."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        check_safety: bool = True,
+    ):
+        """Wrap *program* and *database*.
+
+        Args:
+            program: rules (embedded ground facts are moved into the
+                database).
+            database: extensional facts; the engine keeps its own copy.
+            check_safety: validate range restriction up front (recommended;
+                unsafe rules would fail later with poorer messages).
+        """
+        if check_safety:
+            require_safe(program)
+        self._database = database.copy() if database is not None else Database()
+        self._database.add_atoms(program.facts)
+        self._program = program.without_facts()
+
+    # --- constructors --------------------------------------------------------
+    @classmethod
+    def from_source(cls, text: str, check_safety: bool = True) -> "Engine":
+        """Build an engine from Datalog source text."""
+        return cls(parse_program(text), check_safety=check_safety)
+
+    @classmethod
+    def from_file(cls, path, check_safety: bool = True) -> "Engine":
+        """Build an engine from a ``.dl`` file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), check_safety=check_safety)
+
+    # --- accessors ------------------------------------------------------------
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    def add_fact(self, atom: Atom | str) -> bool:
+        """Insert one ground fact (atom or source text); True iff new."""
+        if isinstance(atom, str):
+            atom = parse_query(atom)
+        return self._database.add_atom(atom)
+
+    def add_facts(self, atoms: Iterable[Atom]) -> int:
+        return self._database.add_atoms(atoms)
+
+    # --- querying ----------------------------------------------------------------
+    def query(
+        self,
+        goal: Atom | str,
+        strategy: str = DEFAULT_STRATEGY,
+        sips: "Sips | str | None" = None,
+    ) -> QueryResult:
+        """Evaluate *goal* under *strategy*.
+
+        Args:
+            goal: a query atom or its source text (``"anc(a, X)?"``).
+            strategy: one of :func:`available_strategies`.
+            sips: optional SIPS name or function for the transformation
+                strategies.
+        """
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        if isinstance(sips, str):
+            sips = named_sips(sips)
+        return run_strategy(strategy, self._program, goal, self._database, sips)
+
+    def ask(self, goal: Atom | str, strategy: str = DEFAULT_STRATEGY) -> bool:
+        """True iff *goal* has at least one answer."""
+        return bool(self.query(goal, strategy).answers)
+
+    def why(self, goal: Atom | str) -> str:
+        """A proof tree for a ground goal, rendered as indented ASCII.
+
+        Runs a provenance-tracking evaluation (first derivation of every
+        fact is recorded) and reconstructs the goal's proof.  Returns a
+        "not derivable" message when the goal does not hold.
+        """
+        from ..engine.provenance import format_proof, traced_fixpoint
+
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        if not goal.is_ground():
+            raise ValueError(f"why() needs a ground goal, got {goal}")
+        traced = traced_fixpoint(self._program, self._database)
+        proof = traced.proof(goal)
+        if proof is None:
+            return f"{goal} is not derivable"
+        return format_proof(proof)
+
+    def explain(
+        self, goal: Atom | str, strategies: Iterable[str] | None = None
+    ) -> Mapping[str, QueryResult]:
+        """Run *goal* under several strategies and return all results.
+
+        The results are keyed by strategy name; callers typically compare
+        ``stats.inferences`` across them (the library's whole point).
+        """
+        chosen = tuple(strategies) if strategies is not None else (
+            "seminaive",
+            "magic",
+            "supplementary",
+            "alexander",
+            "oldt",
+            "qsqr",
+        )
+        return {name: self.query(goal, name) for name in chosen}
+
+    @staticmethod
+    def strategies() -> tuple[str, ...]:
+        return available_strategies()

@@ -1,0 +1,292 @@
+"""The unified query-strategy interface.
+
+Every evaluation method in the library — bottom-up, top-down, and
+transformation-based — is exposed as a *strategy*: a function taking
+``(program, query, database)`` and returning a :class:`QueryResult` whose
+``answers`` are ground instances of the original query atom and whose
+``stats`` use the shared counter semantics.  The benchmark harness and the
+CLI enumerate strategies through :func:`available_strategies` /
+:func:`run_strategy`.
+
+Transformation strategies follow the *structured* pipeline for stratified
+negation: strata below the query predicate's stratum are materialised
+bottom-up first (their predicates then count as extensional for the
+rewriting), and the query's stratum is rewritten and evaluated semi-naive.
+For negation-free programs everything sits in one stratum, so the whole
+program is rewritten — the classical setting of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..analysis.stratify import stratify
+from ..datalog.atoms import Atom
+from ..datalog.rules import Program
+from ..datalog.unify import match_atom
+from ..engine.counters import EvaluationStats
+from ..engine.seminaive import seminaive_fixpoint
+from ..engine.stratified import stratified_fixpoint
+from ..errors import ReproError, TransformError
+from ..facts.database import Database
+from ..topdown.oldt import OLDTEngine
+from ..topdown.qsqr import QSQREngine
+from ..topdown.sld import SLDEngine
+from ..transform.adorn import query_adornment
+from ..transform.alexander import alexander_templates
+from ..transform.common import TransformedProgram
+from ..transform.magic import magic_sets
+from ..transform.sips import Sips, left_to_right
+from ..transform.supplementary import supplementary_magic_sets
+
+__all__ = ["QueryResult", "available_strategies", "run_strategy"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of evaluating one query under one strategy.
+
+    Attributes:
+        strategy: strategy name.
+        query: the original query atom.
+        answers: ground instances of the query atom, deduplicated, in a
+            deterministic (sorted) order.
+        stats: the shared counter record.
+        calls: for strategies with a call concept, the set of generated
+            subqueries as ``(predicate, adornment, bound-args)`` triples.
+        answer_facts: for those strategies, all derived answers per
+            ``(predicate, adornment)``.
+        transformed: the transformed program, when one was built.
+    """
+
+    strategy: str
+    query: Atom
+    answers: tuple[Atom, ...]
+    stats: EvaluationStats
+    calls: frozenset[tuple] = frozenset()
+    answer_facts: Mapping[tuple[str, str], frozenset[tuple]] = field(
+        default_factory=dict
+    )
+    transformed: TransformedProgram | None = None
+
+    @property
+    def answer_rows(self) -> frozenset[tuple]:
+        """Answers as plain value tuples (order = query argument order)."""
+        return frozenset(atom.ground_key() for atom in self.answers)
+
+
+def _sorted_answers(query: Atom, atoms) -> tuple[Atom, ...]:
+    unique: dict[tuple, Atom] = {}
+    for atom in atoms:
+        unique[atom.ground_key()] = Atom(query.predicate, atom.args)
+    return tuple(
+        unique[key] for key in sorted(unique, key=repr)
+    )
+
+
+def _bottom_up(engine: str):
+    def run(
+        program: Program, query: Atom, database: Database | None
+    ) -> QueryResult:
+        stats = EvaluationStats()
+        completed, _ = stratified_fixpoint(program, database, stats, engine=engine)
+        matching = (
+            atom
+            for atom in completed.atoms(query.predicate)
+            if match_atom(query, atom) is not None
+        )
+        answers = _sorted_answers(query, matching)
+        stats.answers = len(answers)
+        return QueryResult(
+            strategy=engine, query=query, answers=answers, stats=stats
+        )
+
+    return run
+
+
+def _sld(program: Program, query: Atom, database: Database | None) -> QueryResult:
+    engine = SLDEngine(program, database)
+    answers = _sorted_answers(query, engine.query(query))
+    return QueryResult(
+        strategy="sld", query=query, answers=answers, stats=engine.stats
+    )
+
+
+def _oldt(program: Program, query: Atom, database: Database | None) -> QueryResult:
+    engine = OLDTEngine(program, database)
+    raw = engine.query(query)
+    answers = _sorted_answers(query, raw)
+    calls, answer_facts = _oldt_call_summary(engine)
+    return QueryResult(
+        strategy="oldt",
+        query=query,
+        answers=answers,
+        stats=engine.stats,
+        calls=calls,
+        answer_facts=answer_facts,
+    )
+
+
+def _oldt_call_summary(engine: OLDTEngine):
+    """Summarise OLDT tables as (pred, adornment, bound-args) call triples
+    and per-(pred, adornment) answer tuple sets."""
+    calls: set[tuple] = set()
+    answer_facts: dict[tuple[str, str], set[tuple]] = {}
+    for table in engine.tables.values():
+        call = table.call
+        adornment = query_adornment(call)
+        bound = tuple(
+            arg.value
+            for arg, flag in zip(call.args, adornment)
+            if flag == "b"
+        )
+        calls.add((call.predicate, adornment, bound))
+        bucket = answer_facts.setdefault((call.predicate, adornment), set())
+        for answer in table.answers:
+            bucket.add(answer.ground_key())
+    return (
+        frozenset(calls),
+        {key: frozenset(rows) for key, rows in answer_facts.items()},
+    )
+
+
+def _qsqr(program: Program, query: Atom, database: Database | None) -> QueryResult:
+    engine = QSQREngine(program, database)
+    answers = _sorted_answers(query, engine.query(query))
+    return QueryResult(
+        strategy="qsqr", query=query, answers=answers, stats=engine.stats
+    )
+
+
+def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
+    def run(
+        program: Program, query: Atom, database: Database | None
+    ) -> QueryResult:
+        stats = EvaluationStats()
+        working = database.copy() if database is not None else Database()
+        working.add_atoms(program.facts)
+        rules_only = program.without_facts()
+
+        if query.predicate not in rules_only.idb_predicates:
+            # Purely extensional query: answer by lookup.
+            matching = (
+                atom
+                for atom in working.atoms(query.predicate)
+                if match_atom(query, atom) is not None
+            ) if query.predicate in working else ()
+            answers = _sorted_answers(query, matching)
+            stats.answers = len(answers)
+            return QueryResult(
+                strategy=name, query=query, answers=answers, stats=stats
+            )
+
+        # Structured pipeline: materialise strata strictly below the query
+        # predicate's, then rewrite its stratum against the rest as EDB.
+        stratification = stratify(rules_only)
+        query_stratum = None
+        for index, stratum in enumerate(stratification.strata):
+            if query.predicate in stratum.idb_predicates:
+                query_stratum = index
+                break
+        if query_stratum is None:
+            raise TransformError(
+                f"query predicate {query.predicate} not defined in any stratum"
+            )
+        lower = Program(
+            tuple(
+                rule
+                for stratum in stratification.strata[:query_stratum]
+                for rule in stratum.rules
+            )
+        )
+        if lower.proper_rules:
+            working, _ = stratified_fixpoint(lower, working, stats)
+        target = stratification.strata[query_stratum]
+        edb = frozenset(
+            (program.predicates | working.predicates()) - target.idb_predicates
+        )
+        transformed = transform(target, query, sips, edb)
+        evaluation = transformed.evaluation_program()
+        completed, _ = seminaive_fixpoint(evaluation, working, stats)
+
+        goal = transformed.goal
+        matching = (
+            atom
+            for atom in completed.atoms(goal.predicate)
+            if match_atom(goal, atom) is not None
+        )
+        answers = _sorted_answers(query, matching)
+        stats.answers = len(answers)
+        calls, answer_facts = _transform_call_summary(transformed, completed)
+        return QueryResult(
+            strategy=name,
+            query=query,
+            answers=answers,
+            stats=stats,
+            calls=calls,
+            answer_facts=answer_facts,
+            transformed=transformed,
+        )
+
+    return run
+
+
+def _transform_call_summary(
+    transformed: TransformedProgram, completed: Database
+):
+    """Summarise call/magic facts and answer facts of a transformed run."""
+    calls: set[tuple] = set()
+    for call_pred, (predicate, adornment) in transformed.call_predicates.items():
+        for row in completed.rows(call_pred):
+            calls.add((predicate, adornment, row))
+    answer_facts: dict[tuple[str, str], frozenset[tuple]] = {}
+    for ans_pred, (predicate, adornment) in transformed.answer_predicates.items():
+        answer_facts[(predicate, adornment)] = frozenset(
+            completed.rows(ans_pred)
+        )
+    return frozenset(calls), answer_facts
+
+
+_STRATEGIES: dict[str, Callable[[Program, Atom, Database | None], QueryResult]] = {
+    "naive": _bottom_up("naive"),
+    "seminaive": _bottom_up("seminaive"),
+    "sld": _sld,
+    "oldt": _oldt,
+    "qsqr": _qsqr,
+    "magic": _transform_strategy("magic", magic_sets),
+    "supplementary": _transform_strategy("supplementary", supplementary_magic_sets),
+    "alexander": _transform_strategy("alexander", alexander_templates),
+}
+
+
+def available_strategies() -> tuple[str, ...]:
+    """The names accepted by :func:`run_strategy`, in canonical order."""
+    return tuple(_STRATEGIES)
+
+
+def run_strategy(
+    name: str,
+    program: Program,
+    query: Atom,
+    database: Database | None = None,
+    sips: Sips | None = None,
+) -> QueryResult:
+    """Evaluate *query* on *program* + *database* under strategy *name*.
+
+    Args:
+        sips: optional SIPS override, honoured by the transformation
+            strategies only (A1 ablation).
+    """
+    if name not in _STRATEGIES:
+        raise ReproError(
+            f"unknown strategy {name!r}; choose from {available_strategies()}"
+        )
+    if sips is not None and name in ("magic", "supplementary", "alexander"):
+        transform = {
+            "magic": magic_sets,
+            "supplementary": supplementary_magic_sets,
+            "alexander": alexander_templates,
+        }[name]
+        return _transform_strategy(name, transform, sips)(program, query, database)
+    return _STRATEGIES[name](program, query, database)

@@ -1,0 +1,44 @@
+"""The Datalog language kernel: terms, atoms, rules, parsing, unification."""
+
+from .atoms import Atom, Literal
+from .builder import const, pred, variables
+from .builtins import evaluate_builtin, is_builtin
+from .parser import parse_atom, parse_program, parse_query, parse_rule
+from .rules import Program, Rule
+from .terms import Constant, Term, Variable, fresh_variable
+from .unify import (
+    EMPTY_SUBSTITUTION,
+    Substitution,
+    are_variants,
+    match_atom,
+    unify_atoms,
+    unify_terms,
+    variant_key,
+)
+
+__all__ = [
+    "Atom",
+    "Literal",
+    "Program",
+    "Rule",
+    "Constant",
+    "Term",
+    "Variable",
+    "fresh_variable",
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "unify_terms",
+    "unify_atoms",
+    "match_atom",
+    "variant_key",
+    "are_variants",
+    "parse_program",
+    "parse_rule",
+    "parse_atom",
+    "parse_query",
+    "pred",
+    "variables",
+    "const",
+    "is_builtin",
+    "evaluate_builtin",
+]

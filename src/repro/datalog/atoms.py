@@ -1,0 +1,126 @@
+"""Atoms and literals.
+
+An :class:`Atom` is a predicate symbol applied to a tuple of terms.  A
+:class:`Literal` is an atom with a polarity; rule bodies are sequences of
+literals, rule heads are (positive) atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .terms import Constant, Term, Variable
+
+__all__ = ["Atom", "Literal"]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``ancestor(X, bob)``."""
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            # Accept any iterable for convenience; normalise to a tuple so
+            # the dataclass stays hashable.
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> tuple[str, int]:
+        """The ``(predicate, arity)`` pair identifying the relation."""
+        return (self.predicate, len(self.args))
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom, left to right, with repeats."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def variable_set(self) -> frozenset[Variable]:
+        return frozenset(self.variables())
+
+    def is_ground(self) -> bool:
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable binding, returning a new atom.
+
+        Unbound variables are left in place, which is what both resolution
+        engines and the bottom-up matcher need.
+        """
+        if not binding:
+            return self
+        new_args = tuple(
+            binding.get(arg, arg) if isinstance(arg, Variable) else arg for arg in self.args
+        )
+        if new_args == self.args:
+            return self
+        return Atom(self.predicate, new_args)
+
+    def with_predicate(self, predicate: str) -> "Atom":
+        """Return a copy of this atom under a different predicate name."""
+        return Atom(predicate, self.args)
+
+    def ground_key(self) -> tuple[object, ...]:
+        """The tuple of constant values, for storing in a relation.
+
+        Raises:
+            ValueError: if the atom is not ground.
+        """
+        values = []
+        for arg in self.args:
+            if not isinstance(arg, Constant):
+                raise ValueError(f"atom {self} is not ground")
+            values.append(arg.value)
+        return tuple(values)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.predicate}({rendered})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An atom with a polarity.  ``Literal(a, positive=False)`` is ``not a``."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    @property
+    def args(self) -> tuple[Term, ...]:
+        return self.atom.args
+
+    @property
+    def negative(self) -> bool:
+        return not self.positive
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def variable_set(self) -> frozenset[Variable]:
+        return self.atom.variable_set()
+
+    def substitute(self, binding: Mapping[Variable, Term]) -> "Literal":
+        new_atom = self.atom.substitute(binding)
+        if new_atom is self.atom:
+            return self
+        return Literal(new_atom, self.positive)
+
+    def negated(self) -> "Literal":
+        return Literal(self.atom, not self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"

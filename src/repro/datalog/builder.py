@@ -1,0 +1,122 @@
+"""A small programmatic DSL for building rules without string parsing.
+
+Example::
+
+    from repro.datalog.builder import pred, variables
+
+    anc, par = pred("anc"), pred("par")
+    X, Y, Z = variables("X Y Z")
+    rules = [
+        anc(X, Y) <= par(X, Y),
+        anc(X, Y) <= (par(X, Z), anc(Z, Y)),
+    ]
+
+``<=`` builds a :class:`Rule`; ``~literal`` negates; bodies are a single
+literal/atom or a tuple of them.  Plain Python values in argument position
+become constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .atoms import Atom, Literal
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+__all__ = ["pred", "variables", "const", "HeadAtom", "PredicateSymbol"]
+
+
+def _to_term(value: object) -> Term:
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+class BodyLiteral:
+    """A literal usable on the right of ``<=`` and negatable with ``~``."""
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: Literal):
+        self.literal = literal
+
+    def __invert__(self) -> "BodyLiteral":
+        return BodyLiteral(self.literal.negated())
+
+    def __str__(self) -> str:
+        return str(self.literal)
+
+
+class HeadAtom:
+    """An atom usable as a rule head (left of ``<=``) or as a body literal."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+
+    def __le__(self, body: object) -> Rule:
+        return Rule(self.atom, _coerce_body(body))
+
+    def __invert__(self) -> BodyLiteral:
+        return BodyLiteral(Literal(self.atom, positive=False))
+
+    def fact(self) -> Rule:
+        """This atom asserted as a fact (it must be ground)."""
+        return Rule(self.atom, ())
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+def _coerce_body(body: object) -> tuple[Literal, ...]:
+    if isinstance(body, (HeadAtom, BodyLiteral, Atom, Literal)):
+        body = (body,)
+    if not isinstance(body, Sequence):
+        raise TypeError(f"cannot use {body!r} as a rule body")
+    literals: list[Literal] = []
+    for item in body:
+        if isinstance(item, HeadAtom):
+            literals.append(Literal(item.atom))
+        elif isinstance(item, BodyLiteral):
+            literals.append(item.literal)
+        elif isinstance(item, Atom):
+            literals.append(Literal(item))
+        elif isinstance(item, Literal):
+            literals.append(item)
+        else:
+            raise TypeError(f"cannot use {item!r} as a body literal")
+    return tuple(literals)
+
+
+class PredicateSymbol:
+    """A callable predicate name: ``pred('p')(X, 'a')`` makes an atom."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self, *args: object) -> HeadAtom:
+        return HeadAtom(Atom(self.name, tuple(_to_term(arg) for arg in args)))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def pred(name: str) -> PredicateSymbol:
+    """Create a predicate symbol."""
+    return PredicateSymbol(name)
+
+
+def variables(names: str | Iterable[str]) -> tuple[Variable, ...]:
+    """Create variables from a space-separated string or an iterable."""
+    if isinstance(names, str):
+        names = names.split()
+    return tuple(Variable(name) for name in names)
+
+
+def const(value: object) -> Constant:
+    """Create a constant term explicitly (plain values auto-convert)."""
+    return Constant(value)

@@ -1,0 +1,113 @@
+"""Built-in comparison predicates.
+
+Datalog programs may use a small set of *test* predicates that are
+evaluated computationally instead of being looked up in a relation:
+
+=========  =======  =========================================
+predicate  infix    holds when
+=========  =======  =========================================
+``eq``     ``=``    the two values are equal
+``neq``    ``!=``   the two values differ
+``lt``     ``<``    left < right (same-type, orderable)
+``leq``    ``<=``   left <= right
+``gt``     ``>``    left > right
+``geq``    ``>=``   left >= right
+=========  =======  =========================================
+
+Built-ins never *bind* variables: every argument must be bound by a
+positive ordinary literal before the test runs (the safety checker
+enforces this, and the body-ordering machinery delays tests until their
+variables are bound, exactly as it does for negative literals).
+
+Ordering comparisons between values of different types (``lt(1, "a")``)
+raise :class:`~repro.errors.EvaluationError` rather than inheriting
+Python 2-style cross-type ordering silently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import EvaluationError
+
+__all__ = [
+    "BUILTIN_PREDICATES",
+    "INFIX_OPERATORS",
+    "is_builtin",
+    "evaluate_builtin",
+]
+
+
+def _comparable(left: object, right: object, operator: str) -> None:
+    left_numeric = isinstance(left, int)  # bool is an int subtype
+    right_numeric = isinstance(right, int)
+    if left_numeric and right_numeric:
+        return
+    if not left_numeric and not right_numeric and type(left) is type(right):
+        return
+    raise EvaluationError(
+        f"cannot order {left!r} {operator} {right!r}: incompatible types"
+    )
+
+
+def _lt(left: object, right: object) -> bool:
+    _comparable(left, right, "<")
+    return left < right  # type: ignore[operator]
+
+
+def _leq(left: object, right: object) -> bool:
+    _comparable(left, right, "<=")
+    return left <= right  # type: ignore[operator]
+
+
+def _gt(left: object, right: object) -> bool:
+    _comparable(left, right, ">")
+    return left > right  # type: ignore[operator]
+
+
+def _geq(left: object, right: object) -> bool:
+    _comparable(left, right, ">=")
+    return left >= right  # type: ignore[operator]
+
+
+BUILTIN_PREDICATES: Mapping[str, Callable[[object, object], bool]] = {
+    "eq": lambda left, right: left == right,
+    "neq": lambda left, right: left != right,
+    "lt": _lt,
+    "leq": _leq,
+    "gt": _gt,
+    "geq": _geq,
+}
+
+# Infix surface syntax -> builtin predicate name (used by the parser).
+INFIX_OPERATORS: Mapping[str, str] = {
+    "=": "eq",
+    "!=": "neq",
+    "<": "lt",
+    "<=": "leq",
+    ">": "gt",
+    ">=": "geq",
+}
+
+
+def is_builtin(predicate: str) -> bool:
+    """True iff *predicate* is a built-in test."""
+    return predicate in BUILTIN_PREDICATES
+
+
+def evaluate_builtin(predicate: str, values: tuple) -> bool:
+    """Evaluate a built-in on fully bound argument values.
+
+    Raises:
+        EvaluationError: unknown builtin, wrong arity, or incomparable
+            operands for an ordering test.
+    """
+    try:
+        function = BUILTIN_PREDICATES[predicate]
+    except KeyError:
+        raise EvaluationError(f"unknown builtin {predicate}") from None
+    if len(values) != 2:
+        raise EvaluationError(
+            f"builtin {predicate} expects 2 arguments, got {len(values)}"
+        )
+    return function(values[0], values[1])

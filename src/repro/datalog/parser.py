@@ -1,0 +1,298 @@
+"""A recursive-descent parser for textual Datalog.
+
+Grammar (facts are body-less rules; ``%`` and ``#`` start line comments)::
+
+    program   ::= statement*
+    statement ::= atom "."                      (fact)
+                | atom ":-" body "."            (rule)
+    body      ::= literal ("," literal)*
+    literal   ::= ("not" | "\\+") atom | atom
+    atom      ::= IDENT ( "(" term ("," term)* ")" )?
+    term      ::= VARIABLE | IDENT | INTEGER | STRING
+    query     ::= atom "?"?                     (via parse_query)
+
+Variables start with an uppercase letter or ``_``; identifiers starting
+with a lowercase letter are constants or predicate names; integers and
+double-quoted strings are constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+from .atoms import Atom, Literal
+from .builtins import INFIX_OPERATORS
+from .rules import Program, Rule
+from .terms import Constant, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "parse_query", "tokenize"]
+
+_PUNCTUATION = {
+    ":-": "IMPLIES",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    "?": "QUESTION",
+    "\\+": "NOT",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # IDENT, VARIABLE, INTEGER, STRING, or a punctuation kind
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[_Token]:
+    """Yield tokens with 1-based line/column positions."""
+    line, column = 1, 1
+    index, length = 0, len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            column += 1
+            continue
+        if char in "%#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if text.startswith(":-", index):
+            yield _Token("IMPLIES", ":-", line, column)
+            index += 2
+            column += 2
+            continue
+        if text.startswith("\\+", index):
+            yield _Token("NOT", "\\+", line, column)
+            index += 2
+            column += 2
+            continue
+        if text[index : index + 2] in ("<=", ">=", "!="):
+            yield _Token("OP", text[index : index + 2], line, column)
+            index += 2
+            column += 2
+            continue
+        if char in "<>=":
+            yield _Token("OP", char, line, column)
+            index += 1
+            column += 1
+            continue
+        if char in "(),.?":
+            yield _Token(_PUNCTUATION[char], char, line, column)
+            index += 1
+            column += 1
+            continue
+        if char == '"':
+            start_line, start_column = line, column
+            index += 1
+            column += 1
+            chunks: list[str] = []
+            while index < length and text[index] != '"':
+                if text[index] == "\\" and index + 1 < length:
+                    chunks.append(text[index + 1])
+                    index += 2
+                    column += 2
+                    continue
+                if text[index] == "\n":
+                    raise ParseError("unterminated string", start_line, start_column)
+                chunks.append(text[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise ParseError("unterminated string", start_line, start_column)
+            index += 1  # closing quote
+            column += 1
+            yield _Token("STRING", "".join(chunks), start_line, start_column)
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length and text[index + 1].isdigit()):
+            start = index
+            start_column = column
+            index += 1
+            column += 1
+            while index < length and text[index].isdigit():
+                index += 1
+                column += 1
+            yield _Token("INTEGER", text[start:index], line, start_column)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+                column += 1
+            word = text[start:index]
+            if word == "not":
+                yield _Token("NOT", word, line, start_column)
+            elif word[0].isupper() or word[0] == "_":
+                yield _Token("VARIABLE", word, line, start_column)
+            else:
+                yield _Token("IDENT", word, line, start_column)
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, column)
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, text: str):
+        self._tokens = list(tokenize(text))
+        self._position = 0
+        self._anon_counter = 0
+
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    # --- grammar productions ------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "VARIABLE":
+            if token.text == "_":
+                # Each anonymous variable is distinct, as in Prolog.
+                self._anon_counter += 1
+                return Variable(f"_anon#{self._anon_counter}")
+            return Variable(token.text)
+        if token.kind == "IDENT":
+            return Constant(token.text)
+        if token.kind == "INTEGER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+    def parse_atom(self) -> Atom:
+        token = self._expect("IDENT")
+        predicate = token.text
+        args: list[Term] = []
+        if self._accept("LPAREN"):
+            args.append(self.parse_term())
+            while self._accept("COMMA"):
+                args.append(self.parse_term())
+            self._expect("RPAREN")
+        return Atom(predicate, tuple(args))
+
+    def _peek_second(self) -> _Token | None:
+        if self._position + 1 < len(self._tokens):
+            return self._tokens[self._position + 1]
+        return None
+
+    def _at_comparison(self) -> bool:
+        """True when the cursor starts an infix comparison (``X < Y``)."""
+        first = self._peek()
+        if first is None:
+            return False
+        if first.kind in ("VARIABLE", "INTEGER", "STRING"):
+            return True
+        if first.kind == "IDENT":
+            second = self._peek_second()
+            return second is not None and second.kind == "OP"
+        return False
+
+    def parse_comparison(self) -> Atom:
+        left = self.parse_term()
+        operator = self._expect("OP")
+        right = self.parse_term()
+        return Atom(INFIX_OPERATORS[operator.text], (left, right))
+
+    def parse_literal(self) -> Literal:
+        positive = not self._accept("NOT")
+        if self._at_comparison():
+            return Literal(self.parse_comparison(), positive=positive)
+        return Literal(self.parse_atom(), positive=positive)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Literal] = []
+        if self._accept("IMPLIES"):
+            body.append(self.parse_literal())
+            while self._accept("COMMA"):
+                body.append(self.parse_literal())
+        self._expect("DOT")
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while not self.exhausted:
+            rules.append(self.parse_rule())
+        return Program(rules)
+
+
+def parse_program(text: str) -> Program:
+    """Parse Datalog source text into a :class:`Program`."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (or fact), which must consume the whole input."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.exhausted:
+        token = parser._peek()
+        raise ParseError(
+            f"trailing input after rule: {token.text!r}", token.line, token.column
+        )
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, which must consume the whole input."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.exhausted:
+        token = parser._peek()
+        raise ParseError(
+            f"trailing input after atom: {token.text!r}", token.line, token.column
+        )
+    return atom
+
+
+def parse_query(text: str) -> Atom:
+    """Parse a query: an atom with an optional trailing ``?`` or ``.``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.exhausted and parser._accept("QUESTION") is None:
+        parser._accept("DOT")
+    if not parser.exhausted:
+        token = parser._peek()
+        raise ParseError(
+            f"trailing input after query: {token.text!r}", token.line, token.column
+        )
+    return atom

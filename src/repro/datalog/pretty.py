@@ -1,0 +1,101 @@
+"""Pretty-printing helpers for programs, answers, and statistics.
+
+The ``str`` implementations on terms/atoms/rules already render
+re-parseable Datalog; this module adds multi-line program formatting,
+answer-set rendering, and alignment helpers shared by the CLI and the
+bench reporting layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Atom
+from .rules import Program, Rule
+from .terms import Constant, Variable
+
+__all__ = [
+    "format_program",
+    "format_rule",
+    "format_atom",
+    "format_answers",
+    "format_bindings",
+]
+
+
+def format_rule(rule: Rule) -> str:
+    """Render a rule; long bodies wrap one literal per line."""
+    if not rule.body:
+        return str(rule)
+    single_line = str(rule)
+    if len(single_line) <= 79:
+        return single_line
+    head = str(rule.head)
+    indent = " " * 4
+    body = (",\n" + indent).join(str(lit) for lit in rule.body)
+    return f"{head} :-\n{indent}{body}."
+
+
+def format_program(program: Program, group_by_head: bool = True) -> str:
+    """Render a program, optionally grouping rules by head predicate."""
+    if not group_by_head:
+        return "\n".join(format_rule(rule) for rule in program)
+    sections: list[str] = []
+    facts = [str(rule) for rule in program if not rule.body]
+    if facts:
+        sections.append("\n".join(facts))
+    seen: list[str] = []
+    for rule in program.proper_rules:
+        if rule.head.predicate not in seen:
+            seen.append(rule.head.predicate)
+    for predicate in seen:
+        block = "\n".join(
+            format_rule(rule) for rule in program.rules_for(predicate)
+        )
+        sections.append(block)
+    return "\n\n".join(sections)
+
+
+def format_atom(atom: Atom) -> str:
+    return str(atom)
+
+
+def format_answers(answers: Iterable[Atom], limit: int | None = None) -> str:
+    """Render a set of ground answer atoms, sorted for stable output."""
+    rendered = sorted(str(atom) for atom in answers)
+    total = len(rendered)
+    if limit is not None and total > limit:
+        shown = rendered[:limit]
+        shown.append(f"... ({total - limit} more)")
+        rendered = shown
+    return "\n".join(rendered) if rendered else "(no answers)"
+
+
+def format_bindings(
+    query: Atom, answers: Iterable[Atom], limit: int | None = None
+) -> str:
+    """Render answers as variable bindings against the query pattern.
+
+    For a query ``anc(alice, X)`` and answer ``anc(alice, bob)``, yields
+    the row ``X = bob``.  Ground queries render as ``true`` / ``false``.
+    """
+    variable_positions = [
+        (index, arg)
+        for index, arg in enumerate(query.args)
+        if isinstance(arg, Variable)
+    ]
+    answer_list = list(answers)
+    if not variable_positions:
+        return "true" if answer_list else "false"
+    rows = []
+    for atom in answer_list:
+        cells = ", ".join(
+            f"{var.name} = {atom.args[index]}" for index, var in variable_positions
+        )
+        rows.append(cells)
+    rows.sort()
+    total = len(rows)
+    if limit is not None and total > limit:
+        rows = rows[:limit]
+        rows.append(f"... ({total - limit} more)")
+    return "\n".join(rows) if rows else "(no answers)"

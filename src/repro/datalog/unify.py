@@ -1,0 +1,221 @@
+"""Substitutions, unification, matching, and variant testing.
+
+Because the language is function-free, unification needs no occurs check
+and substitutions never map a variable to a compound term; composition and
+application stay linear in the atom size.  The OLDT engine additionally
+needs *variant* testing (equality up to variable renaming), which is what
+keys its call table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom, Literal
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "unify_terms",
+    "unify_atoms",
+    "match_atom",
+    "subsumes",
+    "variant_key",
+    "are_variants",
+]
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable variable binding.
+
+    Bindings are kept *resolved*: no bound variable ever maps to another
+    variable that is itself bound.  ``bind`` and ``compose`` maintain this
+    invariant, which makes ``resolve`` a single dictionary hop.
+    """
+
+    __slots__ = ("_binding",)
+
+    def __init__(self, binding: Mapping[Variable, Term] | None = None):
+        self._binding: dict[Variable, Term] = dict(binding) if binding else {}
+
+    # --- Mapping interface -------------------------------------------------
+    def __getitem__(self, var: Variable) -> Term:
+        return self._binding[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._binding)
+
+    def __len__(self) -> int:
+        return len(self._binding)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var}={term}" for var, term in sorted(
+            self._binding.items(), key=lambda item: item[0].name))
+        return f"{{{inner}}}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._binding == other._binding
+        if isinstance(other, Mapping):
+            return self._binding == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._binding.items()))
+
+    # --- operations --------------------------------------------------------
+    def resolve(self, term: Term) -> Term:
+        """Apply the binding to a single term."""
+        if isinstance(term, Variable):
+            return self._binding.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        return atom.substitute(self._binding)
+
+    def apply_literal(self, literal: Literal) -> Literal:
+        return literal.substitute(self._binding)
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Extend with ``var -> term``; term is resolved first.
+
+        The existing bindings that mention *var* are rewritten so the
+        resolved-form invariant is preserved.
+        """
+        term = self.resolve(term)
+        if term == var:
+            return self
+        updated = {
+            key: (term if value == var else value)
+            for key, value in self._binding.items()
+        }
+        updated[var] = term
+        return Substitution(updated)
+
+    def compose(self, later: "Substitution") -> "Substitution":
+        """The substitution equivalent to applying self, then *later*."""
+        combined: dict[Variable, Term] = {}
+        for var, term in self._binding.items():
+            combined[var] = later.resolve(term)
+        for var, term in later.items():
+            combined.setdefault(var, term)
+        return Substitution(combined)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Project the binding onto *variables*."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._binding.items() if v in keep})
+
+    def is_ground_for(self, atom: Atom) -> bool:
+        """True iff applying self grounds every variable of *atom*."""
+        return all(
+            isinstance(self.resolve(arg), Constant)
+            for arg in atom.args
+        )
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def unify_terms(
+    left: Term, right: Term, subst: Substitution = EMPTY_SUBSTITUTION
+) -> Optional[Substitution]:
+    """Unify two terms under an existing substitution.
+
+    Returns the extended substitution, or ``None`` on clash.
+    """
+    left = subst.resolve(left)
+    right = subst.resolve(right)
+    if left == right:
+        return subst
+    if isinstance(left, Variable):
+        return subst.bind(left, right)
+    if isinstance(right, Variable):
+        return subst.bind(right, left)
+    return None  # two distinct constants
+
+
+def unify_atoms(
+    left: Atom, right: Atom, subst: Substitution = EMPTY_SUBSTITUTION
+) -> Optional[Substitution]:
+    """Most general unifier of two atoms, or ``None``.
+
+    The caller is responsible for renaming apart when the atoms may share
+    variables that must be treated as distinct.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    current: Optional[Substitution] = subst
+    for l_arg, r_arg in zip(left.args, right.args):
+        current = unify_terms(l_arg, r_arg, current)
+        if current is None:
+            return None
+    return current
+
+
+def match_atom(pattern: Atom, ground: Atom) -> Optional[Substitution]:
+    """One-way matching: bind *pattern*'s variables so it equals *ground*.
+
+    *ground* must be ground.  Used by the bottom-up matcher, where facts
+    never contain variables, so full unification is unnecessary.
+    """
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    binding: dict[Variable, Term] = {}
+    for p_arg, g_arg in zip(pattern.args, ground.args):
+        if isinstance(p_arg, Variable):
+            bound = binding.get(p_arg)
+            if bound is None:
+                binding[p_arg] = g_arg
+            elif bound != g_arg:
+                return None
+        elif p_arg != g_arg:
+            return None
+    return Substitution(binding)
+
+
+def subsumes(general: Atom, special: Atom) -> Optional[Substitution]:
+    """One-way subsumption: bind *general*'s variables so it equals *special*.
+
+    *special*'s variables are treated as frozen symbols (they may not be
+    bound), so ``p(X, Y)`` subsumes ``p(a, Z)`` but ``p(a, X)`` does not
+    subsume ``p(Y, b)``.  Used by subsumption-based tabling: a tabled call
+    that subsumes a new call can answer it.
+    """
+    if general.predicate != special.predicate or general.arity != special.arity:
+        return None
+    binding: dict[Variable, Term] = {}
+    for g_arg, s_arg in zip(general.args, special.args):
+        if isinstance(g_arg, Variable):
+            bound = binding.get(g_arg)
+            if bound is None:
+                binding[g_arg] = s_arg
+            elif bound != s_arg:
+                return None
+        elif g_arg != s_arg:
+            return None
+    return Substitution(binding)
+
+
+def variant_key(atom: Atom) -> tuple:
+    """A canonical key equal for exactly the variants of *atom*.
+
+    Variables are numbered in order of first occurrence, so
+    ``p(X, Y, X)`` and ``p(A, B, A)`` share a key while ``p(X, X, Y)``
+    does not.  This is the call-table key of the OLDT engine.
+    """
+    numbering: dict[Variable, int] = {}
+    parts: list[object] = [atom.predicate]
+    for arg in atom.args:
+        if isinstance(arg, Variable):
+            index = numbering.setdefault(arg, len(numbering))
+            parts.append(("var", index))
+        else:
+            parts.append(("const", arg.value))
+    return tuple(parts)
+
+
+def are_variants(left: Atom, right: Atom) -> bool:
+    """True iff the atoms are equal up to consistent variable renaming."""
+    return variant_key(left) == variant_key(right)

@@ -1,0 +1,182 @@
+"""Incremental maintenance of the derived database under fact insertion.
+
+:class:`IncrementalEngine` keeps a program's fixpoint materialised and,
+when a new extensional fact arrives, continues the semi-naive iteration
+from a singleton delta instead of recomputing from scratch — the textbook
+insertion half of incremental view maintenance (the deletion half, DRed,
+needs derivation counting and is out of scope; ``remove`` falls back to
+recomputation and says so in its docstring).
+
+Restricted to negation-free programs: an insertion can only *grow* a
+positive program's model (monotonicity), which is what makes the delta
+continuation sound.  Stratified programs with negation are rejected at
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_query
+from ..datalog.rules import Program
+from ..datalog.terms import Constant
+from ..datalog.unify import match_atom
+from ..errors import ProgramError
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .counters import EvaluationStats
+from .matching import CompiledRule, compile_rule, match_body
+from .seminaive import seminaive_fixpoint
+
+__all__ = ["IncrementalEngine"]
+
+Fact = tuple[str, tuple]
+
+
+class IncrementalEngine:
+    """A continuously materialised fixpoint over a positive program."""
+
+    def __init__(self, program: Program, database: Database | None = None):
+        for rule in program.proper_rules:
+            for literal in rule.body:
+                if literal.negative:
+                    raise ProgramError(
+                        "IncrementalEngine requires a negation-free "
+                        f"program; offending rule: {rule}"
+                    )
+        self._program = program.without_facts()
+        self._compiled: list[CompiledRule] = [
+            compile_rule(rule) for rule in self._program.proper_rules
+        ]
+        self.stats = EvaluationStats()
+        initial = database.copy() if database is not None else Database()
+        initial.add_atoms(program.facts)
+        self._working, _ = seminaive_fixpoint(self._program, initial, self.stats)
+
+    # --- read access ------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The materialised database (EDB plus all derived facts)."""
+        return self._working
+
+    def holds(self, atom: Atom | str) -> bool:
+        if isinstance(atom, str):
+            atom = parse_query(atom)
+        return self._working.has_fact(atom)
+
+    def query(self, goal: Atom | str) -> list[Atom]:
+        """Matching facts straight out of the materialisation (no work)."""
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        return sorted(
+            (
+                atom
+                for atom in self._working.atoms(goal.predicate)
+                if match_atom(goal, atom) is not None
+            )
+            if goal.predicate in self._working
+            else [],
+            key=str,
+        )
+
+    # --- mutation ---------------------------------------------------------------
+    def add(self, atom: Atom | str) -> frozenset[Fact]:
+        """Insert one fact; returns every fact that became newly derivable
+        (including the inserted one), empty when it was already present."""
+        if isinstance(atom, str):
+            atom = parse_query(atom)
+        row = atom.ground_key()
+        if not self._working.add(atom.predicate, row):
+            return frozenset()
+        new_facts: set[Fact] = {(atom.predicate, row)}
+        arities = dict(self._program.arities)
+        arities.setdefault(atom.predicate, atom.arity)
+
+        delta: dict[str, Relation] = {
+            atom.predicate: Relation(atom.predicate, atom.arity, [row])
+        }
+        while delta:
+            self.stats.iterations += 1
+            # old = working minus current delta, per delta predicate.
+            old: dict[str, Relation] = {}
+            for predicate, delta_relation in delta.items():
+                snapshot = Relation(predicate, delta_relation.arity)
+                delta_rows = delta_relation.rows()
+                for existing in self._working.relation(predicate):
+                    if existing not in delta_rows:
+                        snapshot.add(existing)
+                old[predicate] = snapshot
+            new_delta: dict[str, Relation] = {}
+            for compiled in self._compiled:
+                positions = [
+                    index
+                    for index, literal in enumerate(compiled.body)
+                    if literal.positive and literal.predicate in delta
+                ]
+                for position in positions:
+                    delta_relation = delta[compiled.body[position].predicate]
+
+                    def view(pos: int, predicate: str) -> Relation | None:
+                        if pos == position:
+                            return delta_relation
+                        if pos > position and predicate in old:
+                            return old[predicate]
+                        try:
+                            return self._working.relation(predicate)
+                        except KeyError:
+                            return None
+
+                    for binding in match_body(compiled, view, self.stats):
+                        self.stats.inferences += 1
+                        head_row = compiled.head_tuple(binding)
+                        head_pred = compiled.head_predicate
+                        relation = self._working.relation(
+                            head_pred, arities.get(head_pred)
+                        )
+                        if head_row in relation:
+                            continue
+                        bucket = new_delta.setdefault(
+                            head_pred, Relation(head_pred, len(head_row))
+                        )
+                        bucket.add(head_row)
+            for predicate, bucket in new_delta.items():
+                for new_row in bucket:
+                    if self._working.add(predicate, new_row):
+                        self.stats.facts_derived += 1
+                        new_facts.add((predicate, new_row))
+            delta = {p: r for p, r in new_delta.items() if r}
+        return frozenset(new_facts)
+
+    def add_many(self, atoms: Iterable[Atom | str]) -> frozenset[Fact]:
+        """Insert several facts; returns the union of the new derivations."""
+        new_facts: set[Fact] = set()
+        for atom in atoms:
+            new_facts |= self.add(atom)
+        return frozenset(new_facts)
+
+    def remove(self, atom: Atom | str) -> bool:
+        """Delete a base fact and *recompute* the fixpoint.
+
+        Deletion of derived facts needs over-deletion/re-derivation (DRed)
+        or counting to be incremental; this implementation recomputes,
+        trading speed for simplicity, and returns True iff the fact was a
+        stored base fact.  Deleting a derived fact is refused.
+        """
+        if isinstance(atom, str):
+            atom = parse_query(atom)
+        if atom.predicate in self._program.idb_predicates:
+            raise ProgramError(
+                f"cannot remove derived fact {atom}; remove base facts only"
+            )
+        if atom.predicate not in self._working:
+            return False
+        relation = self._working.relation(atom.predicate)
+        if not relation.discard(atom.ground_key()):
+            return False
+        # Rebuild from the remaining base facts.
+        base = self._working.restrict(
+            self._working.predicates() - self._program.idb_predicates
+        )
+        self._working, _ = seminaive_fixpoint(self._program, base, self.stats)
+        return True

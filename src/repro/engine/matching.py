@@ -1,0 +1,310 @@
+"""Rule compilation and body matching for the bottom-up engines.
+
+Rules are compiled once into an index-friendly form: each literal becomes a
+pattern over column positions, classified as constants, first occurrences
+of a variable (which bind), or repeated occurrences (which filter).  The
+matcher then enumerates substitutions (dicts mapping
+:class:`~repro.datalog.terms.Variable` to plain constant *values*) by
+index-nested-loop joins against :class:`~repro.facts.relation.Relation`
+objects.
+
+Negative literals are checked by absence once all their variables are
+bound; the compiler orders them after the positive literals that bind
+them (a safety analysis elsewhere guarantees such an order exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.builtins import evaluate_builtin, is_builtin
+from ..datalog.rules import Rule
+from ..datalog.terms import Constant, Variable
+from ..errors import SafetyError
+from ..facts.relation import Relation
+from .counters import EvaluationStats
+
+__all__ = [
+    "CompiledLiteral",
+    "CompiledRule",
+    "compile_rule",
+    "match_body",
+    "RelationView",
+]
+
+# A view maps a (body position, predicate name) pair to the relation that
+# position should read, or None when the relation is empty/unknown.  The
+# position argument lets the semi-naive engine give the distinguished delta
+# occurrence a different relation than the full/old occurrences.
+RelationView = Callable[[int, str], "Relation | None"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledLiteral:
+    """One body literal in matcher form.
+
+    Attributes:
+        predicate: relation to probe.
+        positive: literal polarity.
+        constants: (column, value) pairs that must match exactly.
+        binders: (column, variable) pairs where the variable first occurs
+            within this literal (they extend the binding).
+        filters: (column, variable) pairs where the variable occurred
+            earlier in this literal (equality filter within the row).
+        source: the original literal, for diagnostics.
+    """
+
+    predicate: str
+    positive: bool
+    constants: tuple[tuple[int, object], ...]
+    binders: tuple[tuple[int, Variable], ...]
+    filters: tuple[tuple[int, Variable], ...]
+    source: Literal
+    builtin: bool = False
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(var for _, var in self.binders + self.filters)
+
+    @property
+    def is_test(self) -> bool:
+        """Tests (negatives and built-ins) check; they never bind."""
+        return self.builtin or not self.positive
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledRule:
+    """A rule with its body ordered for left-to-right evaluation.
+
+    ``head_pattern`` entries are either ``("c", value)`` or
+    ``("v", Variable)``; building a head tuple from a complete binding is a
+    single comprehension.
+    """
+
+    rule: Rule
+    head_predicate: str
+    head_pattern: tuple[tuple[str, object], ...]
+    body: tuple[CompiledLiteral, ...]
+
+    def head_tuple(self, binding: Mapping[Variable, object]) -> tuple:
+        return tuple(
+            value if kind == "c" else binding[value]
+            for kind, value in self.head_pattern
+        )
+
+
+def _compile_literal(literal: Literal) -> CompiledLiteral:
+    constants: list[tuple[int, object]] = []
+    binders: list[tuple[int, Variable]] = []
+    filters: list[tuple[int, Variable]] = []
+    seen_here: set[Variable] = set()
+    for column, arg in enumerate(literal.args):
+        if isinstance(arg, Constant):
+            constants.append((column, arg.value))
+        elif arg in seen_here:
+            filters.append((column, arg))
+        else:
+            seen_here.add(arg)
+            binders.append((column, arg))
+    return CompiledLiteral(
+        predicate=literal.predicate,
+        positive=literal.positive,
+        constants=tuple(constants),
+        binders=tuple(binders),
+        filters=tuple(filters),
+        source=literal,
+        builtin=is_builtin(literal.predicate),
+    )
+
+
+def order_body(body: Sequence[Literal], rule: Rule | None = None) -> tuple[Literal, ...]:
+    """Order body literals so every *test* literal is fully bound.
+
+    Tests — negative literals and built-in comparisons — check but never
+    bind, so each is placed at the earliest point where all its variables
+    are bound by preceding binding literals; the binding literals keep
+    their given relative order (the transformations in this library emit
+    bodies in binding-propagation order already).
+
+    Raises:
+        SafetyError: when some test literal has a variable that occurs
+            in no binding literal.
+    """
+    positives = [
+        lit for lit in body if lit.positive and not is_builtin(lit.predicate)
+    ]
+    negatives = [
+        lit for lit in body if lit.negative or is_builtin(lit.predicate)
+    ]
+    available: set[Variable] = set()
+    ordered: list[Literal] = []
+    pending = list(negatives)
+
+    def flush() -> None:
+        nonlocal pending
+        still_pending = []
+        for negative in pending:
+            if negative.variable_set() <= available:
+                ordered.append(negative)
+            else:
+                still_pending.append(negative)
+        pending = still_pending
+
+    flush()  # ground negatives may run before any positive literal
+    for literal in positives:
+        ordered.append(literal)
+        available.update(literal.variables())
+        flush()
+    for negative in pending:
+        if negative.variable_set():
+            missing = negative.variable_set() - available
+            if missing:
+                where = f" in rule {rule}" if rule is not None else ""
+                names = ", ".join(sorted(v.name for v in missing))
+                raise SafetyError(
+                    f"negative literal {negative} has unbound variables "
+                    f"{names}{where}"
+                )
+        ordered.append(negative)
+    return tuple(ordered)
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile a rule for bottom-up matching.
+
+    The head must be range-restricted: every head variable must occur in
+    some positive body literal.
+    """
+    ordered = order_body(rule.body, rule)
+    bound: set[Variable] = set()
+    compiled: list[CompiledLiteral] = []
+    for literal in ordered:
+        compiled.append(_compile_literal(literal))
+        if literal.positive:
+            bound.update(literal.variables())
+    head_pattern: list[tuple[str, object]] = []
+    for arg in rule.head.args:
+        if isinstance(arg, Constant):
+            head_pattern.append(("c", arg.value))
+        else:
+            if arg not in bound:
+                raise SafetyError(
+                    f"head variable {arg} of rule {rule} does not occur "
+                    "in any positive body literal"
+                )
+            head_pattern.append(("v", arg))
+    return CompiledRule(
+        rule=rule,
+        head_predicate=rule.head.predicate,
+        head_pattern=tuple(head_pattern),
+        body=tuple(compiled),
+    )
+
+
+def _match_positive(
+    literal: CompiledLiteral,
+    relation: Relation,
+    binding: dict[Variable, object],
+    stats: EvaluationStats,
+) -> Iterator[dict[Variable, object]]:
+    bound_columns: dict[int, object] = dict(literal.constants)
+    unbound: list[tuple[int, Variable]] = []
+    for column, var in literal.binders:
+        if var in binding:
+            bound_columns[column] = binding[var]
+        else:
+            unbound.append((column, var))
+    for row in relation.lookup(bound_columns):
+        stats.attempts += 1
+        # Repeated variables within the literal: binders extend, filters
+        # check equality against the value bound earlier in this same row.
+        extended = dict(binding)
+        for column, var in unbound:
+            extended[var] = row[column]
+        ok = True
+        for column, var in literal.filters:
+            if extended.get(var) != row[column]:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+def _literal_values(
+    literal: CompiledLiteral, binding: Mapping[Variable, object]
+) -> tuple:
+    """The literal's fully bound argument values under *binding*."""
+    row: dict[int, object] = dict(literal.constants)
+    for column, var in literal.binders + literal.filters:
+        row[column] = binding[var]
+    return tuple(row[column] for column in range(len(row)))
+
+
+def _check_builtin(
+    literal: CompiledLiteral, binding: Mapping[Variable, object]
+) -> bool:
+    """Evaluate a built-in test literal; polarity applied."""
+    holds = evaluate_builtin(literal.predicate, _literal_values(literal, binding))
+    return holds if literal.positive else not holds
+
+
+def _check_negative(
+    literal: CompiledLiteral,
+    relation: Relation | None,
+    binding: Mapping[Variable, object],
+) -> bool:
+    """True iff the (fully bound) negative literal holds, i.e. no row matches."""
+    row: dict[int, object] = {}
+    for column, value in literal.constants:
+        row[column] = value
+    for column, var in literal.binders + literal.filters:
+        row[column] = binding[var]
+    if relation is None:
+        return True
+    probe = tuple(row[column] for column in range(relation.arity))
+    return probe not in relation
+
+
+def match_body(
+    compiled: CompiledRule,
+    view: RelationView,
+    stats: EvaluationStats,
+    binding: dict[Variable, object] | None = None,
+    from_literal: int = 0,
+) -> Iterator[dict[Variable, object]]:
+    """Enumerate bindings satisfying the body from *from_literal* on.
+
+    Args:
+        compiled: the compiled rule.
+        view: maps (body position, predicate name) to the relation that
+            position should read (see :data:`RelationView`).
+        stats: attempt counters are charged here.
+        binding: the binding accumulated so far (empty at the top call).
+        from_literal: index into ``compiled.body`` to start from.
+    """
+    if binding is None:
+        binding = {}
+    position = from_literal
+    # Resolve the run of test literals (negatives, built-ins) iteratively.
+    while position < len(compiled.body) and compiled.body[position].is_test:
+        literal = compiled.body[position]
+        stats.attempts += 1
+        if literal.builtin:
+            if not _check_builtin(literal, binding):
+                return
+        else:
+            relation = view(position, literal.predicate)
+            if not _check_negative(literal, relation, binding):
+                return
+        position += 1
+    if position == len(compiled.body):
+        yield binding
+        return
+    literal = compiled.body[position]
+    relation = view(position, literal.predicate)
+    if relation is None:
+        return
+    for extended in _match_positive(literal, relation, binding, stats):
+        yield from match_body(compiled, view, stats, extended, position + 1)

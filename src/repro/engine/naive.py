@@ -1,0 +1,92 @@
+"""Naive bottom-up fixpoint evaluation.
+
+The textbook T_P iteration: every rule is re-evaluated against the whole
+database each round until a round derives nothing new.  Kept primarily as
+the correctness oracle and the A2-ablation baseline for the semi-naive
+engine; all production paths use :mod:`repro.engine.seminaive`.
+
+Negation is *not* handled here (a run of a single stratum must be
+negation-free or have its negative literals refer only to relations that
+are already complete); :mod:`repro.engine.stratified` layers strata on top
+of either fixpoint engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalog.rules import Program
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .counters import EvaluationStats
+from .matching import CompiledRule, compile_rule, match_body
+
+__all__ = ["naive_fixpoint", "apply_rules_once"]
+
+
+def _full_view(database: Database):
+    """A RelationView reading every position from *database*."""
+
+    def view(position: int, predicate: str) -> Relation | None:
+        try:
+            return database.relation(predicate)
+        except KeyError:
+            return None
+
+    return view
+
+
+def apply_rules_once(
+    compiled_rules: Sequence[CompiledRule],
+    database: Database,
+    stats: EvaluationStats,
+) -> list[tuple[str, tuple]]:
+    """One T_P application: all head tuples derivable in a single step.
+
+    Facts are *collected*, not inserted, so the caller controls whether the
+    application is inflationary (naive engine) or not (tests that check the
+    operator itself).
+    """
+    view = _full_view(database)
+    produced: list[tuple[str, tuple]] = []
+    for compiled in compiled_rules:
+        for binding in match_body(compiled, view, stats):
+            stats.inferences += 1
+            produced.append((compiled.head_predicate, compiled.head_tuple(binding)))
+    return produced
+
+
+def naive_fixpoint(
+    program: Program,
+    database: Database | None = None,
+    stats: EvaluationStats | None = None,
+) -> tuple[Database, EvaluationStats]:
+    """Evaluate *program* to fixpoint naively.
+
+    Args:
+        program: rules to evaluate; embedded ground facts are loaded too.
+        database: extensional facts; copied, never mutated.
+        stats: optional counter record to accumulate into.
+
+    Returns:
+        The completed database (EDB plus all derived IDB facts) and the
+        statistics record.
+    """
+    stats = stats if stats is not None else EvaluationStats()
+    working = database.copy() if database is not None else Database()
+    working.add_atoms(program.facts)
+    # Ensure every IDB predicate has a (possibly empty) relation, so
+    # negative literals over IDB predicates probe an empty relation rather
+    # than "unknown".
+    for rule in program.proper_rules:
+        working.relation(rule.head.predicate, rule.head.arity)
+    compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
+    changed = True
+    while changed:
+        stats.iterations += 1
+        changed = False
+        for predicate, row in apply_rules_once(compiled_rules, working, stats):
+            if working.add(predicate, row):
+                stats.facts_derived += 1
+                changed = True
+    return working, stats

@@ -1,0 +1,271 @@
+"""Provenance-tracking evaluation: proof trees for derived facts.
+
+The engines answer *what* is derivable; this module also records *why*.
+:func:`traced_fixpoint` runs a stratified semi-naive evaluation that
+remembers, for every derived fact, its **first derivation** — the rule
+instance and the body facts that fired it.  Because the semi-naive delta
+discipline only ever consumes facts from strictly earlier rounds (and the
+stratified driver only consumes completed lower strata), the recorded
+derivation graph is acyclic, so proof trees can be reconstructed without
+cycle checks.
+
+``repro-datalog why program.dl "anc(a, c)"`` prints these trees from the
+command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..analysis.stratify import stratify
+from ..datalog.atoms import Atom
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .counters import EvaluationStats
+from .matching import CompiledRule, compile_rule, match_body
+
+__all__ = ["Derivation", "ProofNode", "TracedEvaluation", "traced_fixpoint", "format_proof"]
+
+Fact = tuple[str, tuple]  # (predicate, value tuple)
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One recorded rule firing.
+
+    Attributes:
+        rule: the source rule.
+        positive: the positive body facts consumed, in body order.
+        negative: the negative body facts checked absent (NAF leaves).
+    """
+
+    rule: Rule
+    positive: tuple[Fact, ...]
+    negative: tuple[Fact, ...]
+
+
+@dataclass
+class ProofNode:
+    """A node of a reconstructed proof tree."""
+
+    fact: Fact
+    rule: Rule | None  # None => extensional (or asserted) fact
+    children: list["ProofNode"] = field(default_factory=list)
+    negative: tuple[Fact, ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rule is None
+
+    def atom(self) -> Atom:
+        predicate, row = self.fact
+        return Atom(predicate, tuple(Constant(value) for value in row))
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+
+class TracedEvaluation:
+    """The result of a traced run: the completed database plus, for each
+    derived fact, its first derivation."""
+
+    def __init__(
+        self,
+        database: Database,
+        derivations: Mapping[Fact, Derivation],
+        edb_facts: frozenset[Fact],
+        stats: EvaluationStats,
+    ):
+        self.database = database
+        self._derivations = dict(derivations)
+        self._edb_facts = edb_facts
+        self.stats = stats
+
+    def holds(self, atom: Atom) -> bool:
+        return self.database.has_fact(atom)
+
+    def derivation_of(self, atom: Atom) -> Derivation | None:
+        return self._derivations.get((atom.predicate, atom.ground_key()))
+
+    def proof(self, atom: Atom) -> ProofNode | None:
+        """The proof tree of a ground atom, or None when it does not hold."""
+        fact = (atom.predicate, atom.ground_key())
+        if fact in self._edb_facts and fact not in self._derivations:
+            return ProofNode(fact=fact, rule=None)
+        if fact not in self._derivations:
+            return None
+        return self._build(fact)
+
+    def _build(self, fact: Fact) -> ProofNode:
+        derivation = self._derivations.get(fact)
+        if derivation is None:
+            return ProofNode(fact=fact, rule=None)
+        children = [self._build(child) for child in derivation.positive]
+        return ProofNode(
+            fact=fact,
+            rule=derivation.rule,
+            children=children,
+            negative=derivation.negative,
+        )
+
+
+def _literal_fact(literal, binding) -> Fact:
+    row = [None] * (
+        len(literal.constants) + len(literal.binders) + len(literal.filters)
+    )
+    for column, value in literal.constants:
+        row[column] = value
+    for column, var in literal.binders + literal.filters:
+        row[column] = binding[var]
+    return (literal.predicate, tuple(row))
+
+
+def traced_fixpoint(
+    program: Program, database: Database | None = None
+) -> TracedEvaluation:
+    """Stratified semi-naive evaluation that records first derivations.
+
+    Uses per-round snapshots like :mod:`repro.engine.seminaive`; the
+    recorded derivation of each fact only references facts from earlier
+    rounds or lower strata, so proofs are well-founded.
+    """
+    stats = EvaluationStats()
+    working = database.copy() if database is not None else Database()
+    working.add_atoms(program.facts)
+    edb_facts = frozenset(
+        (atom.predicate, atom.ground_key()) for atom in working.all_atoms()
+    )
+    derivations: dict[Fact, Derivation] = {}
+    arities = program.arities
+    stratification = stratify(program)
+    for stratum in stratification.strata:
+        _trace_stratum(stratum, working, derivations, arities, stats)
+    return TracedEvaluation(working, derivations, edb_facts, stats)
+
+
+def _trace_stratum(
+    stratum: Program,
+    working: Database,
+    derivations: dict[Fact, Derivation],
+    arities: Mapping[str, int],
+    stats: EvaluationStats,
+) -> None:
+    derived = stratum.idb_predicates
+    for predicate in derived:
+        working.relation(predicate, arities[predicate])
+    compiled_rules = [compile_rule(rule) for rule in stratum.proper_rules]
+
+    def full_view(position: int, predicate: str) -> Relation | None:
+        try:
+            return working.relation(predicate)
+        except KeyError:
+            return None
+
+    def record(compiled: CompiledRule, binding, head_fact: Fact) -> None:
+        if head_fact in derivations:
+            return
+        positive = []
+        negative = []
+        for literal in compiled.body:
+            fact = _literal_fact(literal, binding)
+            if literal.positive:
+                positive.append(fact)
+            else:
+                negative.append(fact)
+        derivations[head_fact] = Derivation(
+            rule=compiled.rule,
+            positive=tuple(positive),
+            negative=tuple(negative),
+        )
+
+    # Round 0 (one T_P application), then delta rounds; facts are merged
+    # only at round boundaries so the recorded derivations reference
+    # earlier rounds exclusively.
+    delta: dict[str, Relation] = {
+        predicate: Relation(predicate, arities[predicate])
+        for predicate in derived
+    }
+    stats.iterations += 1
+    for compiled in compiled_rules:
+        for binding in match_body(compiled, full_view, stats):
+            stats.inferences += 1
+            row = compiled.head_tuple(binding)
+            head_fact = (compiled.head_predicate, row)
+            if row not in working.relation(compiled.head_predicate):
+                delta[compiled.head_predicate].add(row)
+                record(compiled, binding, head_fact)
+    for predicate in derived:
+        for row in delta[predicate]:
+            if working.add(predicate, row):
+                stats.facts_derived += 1
+
+    while any(delta[predicate] for predicate in derived):
+        stats.iterations += 1
+        old: dict[str, Relation] = {}
+        for predicate in derived:
+            snapshot = Relation(predicate, arities[predicate])
+            delta_rows = delta[predicate].rows()
+            for row in working.relation(predicate):
+                if row not in delta_rows:
+                    snapshot.add(row)
+            old[predicate] = snapshot
+        new_delta: dict[str, Relation] = {
+            predicate: Relation(predicate, arities[predicate])
+            for predicate in derived
+        }
+        for compiled in compiled_rules:
+            positions = [
+                index
+                for index, literal in enumerate(compiled.body)
+                if literal.positive and literal.predicate in derived
+            ]
+            for position in positions:
+                literal = compiled.body[position]
+                delta_relation = delta[literal.predicate]
+                if not delta_relation:
+                    continue
+
+                def view(pos: int, predicate: str) -> Relation | None:
+                    if pos == position:
+                        return delta_relation
+                    if pos > position and predicate in derived:
+                        return old.get(predicate)
+                    return full_view(pos, predicate)
+
+                for binding in match_body(compiled, view, stats):
+                    stats.inferences += 1
+                    row = compiled.head_tuple(binding)
+                    head_fact = (compiled.head_predicate, row)
+                    if row not in working.relation(compiled.head_predicate):
+                        new_delta[compiled.head_predicate].add(row)
+                        record(compiled, binding, head_fact)
+        for predicate in derived:
+            for row in new_delta[predicate]:
+                if working.add(predicate, row):
+                    stats.facts_derived += 1
+        delta = new_delta
+
+
+def format_proof(node: ProofNode, indent: str = "") -> str:
+    """Render a proof tree as indented ASCII."""
+    lines = []
+    label = str(node.atom())
+    if node.rule is None:
+        lines.append(f"{indent}{label}   [fact]")
+    else:
+        lines.append(f"{indent}{label}   [rule: {node.rule}]")
+    child_indent = indent + "  "
+    for child in node.children:
+        lines.append(format_proof(child, child_indent))
+    for predicate, row in node.negative:
+        atom = Atom(predicate, tuple(Constant(value) for value in row))
+        lines.append(f"{child_indent}not {atom}   [absent]")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Semi-naive (differential) bottom-up fixpoint evaluation.
+
+This is the engine the Alexander method is designed for: the transformed
+program is evaluated by the standard delta discipline so that no rule body
+instantiation is recomputed in later rounds.
+
+The implementation follows the classical formulation (Balbin &
+Ramamohanarao; Abiteboul–Hull–Vianu §13.1).  For each rule and each body
+position *j* holding a derived (IDB) predicate, a *delta variant* is
+evaluated each round with:
+
+* positions ``i < j``  reading the **full** current relation,
+* position  ``j``      reading the **delta** of the previous round,
+* positions ``i > j``  reading the **old** relation (full minus delta),
+
+which enumerates exactly the new instantiations — each joint instantiation
+of derived literals is produced at exactly one variant (the one whose
+delta position is the *first* literal instantiated by a previous-round
+fact).
+
+Negative literals read the full view: within a stratum they only mention
+relations completed by earlier strata, so their contents never change
+during the fixpoint (enforced by :mod:`repro.engine.stratified`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..datalog.rules import Program
+from ..facts.database import Database
+from ..facts.relation import Relation
+from .counters import EvaluationStats
+from .matching import CompiledRule, compile_rule, match_body
+
+__all__ = ["seminaive_fixpoint"]
+
+
+def _variant_positions(compiled: CompiledRule, derived: frozenset[str]) -> list[int]:
+    """Body positions holding a positive literal of a derived predicate."""
+    return [
+        index
+        for index, literal in enumerate(compiled.body)
+        if literal.positive and literal.predicate in derived
+    ]
+
+
+class _RoundView:
+    """The three-way full/delta/old relation view for one delta variant."""
+
+    __slots__ = ("database", "delta_position", "delta_relation", "old", "derived")
+
+    def __init__(
+        self,
+        database: Database,
+        delta_position: int,
+        delta_relation: Relation,
+        old: Mapping[str, Relation],
+        derived: frozenset[str],
+    ):
+        self.database = database
+        self.delta_position = delta_position
+        self.delta_relation = delta_relation
+        self.old = old
+        self.derived = derived
+
+    def __call__(self, position: int, predicate: str) -> Relation | None:
+        if position == self.delta_position:
+            return self.delta_relation
+        if position > self.delta_position and predicate in self.derived:
+            return self.old.get(predicate)
+        try:
+            return self.database.relation(predicate)
+        except KeyError:
+            return None
+
+
+def seminaive_fixpoint(
+    program: Program,
+    database: Database | None = None,
+    stats: EvaluationStats | None = None,
+) -> tuple[Database, EvaluationStats]:
+    """Evaluate *program* to fixpoint with the semi-naive delta discipline.
+
+    Args:
+        program: rules to evaluate; embedded ground facts are loaded too.
+        database: extensional facts; copied, never mutated.
+        stats: optional counter record to accumulate into.
+
+    Returns:
+        The completed database and the statistics record.
+    """
+    stats = stats if stats is not None else EvaluationStats()
+    working = database.copy() if database is not None else Database()
+    working.add_atoms(program.facts)
+    derived = program.idb_predicates
+    arities = program.arities
+    for predicate in derived:
+        working.relation(predicate, arities[predicate])
+    compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
+
+    def full_view(position: int, predicate: str) -> Relation | None:
+        try:
+            return working.relation(predicate)
+        except KeyError:
+            return None
+
+    # --- round 0: one T_P application on the initial database --------------
+    # Facts are merged only at the round boundary; merging mid-round would
+    # let later rules consume this round's facts and then recompute the
+    # same instantiation from the delta in round 1.
+    stats.iterations += 1
+    delta: dict[str, Relation] = {
+        predicate: Relation(predicate, arities[predicate]) for predicate in derived
+    }
+    for compiled in compiled_rules:
+        for binding in match_body(compiled, full_view, stats):
+            stats.inferences += 1
+            row = compiled.head_tuple(binding)
+            if row not in working.relation(compiled.head_predicate):
+                delta[compiled.head_predicate].add(row)
+    for predicate in derived:
+        for row in delta[predicate]:
+            if working.add(predicate, row):
+                stats.facts_derived += 1
+
+    # --- delta rounds -------------------------------------------------------
+    while any(delta[predicate] for predicate in derived):
+        stats.iterations += 1
+        # old = full minus current delta (the state before the last merge).
+        old: dict[str, Relation] = {}
+        for predicate in derived:
+            snapshot = Relation(predicate, arities[predicate])
+            delta_rows = delta[predicate].rows()
+            for row in working.relation(predicate):
+                if row not in delta_rows:
+                    snapshot.add(row)
+            old[predicate] = snapshot
+        new_delta: dict[str, Relation] = {
+            predicate: Relation(predicate, arities[predicate])
+            for predicate in derived
+        }
+        for compiled in compiled_rules:
+            for position in _variant_positions(compiled, derived):
+                literal = compiled.body[position]
+                delta_relation = delta[literal.predicate]
+                if not delta_relation:
+                    continue
+                view = _RoundView(working, position, delta_relation, old, derived)
+                for binding in match_body(compiled, view, stats):
+                    stats.inferences += 1
+                    row = compiled.head_tuple(binding)
+                    if row not in working.relation(compiled.head_predicate):
+                        new_delta[compiled.head_predicate].add(row)
+        # Merge after the round so all variants of the round read a
+        # consistent full view.
+        for predicate in derived:
+            for row in new_delta[predicate]:
+                if working.add(predicate, row):
+                    stats.facts_derived += 1
+        delta = new_delta
+    return working, stats

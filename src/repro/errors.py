@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when Datalog source text cannot be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, when known.
+        column: 1-based column number of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class UnificationError(ReproError):
+    """Raised when two terms or atoms cannot be unified and the caller
+    requested an exception instead of a ``None`` result."""
+
+
+class ProgramError(ReproError):
+    """Raised for structurally invalid programs (e.g. a rule whose head is
+    a negative literal, or an EDB predicate that also appears in a head)."""
+
+
+class StratificationError(ProgramError):
+    """Raised when a program that requires stratified negation is not
+    stratifiable (it has a cycle through negation)."""
+
+
+class SafetyError(ProgramError):
+    """Raised when a rule is unsafe: a head or negative-literal variable
+    does not occur in any positive body literal."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation cannot proceed (e.g. an SLD derivation
+    exceeds its step or depth budget, or a non-ground negative literal is
+    selected)."""
+
+
+class BudgetExceededError(EvaluationError):
+    """Raised by bounded engines (plain SLD) when the configured step or
+    depth budget is exhausted before the query completes.
+
+    The partially accumulated statistics are attached so benchmark code can
+    still report "exceeded N steps" rows, which is itself a result the
+    paper's comparison cares about (plain top-down evaluation diverges on
+    cyclic data).
+    """
+
+    def __init__(self, message: str, stats=None):
+        super().__init__(message)
+        self.stats = stats
+
+
+class TransformError(ReproError):
+    """Raised when a query transformation (adornment, magic sets, Alexander
+    templates) cannot be applied to the given program/query pair."""

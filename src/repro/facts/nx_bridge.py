@@ -1,0 +1,90 @@
+"""Interoperability with NetworkX.
+
+Binary relations are directed graphs; this module converts between a
+:class:`~repro.facts.database.Database` relation and a
+``networkx.DiGraph``, so workloads can come from (or be inspected with)
+the NetworkX ecosystem.  NetworkX is imported lazily — the rest of the
+library has no dependency on it.
+
+Example::
+
+    import networkx as nx
+    from repro.facts.nx_bridge import relation_from_graph, relation_to_graph
+
+    database = relation_from_graph(nx.gnp_random_graph(30, 0.1, directed=True), "e")
+    graph = relation_to_graph(database, "e")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .database import Database
+
+__all__ = ["relation_from_graph", "relation_to_graph", "closure_via_networkx"]
+
+
+def _networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - env-dependent
+        raise ImportError(
+            "networkx is required for repro.facts.nx_bridge"
+        ) from error
+    return networkx
+
+
+def relation_from_graph(
+    graph, predicate: str, into: Database | None = None
+) -> Database:
+    """Store the edges of a (di)graph as a binary relation.
+
+    Undirected graphs contribute both orientations of each edge.
+    """
+    database = into if into is not None else Database()
+    database.relation(predicate, 2)
+    directed = graph.is_directed()
+    for source, target in graph.edges():
+        database.add(predicate, (source, target))
+        if not directed:
+            database.add(predicate, (target, source))
+    return database
+
+
+def relation_to_graph(database: Database, predicate: str):
+    """A ``networkx.DiGraph`` over the tuples of a binary relation."""
+    networkx = _networkx()
+    arity = database.arity_of(predicate)
+    if arity is not None and arity != 2:
+        raise ValueError(
+            f"{predicate} has arity {arity}; only binary relations convert"
+        )
+    graph = networkx.DiGraph()
+    for source, target in database.rows(predicate):
+        graph.add_edge(source, target)
+    return graph
+
+
+def closure_via_networkx(database: Database, predicate: str) -> frozenset[tuple]:
+    """The transitive closure of a binary relation, computed by NetworkX.
+
+    An independent oracle the test suite checks the Datalog engines
+    against: ``(u, v)`` is in the result iff v is reachable from u in one
+    or more steps.
+    """
+    networkx = _networkx()
+    graph = relation_to_graph(database, predicate)
+    pairs: set[tuple] = set()
+    for source in graph.nodes():
+        for target in networkx.descendants(graph, source):
+            pairs.add((source, target))
+        # descendants() excludes the node itself; self-reachability holds
+        # exactly when the node lies on a cycle through itself.
+        if graph.has_edge(source, source):
+            pairs.add((source, source))
+        else:
+            for neighbor in graph.successors(source):
+                if source in networkx.descendants(graph, neighbor) or neighbor == source:
+                    pairs.add((source, source))
+                    break
+    return frozenset(pairs)

@@ -1,0 +1,144 @@
+"""In-memory relations with per-column hash indexes.
+
+A :class:`Relation` stores ground facts as plain Python tuples of constant
+*values* (not :class:`~repro.datalog.terms.Constant` objects); the engines
+convert at their boundary.  Indexes are built lazily on first use of a
+column and maintained incrementally afterwards, so the join machinery can
+probe any bound column in expected O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A set of same-arity tuples with lazily built column indexes."""
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
+        self.name = name
+        self.arity = arity
+        self._tuples: set[tuple] = set()
+        # column -> value -> list of tuples having that value in the column.
+        self._indexes: dict[int, dict[object, list[tuple]]] = {}
+        for row in tuples:
+            self.add(row)
+
+    # --- mutation ------------------------------------------------------------
+    def add(self, row: tuple) -> bool:
+        """Insert *row*; returns True iff it was new."""
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name}/{self.arity} given a tuple of "
+                f"length {len(row)}: {row!r}"
+            )
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], []).append(row)
+        return True
+
+    def add_all(self, rows: Iterable[tuple]) -> int:
+        """Insert many rows; returns the number that were new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def discard(self, row: tuple) -> bool:
+        """Remove *row* if present; returns True iff it was present.
+
+        Removal invalidates the lazy indexes (they are rebuilt on demand);
+        deletion is rare in this library (only the harness resets state).
+        """
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        self._indexes.clear()
+        return True
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._indexes.clear()
+
+    # --- queries ---------------------------------------------------------------
+    def __contains__(self, row: tuple) -> bool:
+        return row in self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def rows(self) -> frozenset[tuple]:
+        """An immutable snapshot of the current tuples."""
+        return frozenset(self._tuples)
+
+    def _index_for(self, column: int) -> Mapping[object, list[tuple]]:
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(row[column], []).append(row)
+            self._indexes[column] = index
+        return index
+
+    def lookup(self, bound: Mapping[int, object]) -> Iterator[tuple]:
+        """Yield tuples matching the bound columns.
+
+        Args:
+            bound: mapping from column position to required value.  An
+                empty mapping scans the whole relation.
+
+        The probe uses the single bound column with the smallest posting
+        list (cheapest first) and filters on the remaining columns, which
+        is the classical index-nested-loop strategy.
+        """
+        if not bound:
+            yield from self._tuples
+            return
+        best_column = None
+        best_posting: list[tuple] | None = None
+        for column, value in bound.items():
+            posting = self._index_for(column).get(value, [])
+            if best_posting is None or len(posting) < len(best_posting):
+                best_column, best_posting = column, posting
+                if not posting:
+                    return
+        remaining = [(c, v) for c, v in bound.items() if c != best_column]
+        for row in best_posting:
+            if all(row[column] == value for column, value in remaining):
+                yield row
+
+    def count(self, bound: Mapping[int, object] | None = None) -> int:
+        """Number of tuples matching *bound* (all tuples when omitted)."""
+        if not bound:
+            return len(self._tuples)
+        return sum(1 for _ in self.lookup(bound))
+
+    def copy(self) -> "Relation":
+        clone = Relation(self.name, self.arity)
+        clone._tuples = set(self._tuples)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}/{self.arity}, {len(self._tuples)} tuples)"

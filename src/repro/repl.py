@@ -1,0 +1,198 @@
+"""An interactive Datalog session.
+
+Start with ``repro-datalog repl program.dl`` (or programmatically via
+:class:`Repl`).  Input lines are interpreted as:
+
+* ``anc(a, X)?``        — run the query under the current strategy;
+* ``par(a, b).``        — assert a ground fact;
+* ``:strategy oldt``    — switch the evaluation strategy;
+* ``:why anc(a, c)``    — print a proof tree;
+* ``:explain anc(a,X)`` — compare all strategies on one query;
+* ``:report``           — static analysis summary;
+* ``:program``          — print the loaded rules;
+* ``:stats on|off``     — toggle counter printing after each query;
+* ``:load FILE``        — load additional facts from a file;
+* ``:help`` / ``:quit``.
+
+The loop never raises on user errors; every problem becomes a printed
+message, which is what makes the class directly drivable by tests.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from .analysis.report import ProgramReport
+from .core.engine import Engine
+from .core.strategy import available_strategies
+from .datalog.parser import parse_query, parse_rule
+from .datalog.pretty import format_bindings, format_program
+from .errors import ReproError
+
+__all__ = ["Repl"]
+
+PROMPT = "datalog> "
+
+
+class Repl:
+    """A line-oriented interactive session around an :class:`Engine`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        input_stream: TextIO | None = None,
+        output_stream: TextIO | None = None,
+        show_prompt: bool = True,
+    ):
+        self._engine = engine
+        self._input = input_stream if input_stream is not None else sys.stdin
+        self._output = output_stream if output_stream is not None else sys.stdout
+        self._strategy = "alexander"
+        self._show_stats = False
+        self._show_prompt = show_prompt
+        self._running = False
+
+    # --- plumbing -----------------------------------------------------------
+    def _write(self, text: str = "") -> None:
+        self._output.write(text + "\n")
+
+    def run(self) -> None:
+        """Read-eval-print until EOF or ``:quit``."""
+        self._running = True
+        while self._running:
+            if self._show_prompt:
+                self._output.write(PROMPT)
+                self._output.flush()
+            line = self._input.readline()
+            if not line:
+                break
+            self.execute(line.strip())
+
+    def execute(self, line: str) -> None:
+        """Process one input line (public so tests can drive directly)."""
+        if not line or line.startswith("%") or line.startswith("#"):
+            return
+        try:
+            if line.startswith(":"):
+                self._command(line[1:])
+            elif line.endswith("?"):
+                self._query(line)
+            elif line.endswith("."):
+                self._assert_fact(line)
+            else:
+                self._query(line + "?")
+        except ReproError as error:
+            self._write(f"error: {error}")
+        except ValueError as error:
+            self._write(f"error: {error}")
+
+    # --- behaviours -------------------------------------------------------------
+    def _query(self, text: str) -> None:
+        goal = parse_query(text)
+        result = self._engine.query(goal, strategy=self._strategy)
+        self._write(format_bindings(goal, result.answers))
+        if self._show_stats:
+            self._write(str(result.stats))
+
+    def _assert_fact(self, text: str) -> None:
+        rule = parse_rule(text)
+        if rule.body:
+            self._write(
+                "error: only ground facts can be asserted interactively "
+                "(rules need a reload)"
+            )
+            return
+        if self._engine.add_fact(rule.head):
+            self._write(f"asserted {rule.head}.")
+        else:
+            self._write(f"{rule.head} was already known.")
+
+    def _command(self, text: str) -> None:
+        parts = text.split(None, 1)
+        name = parts[0] if parts else ""
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        handler = {
+            "strategy": self._cmd_strategy,
+            "why": self._cmd_why,
+            "explain": self._cmd_explain,
+            "report": self._cmd_report,
+            "program": self._cmd_program,
+            "stats": self._cmd_stats,
+            "load": self._cmd_load,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }.get(name)
+        if handler is None:
+            self._write(f"unknown command :{name} — try :help")
+            return
+        handler(argument)
+
+    def _cmd_strategy(self, argument: str) -> None:
+        if not argument:
+            self._write(f"strategy: {self._strategy}")
+            self._write(f"available: {', '.join(available_strategies())}")
+            return
+        if argument not in available_strategies():
+            self._write(
+                f"unknown strategy {argument!r}; "
+                f"available: {', '.join(available_strategies())}"
+            )
+            return
+        self._strategy = argument
+        self._write(f"strategy set to {argument}")
+
+    def _cmd_why(self, argument: str) -> None:
+        if not argument:
+            self._write("usage: :why <ground atom>")
+            return
+        self._write(self._engine.why(argument))
+
+    def _cmd_explain(self, argument: str) -> None:
+        if not argument:
+            self._write("usage: :explain <query>")
+            return
+        goal = parse_query(argument)
+        results = self._engine.explain(goal)
+        width = max(len(name) for name in results)
+        self._write(f"{'strategy'.ljust(width)}  answers  inferences  attempts")
+        for name, result in results.items():
+            self._write(
+                f"{name.ljust(width)}  {len(result.answers):>7}  "
+                f"{result.stats.inferences:>10}  {result.stats.attempts:>8}"
+            )
+
+    def _cmd_report(self, argument: str) -> None:
+        self._write(ProgramReport.build(self._engine.program).render())
+
+    def _cmd_program(self, argument: str) -> None:
+        self._write(format_program(self._engine.program))
+
+    def _cmd_stats(self, argument: str) -> None:
+        if argument == "on":
+            self._show_stats = True
+        elif argument == "off":
+            self._show_stats = False
+        else:
+            self._write("usage: :stats on|off")
+            return
+        self._write(f"stats {'on' if self._show_stats else 'off'}")
+
+    def _cmd_load(self, argument: str) -> None:
+        if not argument:
+            self._write("usage: :load <facts file>")
+            return
+        from .facts.io import load_facts
+
+        before = self._engine.database.total_facts()
+        load_facts(argument, into=self._engine.database)
+        added = self._engine.database.total_facts() - before
+        self._write(f"loaded {added} new fact(s) from {argument}")
+
+    def _cmd_help(self, argument: str) -> None:
+        self._write(__doc__.split("Input lines are interpreted as:")[1].strip())
+
+    def _cmd_quit(self, argument: str) -> None:
+        self._running = False
+        self._write("bye")

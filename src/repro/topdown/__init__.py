@@ -1,0 +1,14 @@
+"""Top-down engines: plain SLD, OLDT with tabulation, and QSQR."""
+
+from .oldt import OLDTEngine, oldt_query
+from .qsqr import QSQREngine, qsqr_query
+from .sld import SLDEngine, sld_query
+
+__all__ = [
+    "SLDEngine",
+    "sld_query",
+    "OLDTEngine",
+    "oldt_query",
+    "QSQREngine",
+    "qsqr_query",
+]

@@ -1,0 +1,207 @@
+"""Plain SLD resolution (Prolog-style top-down evaluation, no memoing).
+
+This is the baseline the tabling methods are measured against: depth-first,
+leftmost selection, program-order clause choice, and **no termination
+guarantee** — on cyclic data (or even acyclic data with many derivation
+paths) the step count explodes, which is exactly the behaviour experiment
+T5 demonstrates.
+
+The engine therefore runs under a step budget and raises
+:class:`~repro.errors.BudgetExceededError` (with partial statistics
+attached) when the budget is exhausted; the bench harness reports such
+rows as divergent.
+
+Negative literals are handled by negation as failure: the literal must be
+ground when selected, and a nested bounded SLD evaluation of the positive
+atom decides it.  This is sound for the stratified programs used in this
+library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.builtins import evaluate_builtin, is_builtin
+from ..datalog.rules import Program
+from ..datalog.unify import Substitution, unify_atoms, variant_key
+from ..errors import BudgetExceededError, EvaluationError
+from ..facts.database import Database
+from ..engine.counters import EvaluationStats
+
+__all__ = ["SLDEngine", "sld_query"]
+
+DEFAULT_MAX_STEPS = 1_000_000
+# The resolver recurses one Python frame pair per resolution step, so the
+# depth budget must sit safely below the interpreter's recursion limit.
+DEFAULT_MAX_DEPTH = 300
+
+
+class SLDEngine:
+    """A depth-first SLD resolution engine with step and depth budgets."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        self._program = program
+        self._database = database.copy() if database is not None else Database()
+        self._database.add_atoms(program.facts)
+        self._max_steps = max_steps
+        self._max_depth = max_depth
+        self.stats = EvaluationStats()
+
+    # --- public API ---------------------------------------------------------
+    def query(self, goal: Atom) -> list[Atom]:
+        """All answers to *goal*, as ground instances of the goal atom.
+
+        Raises:
+            BudgetExceededError: when the step or depth budget runs out.
+        """
+        answers: list[Atom] = []
+        seen: set[tuple] = set()
+        try:
+            for binding in self._solve((Literal(goal),), Substitution(), 0):
+                answer = binding.apply_atom(goal)
+                key = variant_key(answer)
+                if key not in seen:
+                    seen.add(key)
+                    answers.append(answer)
+        except RecursionError as error:
+            raise BudgetExceededError(
+                "SLD exhausted the Python recursion limit", self.stats
+            ) from error
+        self.stats.answers = len(answers)
+        return answers
+
+    def ask(self, goal: Atom) -> bool:
+        """True iff *goal* has at least one derivation (stops at the first)."""
+        for _ in self._solve((Literal(goal),), Substitution(), 0):
+            return True
+        return False
+
+    # --- resolution ------------------------------------------------------------
+    def _charge_step(self) -> None:
+        self.stats.inferences += 1
+        if self.stats.inferences > self._max_steps:
+            raise BudgetExceededError(
+                f"SLD exceeded {self._max_steps} resolution steps", self.stats
+            )
+
+    def _solve(
+        self, goals: tuple[Literal, ...], binding: Substitution, depth: int
+    ) -> Iterator[Substitution]:
+        """Yield bindings closing all *goals* (leftmost selection)."""
+        if not goals:
+            yield binding
+            return
+        if depth > self._max_depth:
+            raise BudgetExceededError(
+                f"SLD exceeded depth {self._max_depth}", self.stats
+            )
+        selected, rest = goals[0], goals[1:]
+        literal = binding.apply_literal(selected)
+        if is_builtin(literal.predicate):
+            yield from self._solve_builtin(literal, rest, binding, depth)
+            return
+        if literal.negative:
+            yield from self._solve_negative(literal, rest, binding, depth)
+            return
+        atom = literal.atom
+        # Fact resolution against the database.
+        relation_rows = self._lookup_rows(atom)
+        for row in relation_rows:
+            self.stats.attempts += 1
+            extended = self._match_row(atom, row, binding)
+            if extended is not None:
+                self._charge_step()
+                yield from self._solve(rest, extended, depth + 1)
+        # Program-clause resolution.  Bodies are normalised so that test
+        # literals (negation, built-ins) run after the literals that bind
+        # them, matching the order every other engine evaluates in.
+        from ..engine.matching import order_body
+
+        for rule in self._program.rules_for(atom.predicate):
+            self.stats.attempts += 1
+            fresh = rule.rename_apart()
+            unifier = unify_atoms(atom, fresh.head, binding)
+            if unifier is None:
+                continue
+            self._charge_step()
+            ordered = order_body(fresh.body, fresh)
+            yield from self._solve(ordered + rest, unifier, depth + 1)
+
+    def _solve_builtin(
+        self,
+        literal: Literal,
+        rest: tuple[Literal, ...],
+        binding: Substitution,
+        depth: int,
+    ) -> Iterator[Substitution]:
+        atom = literal.atom
+        if not atom.is_ground():
+            raise EvaluationError(
+                f"builtin literal {literal} selected before its variables "
+                "were bound; reorder the rule body"
+            )
+        holds = evaluate_builtin(atom.predicate, atom.ground_key())
+        self._charge_step()
+        if holds == literal.positive:
+            yield from self._solve(rest, binding, depth + 1)
+
+    def _solve_negative(
+        self,
+        literal: Literal,
+        rest: tuple[Literal, ...],
+        binding: Substitution,
+        depth: int,
+    ) -> Iterator[Substitution]:
+        atom = literal.atom
+        if not atom.is_ground():
+            raise EvaluationError(
+                f"negation-as-failure selected non-ground literal {literal}"
+            )
+        succeeded = False
+        for _ in self._solve((Literal(atom),), binding, depth + 1):
+            succeeded = True
+            break
+        self._charge_step()
+        if not succeeded:
+            yield from self._solve(rest, binding, depth + 1)
+
+    # --- database access ----------------------------------------------------------
+    def _lookup_rows(self, atom: Atom) -> Iterator[tuple]:
+        if atom.predicate not in self._database:
+            return iter(())
+        relation = self._database.relation(atom.predicate)
+        bound: dict[int, object] = {}
+        from ..datalog.terms import Constant
+
+        resolved_args = atom.args
+        for column, arg in enumerate(resolved_args):
+            if isinstance(arg, Constant):
+                bound[column] = arg.value
+        return relation.lookup(bound)
+
+    @staticmethod
+    def _match_row(atom: Atom, row: tuple, binding: Substitution) -> Substitution | None:
+        from ..datalog.terms import Constant
+
+        fact = Atom(atom.predicate, tuple(Constant(value) for value in row))
+        return unify_atoms(atom, fact, binding)
+
+
+def sld_query(
+    program: Program,
+    goal: Atom,
+    database: Database | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> tuple[list[Atom], EvaluationStats]:
+    """Convenience wrapper: run one SLD query and return answers + stats."""
+    engine = SLDEngine(program, database, max_steps=max_steps, max_depth=max_depth)
+    answers = engine.query(goal)
+    return answers, engine.stats

@@ -1,0 +1,49 @@
+"""Query transformations: adornment, magic sets, supplementary magic,
+and the Alexander templates."""
+
+from .adorn import AdornedProgram, AdornedRule, adorn_program, query_adornment
+from .alexander import alexander_templates, alexander_transform_adorned
+from .common import TransformedProgram
+from .magic import magic_sets, magic_transform_adorned
+from .optimize import (
+    inline_bridge_predicates,
+    optimize_program,
+    remove_duplicate_rules,
+    restrict_to_goal,
+)
+from .rectify import (
+    equality_facts,
+    needs_rectification,
+    rectify_program,
+    rectify_rule,
+)
+from .sips import left_to_right, most_bound_first, named_sips
+from .supplementary import (
+    supplementary_magic_sets,
+    supplementary_transform_adorned,
+)
+
+__all__ = [
+    "AdornedProgram",
+    "AdornedRule",
+    "adorn_program",
+    "query_adornment",
+    "TransformedProgram",
+    "magic_sets",
+    "magic_transform_adorned",
+    "supplementary_magic_sets",
+    "supplementary_transform_adorned",
+    "alexander_templates",
+    "alexander_transform_adorned",
+    "left_to_right",
+    "most_bound_first",
+    "named_sips",
+    "optimize_program",
+    "remove_duplicate_rules",
+    "restrict_to_goal",
+    "inline_bridge_predicates",
+    "rectify_rule",
+    "rectify_program",
+    "needs_rectification",
+    "equality_facts",
+]

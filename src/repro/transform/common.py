@@ -1,0 +1,138 @@
+"""Shared machinery of the transformation family.
+
+Adorned-predicate naming, bound-argument extraction, the
+"variables a continuation must carry" computation shared by the
+supplementary-magic and Alexander transformations, and the
+:class:`TransformedProgram` result record consumed by the strategy layer
+and the correspondence checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Term, Variable
+from ..errors import TransformError
+
+__all__ = [
+    "Adornment",
+    "adornment_for",
+    "bound_args",
+    "free_args",
+    "adorned_name",
+    "prefixed_name",
+    "carried_variables",
+    "TransformedProgram",
+]
+
+# An adornment is a string over {'b', 'f'}, one character per argument.
+Adornment = str
+
+
+def adornment_for(atom: Atom, bound_vars: frozenset[Variable] | set[Variable]) -> Adornment:
+    """The adornment of *atom* given the variables bound so far.
+
+    An argument is bound when it is a constant or a bound variable.
+    """
+    return "".join(
+        "b" if isinstance(arg, Constant) or arg in bound_vars else "f"
+        for arg in atom.args
+    )
+
+
+def bound_args(atom: Atom, adornment: Adornment) -> tuple[Term, ...]:
+    """The argument terms at the bound positions of *adornment*."""
+    if len(adornment) != atom.arity:
+        raise TransformError(
+            f"adornment {adornment} does not fit {atom.predicate}/{atom.arity}"
+        )
+    return tuple(
+        arg for arg, flag in zip(atom.args, adornment) if flag == "b"
+    )
+
+
+def free_args(atom: Atom, adornment: Adornment) -> tuple[Term, ...]:
+    """The argument terms at the free positions of *adornment*."""
+    return tuple(
+        arg for arg, flag in zip(atom.args, adornment) if flag == "f"
+    )
+
+
+def adorned_name(predicate: str, adornment: Adornment, taken: Iterable[str]) -> str:
+    """A collision-free name for ``predicate`` adorned with ``adornment``.
+
+    Zero-arity predicates get the adornment suffix ``0`` so the name stays
+    distinct from the plain predicate.
+    """
+    suffix = adornment if adornment else "0"
+    candidate = f"{predicate}__{suffix}"
+    taken_set = set(taken)
+    while candidate in taken_set:
+        candidate += "_"
+    return candidate
+
+
+def prefixed_name(prefix: str, base: str, taken: Iterable[str]) -> str:
+    """A collision-free ``prefix__base`` name (e.g. ``magic__anc__bf``)."""
+    candidate = f"{prefix}__{base}"
+    taken_set = set(taken)
+    while candidate in taken_set:
+        candidate += "_"
+    return candidate
+
+
+def carried_variables(
+    already_bound: set[Variable],
+    remaining_literals: Sequence[Literal],
+    head: Atom,
+) -> tuple[Variable, ...]:
+    """Variables a supplementary/continuation predicate must carry.
+
+    These are the variables bound so far that are still *needed*: they
+    occur in a later body literal or in the head.  Sorted by name for a
+    deterministic argument layout.
+    """
+    needed: set[Variable] = set(head.variables())
+    for literal in remaining_literals:
+        needed.update(literal.variables())
+    return tuple(sorted(already_bound & needed, key=lambda v: v.name))
+
+
+@dataclass(frozen=True)
+class TransformedProgram:
+    """The output of a query transformation.
+
+    Attributes:
+        program: the rewritten rules (no facts; EDB stays in the caller's
+            database).
+        goal: the atom to evaluate against the rewritten program to obtain
+            the query's answers (e.g. ``anc__bf(a, X)`` for magic sets or
+            ``ans__anc__bf(a, X)`` for Alexander templates).
+        seeds: ground facts to add before evaluation (the magic seed /
+            the initial call fact).
+        answer_predicate: predicate of ``goal``.
+        call_predicates: rewritten-name -> original ``(predicate,
+            adornment)`` for the call/magic predicates, used by the
+            correspondence checker.
+        answer_predicates: rewritten-name -> original ``(predicate,
+            adornment)`` for the answer-carrying predicates.
+        original_query: the untransformed query atom.
+        kind: transformation label ("magic", "supplementary", "alexander").
+    """
+
+    program: Program
+    goal: Atom
+    seeds: tuple[Atom, ...]
+    answer_predicate: str
+    call_predicates: Mapping[str, tuple[str, Adornment]]
+    answer_predicates: Mapping[str, tuple[str, Adornment]]
+    original_query: Atom
+    kind: str
+
+    def evaluation_program(self) -> Program:
+        """The rewritten program with the seed facts embedded."""
+        seed_rules = tuple(Rule(seed, ()) for seed in self.seeds)
+        return Program(seed_rules + self.program.rules)

@@ -1,0 +1,127 @@
+"""The Generalized Magic Sets transformation (Bancilhon–Maier–Sagiv–Ullman
+1986; Beeri–Ramakrishnan 1987).
+
+For each adorned rule ``p_a(t) :- L1, ..., Ln``:
+
+* the *modified rule* guards the original body with the magic predicate::
+
+      p_a(t) :- magic_p_a(t^b), L1, ..., Ln.
+
+* for each IDB body literal ``Li = q_b(s)``, a *magic rule* derives the
+  subqueries ``q`` will be asked::
+
+      magic_q_b(s^b) :- magic_p_a(t^b), L1, ..., L(i-1).
+
+The query seeds ``magic_{query}`` with its bound constants.  Compared with
+supplementary magic / Alexander, the magic rules re-evaluate the body
+prefix ``L1..L(i-1)`` once per IDB literal — the duplicated join work that
+experiment T3 measures.
+
+Negative body literals may appear in rewritten rules (they refer to
+materialised lower-stratum or EDB relations in the stratified pipeline)
+but never contribute magic rules: no subquery is generated for a
+negation-as-failure test.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant
+from ..errors import TransformError
+from .adorn import AdornedProgram, AdornedRule, adorn_program
+from .common import TransformedProgram, bound_args, prefixed_name
+from .sips import Sips, left_to_right
+
+__all__ = ["magic_sets", "magic_transform_adorned"]
+
+
+def magic_transform_adorned(adorned: AdornedProgram) -> TransformedProgram:
+    """Apply the magic-sets rewriting to an already adorned program."""
+    taken = set()
+    for adorned_rule in adorned.rules:
+        taken.add(adorned_rule.rule.head.predicate)
+        for literal in adorned_rule.rule.body:
+            taken.add(literal.predicate)
+    taken.update(adorned.edb_predicates)
+
+    magic_names: dict[str, str] = {}
+
+    def magic_name(adorned_predicate: str) -> str:
+        existing = magic_names.get(adorned_predicate)
+        if existing is not None:
+            return existing
+        fresh = prefixed_name("magic", adorned_predicate, taken)
+        taken.add(fresh)
+        magic_names[adorned_predicate] = fresh
+        return fresh
+
+    adorned_idb = {rule.rule.head.predicate for rule in adorned.rules}
+    rewritten: list[Rule] = []
+    for adorned_rule in adorned.rules:
+        rewritten.extend(_rewrite_rule(adorned_rule, adorned_idb, magic_name))
+
+    # Seed: the magic fact for the query's bound arguments.
+    query = adorned.query
+    adornment = adorned.query_key[1]
+    seed_args = bound_args(query, adornment)
+    if not all(isinstance(arg, Constant) for arg in seed_args):
+        raise TransformError(
+            f"query {query} has a non-constant bound argument"
+        )
+    seed = Atom(magic_name(query.predicate), seed_args)
+
+    call_predicates = {
+        magic: adorned.originals[adorned_pred]
+        for adorned_pred, magic in magic_names.items()
+        if adorned_pred in adorned.originals
+    }
+    answer_predicates = {
+        name: key for key, name in adorned.names.items()
+    }
+    return TransformedProgram(
+        program=Program(rewritten),
+        goal=query,
+        seeds=(seed,),
+        answer_predicate=query.predicate,
+        call_predicates=call_predicates,
+        answer_predicates=answer_predicates,
+        original_query=Atom(adorned.query_key[0], query.args),
+        kind="magic",
+    )
+
+
+def _rewrite_rule(
+    adorned_rule: AdornedRule,
+    adorned_idb: set[str],
+    magic_name,
+) -> list[Rule]:
+    rule = adorned_rule.rule
+    head_magic = Atom(
+        magic_name(rule.head.predicate),
+        bound_args(rule.head, adorned_rule.head_adornment),
+    )
+    produced: list[Rule] = []
+    prefix: list[Literal] = [Literal(head_magic)]
+    for literal, key in zip(rule.body, adorned_rule.body_adornments):
+        if key is not None and literal.positive and literal.predicate in adorned_idb:
+            _, literal_adornment = key
+            magic_head = Atom(
+                magic_name(literal.predicate),
+                bound_args(literal.atom, literal_adornment),
+            )
+            produced.append(Rule(magic_head, tuple(prefix)))
+        prefix.append(literal)
+    produced.append(Rule(rule.head, tuple(prefix)))
+    return produced
+
+
+def magic_sets(
+    program: Program,
+    query: Atom,
+    sips: Sips = left_to_right,
+    edb_predicates: frozenset[str] | None = None,
+) -> TransformedProgram:
+    """Adorn *program* for *query* and apply the magic-sets rewriting."""
+    adorned = adorn_program(program, query, sips, edb_predicates)
+    return magic_transform_adorned(adorned)

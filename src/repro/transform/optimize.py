@@ -1,0 +1,195 @@
+"""Post-transformation program optimisations.
+
+The rewritings in this package can leave optimisation opportunities on
+the table, especially when users compose them with hand-written rules:
+
+* :func:`remove_duplicate_rules` — drop rules that are variants of an
+  earlier rule (equal up to variable renaming).
+* :func:`restrict_to_goal` — drop rules whose head predicate cannot
+  contribute to the goal (backward reachability over the dependency
+  graph).  The adornment pass only generates reachable rules, so this
+  mostly matters for user programs with unrelated rule groups.
+* :func:`inline_bridge_predicates` — unfold *bridge* predicates: a
+  non-recursive predicate defined by exactly one single-literal rule
+  whose head and body share the same distinct-variable arguments (a pure
+  renaming).  Continuation chains of one-literal rules produced by the
+  Alexander/supplementary rewritings on unary-body rules have this shape.
+* :func:`optimize_program` — the three passes composed, to fixpoint.
+
+Every pass preserves the answers of every predicate it keeps (checked by
+the test suite against the unoptimised evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Variable
+
+__all__ = [
+    "remove_duplicate_rules",
+    "restrict_to_goal",
+    "inline_bridge_predicates",
+    "optimize_program",
+]
+
+
+def _rule_key(rule: Rule) -> tuple:
+    """A canonical key equal for exactly the variants of *rule*."""
+    numbering: dict[Variable, int] = {}
+    parts: list[object] = []
+
+    def encode(atom: Atom, positive: bool) -> None:
+        parts.append((atom.predicate, positive))
+        for arg in atom.args:
+            if isinstance(arg, Variable):
+                parts.append(("v", numbering.setdefault(arg, len(numbering))))
+            else:
+                parts.append(("c", arg.value))
+
+    encode(rule.head, True)
+    for literal in rule.body:
+        encode(literal.atom, literal.positive)
+    return tuple(parts)
+
+
+def remove_duplicate_rules(program: Program) -> Program:
+    """Drop rules that are variants of an earlier rule."""
+    seen: set[tuple] = set()
+    kept: list[Rule] = []
+    for rule in program:
+        key = _rule_key(rule)
+        if key not in seen:
+            seen.add(key)
+            kept.append(rule)
+    return Program(kept)
+
+
+def restrict_to_goal(program: Program, goal: Atom) -> Program:
+    """Keep only rules whose head the goal (transitively) depends on."""
+    needed: set[str] = {goal.predicate}
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.proper_rules:
+            if rule.head.predicate in needed:
+                for literal in rule.body:
+                    if literal.predicate not in needed:
+                        needed.add(literal.predicate)
+                        changed = True
+    kept = [
+        rule
+        for rule in program
+        if rule.head.predicate in needed
+    ]
+    return Program(kept)
+
+
+def _bridge_definition(program: Program, predicate: str) -> Rule | None:
+    """The defining rule if *predicate* is a pure-renaming bridge."""
+    rules = program.rules_for(predicate)
+    if len(rules) != 1:
+        return None
+    rule = rules[0]
+    if len(rule.body) != 1 or not rule.body[0].positive:
+        return None
+    body_atom = rule.body[0].atom
+    if body_atom.predicate == predicate:
+        return None  # recursive
+    head_args = rule.head.args
+    # Head args must be distinct variables, all drawn from the body atom.
+    if len(set(head_args)) != len(head_args):
+        return None
+    if not all(isinstance(arg, Variable) for arg in head_args):
+        return None
+    body_vars = set(body_atom.variable_set())
+    if not set(head_args) <= body_vars:
+        return None
+    # The body atom itself must be variable-only and duplicate-free, so
+    # substituting it in cannot change multiplicities or add filters.
+    if not all(isinstance(arg, Variable) for arg in body_atom.args):
+        return None
+    if len(set(body_atom.args)) != len(body_atom.args):
+        return None
+    if set(body_atom.args) != set(head_args):
+        return None
+    return rule
+
+
+def inline_bridge_predicates(
+    program: Program, protected: Iterable[str] = ()
+) -> Program:
+    """Unfold pure-renaming bridge predicates into their uses.
+
+    Args:
+        protected: predicates that must survive (the goal predicate, and
+            any predicate whose extension the caller reads out).
+    """
+    protected_set = set(protected)
+    # Only predicates referenced in some body can be inlined away; an
+    # unreferenced predicate is an output whose extension must survive.
+    referenced = {
+        literal.predicate
+        for rule in program.proper_rules
+        for literal in rule.body
+    }
+    bridges: dict[str, Rule] = {}
+    for predicate in program.idb_predicates:
+        if predicate in protected_set or predicate not in referenced:
+            continue
+        definition = _bridge_definition(program, predicate)
+        if definition is not None:
+            bridges[predicate] = definition
+    # Bridges may form cycles (a :- b. b :- a.); inlining a cycle would
+    # chase it forever, so every bridge on a cycle is demoted.
+    def reaches_cycle(start: str) -> bool:
+        seen: set[str] = set()
+        current = start
+        while current in bridges:
+            if current in seen:
+                return True
+            seen.add(current)
+            current = bridges[current].body[0].predicate
+        return False
+
+    for predicate in [p for p in bridges if reaches_cycle(p)]:
+        bridges.pop(predicate, None)
+    if not bridges:
+        return program
+
+    def rewrite_literal(literal: Literal) -> Literal:
+        definition = bridges.get(literal.predicate)
+        if definition is None:
+            return literal
+        # Map the bridge head's variables to this occurrence's arguments.
+        mapping = dict(zip(definition.head.args, literal.atom.args))
+        target = definition.body[0].atom.substitute(mapping)
+        replaced = Literal(target, literal.positive)
+        # The replacement may itself be a bridge (chains): recurse.
+        return rewrite_literal(replaced) if target.predicate in bridges else replaced
+
+    kept: list[Rule] = []
+    for rule in program:
+        if rule.head.predicate in bridges:
+            continue
+        kept.append(
+            Rule(rule.head, tuple(rewrite_literal(lit) for lit in rule.body))
+        )
+    return Program(kept)
+
+
+def optimize_program(program: Program, goal: Atom) -> Program:
+    """Duplicates out, goal-irrelevant rules out, bridges inlined — to
+    fixpoint."""
+    current = program
+    while True:
+        optimized = remove_duplicate_rules(current)
+        optimized = restrict_to_goal(optimized, goal)
+        optimized = inline_bridge_predicates(
+            optimized, protected=(goal.predicate,)
+        )
+        if optimized == current:
+            return optimized
+        current = optimized

@@ -1,0 +1,133 @@
+"""Rule rectification: eliminating repeated variables in body literals.
+
+A body literal with a repeated variable — ``p(Y, Y)`` — induces a call
+pattern that positional adornments cannot express, which is the one case
+where the Alexander/OLDT correspondence is not syntactically exact (see
+``repro.core.compare``).  Classical rectification removes the repeats:
+every second-and-later occurrence of a variable inside one body literal is
+replaced by a fresh variable, tied back with an equality literal::
+
+    p0(X, Y) :- p1(Y, Y),  e0(X, Y).
+    ==>
+    p0(X, Y) :- p1(Y, Y2), eq(Y, Y2), e0(X, Y).
+
+``eq`` is an ordinary extensional relation holding ``eq(c, c)`` for every
+constant of the active domain; :func:`equality_facts` builds it from a
+database.  Rectified programs have distinct-variable body literals, so
+the exact correspondence theorem applies (property-tested in
+``tests/test_fuzz_programs.py``).
+
+Head atoms are left untouched: repeated head variables are expressible in
+adornments and tables alike, and rewriting them would change the
+predicate's interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Variable
+from ..facts.database import Database
+
+__all__ = ["rectify_rule", "rectify_program", "equality_facts", "EQ_PREDICATE"]
+
+EQ_PREDICATE = "eq"
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    counter = 2
+    candidate = f"{base}{counter}"
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}{counter}"
+    taken.add(candidate)
+    return candidate
+
+
+def rectify_rule(rule: Rule, eq_predicate: str = EQ_PREDICATE) -> Rule:
+    """Split repeated variables in each body literal of *rule*.
+
+    Negative literals are rectified too; the equality literal that binds
+    the fresh variable is positive, so safety is preserved.
+    """
+    taken = {var.name for var in rule.variables()}
+    new_body: list[Literal] = []
+    for literal in rule.body:
+        seen: set[Variable] = set()
+        new_args = []
+        equalities: list[Literal] = []
+        for arg in literal.args:
+            if isinstance(arg, Variable) and arg in seen:
+                fresh = Variable(_fresh_name(arg.name, taken))
+                new_args.append(fresh)
+                equalities.append(
+                    Literal(Atom(eq_predicate, (arg, fresh)))
+                )
+            else:
+                if isinstance(arg, Variable):
+                    seen.add(arg)
+                new_args.append(arg)
+        if equalities:
+            rewritten = Literal(
+                Atom(literal.predicate, tuple(new_args)), literal.positive
+            )
+            if literal.positive:
+                new_body.append(rewritten)
+                new_body.extend(equalities)
+            else:
+                # For a negative literal the fresh variables must be bound
+                # *before* the check; put the equalities first.
+                new_body.extend(equalities)
+                new_body.append(rewritten)
+        else:
+            new_body.append(literal)
+    return Rule(rule.head, tuple(new_body))
+
+
+def rectify_program(
+    program: Program, eq_predicate: str = EQ_PREDICATE
+) -> Program:
+    """Rectify every rule of *program* (facts pass through unchanged)."""
+    return Program(
+        tuple(
+            rectify_rule(rule, eq_predicate) if rule.body else rule
+            for rule in program
+        )
+    )
+
+
+def needs_rectification(program: Program) -> bool:
+    """True iff some body literal repeats a variable."""
+    for rule in program.proper_rules:
+        for literal in rule.body:
+            variables = [
+                arg for arg in literal.args if isinstance(arg, Variable)
+            ]
+            if len(variables) != len(set(variables)):
+                return True
+    return False
+
+
+def equality_facts(
+    database: Database,
+    program: Program | None = None,
+    eq_predicate: str = EQ_PREDICATE,
+) -> Database:
+    """A copy of *database* extended with ``eq(c, c)`` for the active domain.
+
+    The active domain is every constant occurring in *database* plus, when
+    given, every constant of *program*.
+    """
+    extended = database.copy()
+    domain: set[object] = set()
+    for relation in database.relations():
+        for row in relation:
+            domain.update(row)
+    if program is not None:
+        domain.update(program.constants())
+    extended.relation(eq_predicate, 2)
+    for value in domain:
+        extended.add(eq_predicate, (value, value))
+    return extended

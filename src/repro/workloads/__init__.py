@@ -1,0 +1,29 @@
+"""Workload generators: graph shapes and canonical Datalog scenarios."""
+
+from . import graphs
+from .programs import (
+    GRAPH_BUILDERS,
+    Scenario,
+    ancestor,
+    bounded_reachability,
+    bill_of_materials,
+    make_edges,
+    nonlinear_tc,
+    same_generation,
+    unreachable,
+    win_game,
+)
+
+__all__ = [
+    "graphs",
+    "GRAPH_BUILDERS",
+    "Scenario",
+    "ancestor",
+    "bounded_reachability",
+    "bill_of_materials",
+    "make_edges",
+    "nonlinear_tc",
+    "same_generation",
+    "unreachable",
+    "win_game",
+]

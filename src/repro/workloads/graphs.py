@@ -1,0 +1,146 @@
+"""Deterministic graph generators for the workload suite.
+
+All generators return a list of ``(source, target)`` edge tuples over
+integer-labelled nodes ``0..n-1`` (converted to whatever predicate the
+scenario builder chooses).  Randomised generators take an explicit seed,
+so every benchmark row is reproducible.
+
+These shapes are the conventional test beds of the 1986–89 recursive
+query literature: chains and cycles stress linear recursion depth, trees
+give fan-out with unique paths, random digraphs mix path multiplicity,
+and grids give quadratic reachable sets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+__all__ = [
+    "chain",
+    "cycle",
+    "balanced_tree",
+    "random_digraph",
+    "grid",
+    "complete",
+    "layered_dag",
+    "star",
+    "nodes_of",
+]
+
+Edge = tuple[int, int]
+
+
+def chain(n: int) -> list[Edge]:
+    """A simple path ``0 -> 1 -> ... -> n-1`` (n nodes, n-1 edges)."""
+    _require_positive(n, "n")
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def cycle(n: int) -> list[Edge]:
+    """A directed cycle over n nodes (n edges)."""
+    _require_positive(n, "n")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return edges
+
+
+def balanced_tree(depth: int, branching: int = 2) -> list[Edge]:
+    """A rooted, complete tree of the given depth and branching factor.
+
+    Edges point parent -> child; node 0 is the root.  A ``depth`` of 0 is
+    a single node with no edges.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    _require_positive(branching, "branching")
+    edges: list[Edge] = []
+    next_node = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_node))
+                new_frontier.append(next_node)
+                next_node += 1
+        frontier = new_frontier
+    return edges
+
+
+def random_digraph(n: int, edge_probability: float, seed: int = 0) -> list[Edge]:
+    """An Erdős–Rényi style digraph: each ordered pair (u, v), u != v, is
+    an edge with the given probability."""
+    _require_positive(n, "n")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    edges: list[Edge] = []
+    for source in range(n):
+        for target in range(n):
+            if source != target and rng.random() < edge_probability:
+                edges.append((source, target))
+    return edges
+
+
+def grid(width: int, height: int) -> list[Edge]:
+    """A directed grid: edges go right and down; node = row*width + col."""
+    _require_positive(width, "width")
+    _require_positive(height, "height")
+    edges: list[Edge] = []
+    for row in range(height):
+        for col in range(width):
+            node = row * width + col
+            if col + 1 < width:
+                edges.append((node, node + 1))
+            if row + 1 < height:
+                edges.append((node, node + width))
+    return edges
+
+
+def complete(n: int) -> list[Edge]:
+    """The complete digraph on n nodes (no self-loops)."""
+    _require_positive(n, "n")
+    return [(u, v) for u in range(n) for v in range(n) if u != v]
+
+
+def layered_dag(layers: int, width: int, seed: int = 0, density: float = 0.5) -> list[Edge]:
+    """A layered DAG: ``layers`` layers of ``width`` nodes; each node gets
+    edges to a random subset of the next layer (at least one)."""
+    _require_positive(layers, "layers")
+    _require_positive(width, "width")
+    rng = random.Random(seed)
+    edges: list[Edge] = []
+    for layer in range(layers - 1):
+        base = layer * width
+        next_base = (layer + 1) * width
+        for offset in range(width):
+            source = base + offset
+            targets = [
+                next_base + t for t in range(width) if rng.random() < density
+            ]
+            if not targets:
+                targets = [next_base + rng.randrange(width)]
+            edges.extend((source, target) for target in targets)
+    return edges
+
+
+def star(n: int, outward: bool = True) -> list[Edge]:
+    """A star over n nodes: node 0 is the hub."""
+    _require_positive(n, "n")
+    if outward:
+        return [(0, i) for i in range(1, n)]
+    return [(i, 0) for i in range(1, n)]
+
+
+def nodes_of(edges: Iterable[Edge]) -> list[int]:
+    """The sorted node set touched by *edges*."""
+    seen: set[int] = set()
+    for source, target in edges:
+        seen.add(source)
+        seen.add(target)
+    return sorted(seen)
+
+
+def _require_positive(value: int, name: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")

@@ -1,0 +1,61 @@
+"""Shared fixtures: canonical programs and databases used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_program, parse_query
+from repro.facts import Database
+
+
+@pytest.fixture
+def ancestor_program():
+    """Right-linear ancestor rules (no facts)."""
+    return parse_program(
+        """
+        anc(X,Y) :- par(X,Y).
+        anc(X,Y) :- par(X,Z), anc(Z,Y).
+        """
+    )
+
+
+@pytest.fixture
+def chain_database():
+    """par: a -> b -> c -> d."""
+    db = Database()
+    for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+        db.add("par", pair)
+    return db
+
+
+@pytest.fixture
+def ancestor_full(ancestor_program, chain_database):
+    """(program, database, bound query, open query)."""
+    return (
+        ancestor_program,
+        chain_database,
+        parse_query("anc(a, X)?"),
+        parse_query("anc(X, Y)?"),
+    )
+
+
+@pytest.fixture
+def same_generation_source():
+    return """
+        up(b, a). up(c, a). up(d, b). up(e, b). up(f, c). up(g, c).
+        down(a, b). down(a, c). down(b, d). down(b, e). down(c, f). down(c, g).
+        flat(b, c). flat(c, b).
+        sg(X,Y) :- flat(X,Y).
+        sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+    """
+
+
+@pytest.fixture
+def stratified_source():
+    return """
+        e(a,b). e(b,c). e(c,d).
+        node(a). node(b). node(c). node(d).
+        reach(X,Y) :- e(X,Y).
+        reach(X,Y) :- e(X,Z), reach(Z,Y).
+        unreach(X,Y) :- node(X), node(Y), not reach(X,Y).
+    """

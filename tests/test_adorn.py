@@ -1,0 +1,116 @@
+"""Unit tests for adornment."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.errors import TransformError
+from repro.transform.adorn import adorn_program, query_adornment
+from repro.transform.sips import most_bound_first
+
+ANCESTOR = parse_program(
+    """
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    """
+)
+
+SG = parse_program(
+    """
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+    """
+)
+
+
+class TestQueryAdornment:
+    def test_constants_are_bound(self):
+        assert query_adornment(parse_query("anc(a, X)?")) == "bf"
+        assert query_adornment(parse_query("anc(X, a)?")) == "fb"
+        assert query_adornment(parse_query("anc(a, b)?")) == "bb"
+        assert query_adornment(parse_query("anc(X, Y)?")) == "ff"
+
+    def test_repeated_variables_are_free(self):
+        assert query_adornment(parse_query("anc(X, X)?")) == "ff"
+
+    def test_zero_arity(self):
+        assert query_adornment(parse_query("go?")) == ""
+
+
+class TestAdornProgram:
+    def test_bound_free_ancestor(self):
+        adorned = adorn_program(ANCESTOR, parse_query("anc(a, X)?"))
+        assert adorned.query.predicate == "anc__bf"
+        assert adorned.query_key == ("anc", "bf")
+        # One adorned version suffices: the recursive call is also bf.
+        assert set(adorned.names.values()) == {"anc__bf"}
+        rules = [str(a.rule) for a in adorned.rules]
+        assert "anc__bf(X, Y) :- par(X, Y)." in rules
+        assert "anc__bf(X, Y) :- par(X, Z), anc__bf(Z, Y)." in rules
+
+    def test_free_free_ancestor(self):
+        adorned = adorn_program(ANCESTOR, parse_query("anc(X, Y)?"))
+        # Even with an ff query, par(X,Z) binds Z before the recursive
+        # call, so a bf version is generated alongside the ff entry point.
+        assert set(adorned.names.values()) == {"anc__ff", "anc__bf"}
+
+    def test_same_generation_propagates_binding(self):
+        adorned = adorn_program(SG, parse_query("sg(a, X)?"))
+        # up(X,U) binds U, so the recursive sg call is bf as well.
+        assert set(adorned.names.values()) == {"sg__bf"}
+        recursive = [a for a in adorned.rules if len(a.rule.body) == 3][0]
+        assert recursive.body_adornments == (None, ("sg", "bf"), None)
+
+    def test_edb_literals_untouched(self):
+        adorned = adorn_program(ANCESTOR, parse_query("anc(a, X)?"))
+        predicates = {
+            literal.predicate
+            for a in adorned.rules
+            for literal in a.rule.body
+        }
+        assert "par" in predicates
+
+    def test_multiple_adornments_generated_when_needed(self):
+        program = parse_program(
+            """
+            p(X,Y) :- e(X,Y).
+            p(X,Y) :- q(Y,X).
+            q(X,Y) :- p(X,Y).
+            q(X,Y) :- e(X,Y).
+            """
+        )
+        adorned = adorn_program(program, parse_query("p(a, Y)?"))
+        # p called bf; inside rule 2, q(Y,X) has X bound => adornment fb.
+        assert ("q", "fb") in adorned.names
+        # q__fb's rule calls p(X,Y) with Y bound: p__fb appears.
+        assert ("p", "fb") in adorned.names
+
+    def test_query_on_edb_predicate_rejected(self):
+        with pytest.raises(TransformError):
+            adorn_program(ANCESTOR, parse_query("par(a, X)?"))
+
+    def test_most_bound_first_reorders(self):
+        program = parse_program("p(X,Y) :- e(X,Z), f(Y), g(Z,Y).")
+        adorned = adorn_program(
+            program, parse_query("p(a, Y)?"), sips=most_bound_first
+        )
+        body = [l.predicate for l in adorned.rules[0].rule.body]
+        # e(X,Z) is half bound via X=a; f(Y) and g(Z,Y) are unbound at
+        # the start, so e must come first.
+        assert body[0] == "e"
+
+    def test_adorned_name_collision_avoided(self):
+        program = parse_program(
+            """
+            anc__bf(X) :- seed(X).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        adorned = adorn_program(program, parse_query("anc(a, X)?"))
+        name = adorned.names[("anc", "bf")]
+        assert name != "anc__bf"  # taken by the user's predicate
+
+    def test_program_view_contains_only_adorned_rules(self):
+        adorned = adorn_program(ANCESTOR, parse_query("anc(a, X)?"))
+        program = adorned.program()
+        assert program.idb_predicates == {"anc__bf"}

@@ -1,0 +1,140 @@
+"""Unit tests for the Alexander templates transformation."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.facts.database import Database
+from repro.transform.alexander import alexander_templates
+from repro.transform.supplementary import supplementary_magic_sets
+
+ANCESTOR = parse_program(
+    """
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    """
+)
+
+SG = parse_program(
+    """
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+    """
+)
+
+
+def chain_db(n=4):
+    names = "abcdefghijklmnop"
+    db = Database()
+    for i in range(n - 1):
+        db.add("par", (names[i], names[i + 1]))
+    return db
+
+
+class TestAlexanderRewriting:
+    def test_templates_for_right_linear_ancestor(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(a, X)?"))
+        rules = {str(r) for r in transformed.program}
+        assert "ans__anc__bf(X, Y) :- call__anc__bf(X), par(X, Y)." in rules
+        assert "cont_1_1__anc__bf(X, Z) :- call__anc__bf(X), par(X, Z)." in rules
+        assert "call__anc__bf(Z) :- cont_1_1__anc__bf(X, Z)." in rules
+        assert (
+            "ans__anc__bf(X, Y) :- cont_1_1__anc__bf(X, Z), ans__anc__bf(Z, Y)."
+            in rules
+        )
+        assert len(rules) == 4
+
+    def test_seed_and_goal(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(a, X)?"))
+        assert [str(s) for s in transformed.seeds] == ["call__anc__bf(a)"]
+        assert str(transformed.goal) == "ans__anc__bf(a, X)"
+
+    def test_idb_body_literals_become_ans_atoms(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(a, X)?"))
+        body_predicates = {
+            literal.predicate
+            for rule in transformed.program
+            for literal in rule.body
+        }
+        # The original adorned predicate name must not appear anywhere:
+        # only call/ans/cont predicates and the EDB.
+        assert "anc__bf" not in body_predicates
+        assert "par" in body_predicates
+
+    def test_evaluation_produces_call_and_ans_facts(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(a, X)?"))
+        completed, _ = seminaive_fixpoint(
+            transformed.evaluation_program(), chain_db()
+        )
+        # Calls walk the whole chain from a.
+        assert completed.rows("call__anc__bf") == {
+            ("a",), ("b",), ("c",), ("d",)
+        }
+        assert completed.rows("ans__anc__bf") == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+            ("b", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_bound_query_restricts_calls(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(c, X)?"))
+        completed, _ = seminaive_fixpoint(
+            transformed.evaluation_program(), chain_db()
+        )
+        assert completed.rows("call__anc__bf") == {("c",), ("d",)}
+
+    def test_metadata(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(a, X)?"))
+        assert transformed.call_predicates == {"call__anc__bf": ("anc", "bf")}
+        assert transformed.answer_predicates == {"ans__anc__bf": ("anc", "bf")}
+        assert transformed.kind == "alexander"
+
+    def test_zero_arity_call_for_open_query(self):
+        transformed = alexander_templates(ANCESTOR, parse_query("anc(X, Y)?"))
+        assert [str(s) for s in transformed.seeds] == ["call__anc__ff"]
+        completed, _ = seminaive_fixpoint(
+            transformed.evaluation_program(), chain_db()
+        )
+        assert len(completed.rows("ans__anc__ff")) == 6
+
+
+class TestAlexanderIsSupplementaryMagic:
+    """Seki's structural observation: the two rewritings are the same
+    program up to predicate renaming — identical fact counts and
+    identical inference counts under the same engine."""
+
+    @pytest.mark.parametrize(
+        "program, query_text, edb",
+        [
+            (ANCESTOR, "anc(a, X)?", "chain"),
+            (ANCESTOR, "anc(X, Y)?", "chain"),
+            (SG, "sg(d, X)?", "sg"),
+        ],
+    )
+    def test_identical_counts(self, program, query_text, edb):
+        query = parse_query(query_text)
+        if edb == "chain":
+            db = chain_db(6)
+        else:
+            db = Database()
+            for pair in [("b", "a"), ("c", "a"), ("d", "b"), ("e", "b")]:
+                db.add("up", pair)
+                db.add("down", (pair[1], pair[0]))
+            db.add("flat", ("b", "c"))
+            db.add("flat", ("c", "b"))
+        alexander = alexander_templates(program, query)
+        supplementary = supplementary_magic_sets(program, query)
+        _, alexander_stats = seminaive_fixpoint(
+            alexander.evaluation_program(), db
+        )
+        _, supplementary_stats = seminaive_fixpoint(
+            supplementary.evaluation_program(), db
+        )
+        assert alexander_stats.inferences == supplementary_stats.inferences
+        assert alexander_stats.facts_derived == supplementary_stats.facts_derived
+        assert alexander_stats.attempts == supplementary_stats.attempts
+
+    def test_rule_count_matches(self):
+        query = parse_query("sg(a, X)?")
+        alexander = alexander_templates(SG, query)
+        supplementary = supplementary_magic_sets(SG, query)
+        assert len(alexander.program) == len(supplementary.program)

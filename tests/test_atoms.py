@@ -1,0 +1,90 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestAtom:
+    def test_arity(self):
+        assert Atom("p", (X, a)).arity == 2
+        assert Atom("p").arity == 0
+
+    def test_signature(self):
+        assert Atom("p", (X, a)).signature == ("p", 2)
+
+    def test_args_normalised_to_tuple(self):
+        atom = Atom("p", [X, a])
+        assert isinstance(atom.args, tuple)
+        assert hash(atom) == hash(Atom("p", (X, a)))
+
+    def test_variables_in_order_with_repeats(self):
+        atom = Atom("p", (X, a, Y, X))
+        assert list(atom.variables()) == [X, Y, X]
+
+    def test_variable_set(self):
+        assert Atom("p", (X, a, Y, X)).variable_set() == {X, Y}
+
+    def test_is_ground(self):
+        assert Atom("p", (a, b)).is_ground()
+        assert not Atom("p", (a, X)).is_ground()
+        assert Atom("p").is_ground()
+
+    def test_substitute_replaces_variables(self):
+        atom = Atom("p", (X, Y)).substitute({X: a})
+        assert atom == Atom("p", (a, Y))
+
+    def test_substitute_identity_returns_self(self):
+        atom = Atom("p", (X, Y))
+        assert atom.substitute({Z: a}) is atom
+
+    def test_substitute_empty_returns_self(self):
+        atom = Atom("p", (X,))
+        assert atom.substitute({}) is atom
+
+    def test_with_predicate(self):
+        assert Atom("p", (X,)).with_predicate("q") == Atom("q", (X,))
+
+    def test_ground_key(self):
+        assert Atom("p", (a, b)).ground_key() == ("a", "b")
+
+    def test_ground_key_raises_on_variables(self):
+        with pytest.raises(ValueError):
+            Atom("p", (a, X)).ground_key()
+
+    def test_str_with_args(self):
+        assert str(Atom("p", (X, a))) == "p(X, a)"
+
+    def test_str_zero_arity(self):
+        assert str(Atom("p")) == "p"
+
+
+class TestLiteral:
+    def test_default_positive(self):
+        literal = Literal(Atom("p", (X,)))
+        assert literal.positive and not literal.negative
+
+    def test_negated_flips_polarity(self):
+        literal = Literal(Atom("p", (X,)))
+        assert literal.negated().negative
+        assert literal.negated().negated() == literal
+
+    def test_substitute_preserves_polarity(self):
+        literal = Literal(Atom("p", (X,)), positive=False)
+        assert literal.substitute({X: a}).negative
+
+    def test_substitute_identity_returns_self(self):
+        literal = Literal(Atom("p", (X,)))
+        assert literal.substitute({Y: a}) is literal
+
+    def test_str_negative(self):
+        assert str(Literal(Atom("p", (X,)), positive=False)) == "not p(X)"
+
+    def test_predicate_and_args_delegate(self):
+        literal = Literal(Atom("p", (X, a)))
+        assert literal.predicate == "p"
+        assert literal.args == (X, a)

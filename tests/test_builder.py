@@ -1,0 +1,86 @@
+"""Unit tests for the programmatic rule-builder DSL."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.builder import const, pred, variables
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+
+def test_variables_from_string():
+    X, Y = variables("X Y")
+    assert X == Variable("X") and Y == Variable("Y")
+
+
+def test_variables_from_iterable():
+    (X,) = variables(["X"])
+    assert X == Variable("X")
+
+
+def test_pred_builds_atoms_with_auto_constants():
+    p = pred("p")
+    atom = p("a", 3).atom
+    assert atom == Atom("p", (Constant("a"), Constant(3)))
+
+
+def test_explicit_const():
+    assert const("Odd Name") == Constant("Odd Name")
+
+
+def test_rule_with_single_body_literal():
+    p, q = pred("p"), pred("q")
+    (X,) = variables("X")
+    rule = p(X) <= q(X)
+    assert rule == parse_rule("p(X) :- q(X).")
+
+
+def test_rule_with_tuple_body_and_negation():
+    p, q, r = pred("p"), pred("q"), pred("r")
+    X, Y = variables("X Y")
+    rule = p(X, Y) <= (q(X, Y), ~r(Y))
+    assert rule == parse_rule("p(X,Y) :- q(X,Y), not r(Y).")
+
+
+def test_double_negation_restores_polarity():
+    r = pred("r")
+    (X,) = variables("X")
+    literal = ~~r(X)
+    assert literal.literal.positive
+
+
+def test_fact_builder():
+    par = pred("par")
+    fact = par("a", "b").fact()
+    assert fact == parse_rule("par(a, b).")
+
+
+def test_recursive_program_matches_parsed():
+    anc, par = pred("anc"), pred("par")
+    X, Y, Z = variables("X Y Z")
+    built = [
+        anc(X, Y) <= par(X, Y),
+        anc(X, Y) <= (par(X, Z), anc(Z, Y)),
+    ]
+    parsed = [
+        parse_rule("anc(X,Y) :- par(X,Y)."),
+        parse_rule("anc(X,Y) :- par(X,Z), anc(Z,Y)."),
+    ]
+    assert built == parsed
+
+
+def test_body_accepts_raw_atoms_and_literals():
+    p = pred("p")
+    (X,) = variables("X")
+    rule = p(X) <= (Atom("q", (X,)), Literal(Atom("r", (X,)), positive=False))
+    assert rule == parse_rule("p(X) :- q(X), not r(X).")
+
+
+def test_invalid_body_type_raises():
+    p = pred("p")
+    (X,) = variables("X")
+    with pytest.raises(TypeError):
+        p(X) <= 42  # type: ignore[operator]
+    with pytest.raises(TypeError):
+        p(X) <= ("not a literal",)  # type: ignore[operator]

@@ -1,0 +1,181 @@
+"""Tests for built-in comparison predicates across the whole stack."""
+
+import pytest
+
+from repro.core.compare import check_correspondence
+from repro.core.strategy import run_strategy
+from repro.datalog.builtins import evaluate_builtin, is_builtin
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.errors import EvaluationError, SafetyError
+from repro.facts.database import Database
+
+ALL = ("naive", "seminaive", "sld", "oldt", "qsqr", "magic", "supplementary", "alexander")
+
+PEOPLE = parse_program(
+    """
+    age(ann, 12). age(bob, 30). age(cal, 45). age(dee, 30).
+    adult(X) :- age(X, A), A >= 18.
+    minor(X) :- age(X, A), A < 18.
+    older(X, Y) :- age(X, A), age(Y, B), A > B.
+    peer(X, Y) :- age(X, A), age(Y, A), X != Y.
+    """
+)
+
+
+class TestEvaluateBuiltin:
+    def test_registry(self):
+        assert is_builtin("lt") and is_builtin("neq") and is_builtin("eq")
+        assert not is_builtin("par")
+
+    @pytest.mark.parametrize(
+        "name, values, expected",
+        [
+            ("eq", (1, 1), True),
+            ("eq", (1, 2), False),
+            ("neq", ("a", "b"), True),
+            ("neq", ("a", "a"), False),
+            ("lt", (1, 2), True),
+            ("lt", (2, 1), False),
+            ("leq", (2, 2), True),
+            ("gt", (3, 1), True),
+            ("geq", (1, 2), False),
+            ("lt", ("apple", "pear"), True),
+        ],
+    )
+    def test_semantics(self, name, values, expected):
+        assert evaluate_builtin(name, values) is expected
+
+    def test_cross_type_ordering_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_builtin("lt", (1, "a"))
+
+    def test_cross_type_equality_allowed(self):
+        assert evaluate_builtin("neq", (1, "a"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvaluationError):
+            evaluate_builtin("lt", (1,))
+
+    def test_unknown_builtin(self):
+        with pytest.raises(EvaluationError):
+            evaluate_builtin("almost", (1, 2))
+
+
+class TestInfixParsing:
+    def test_infix_forms(self):
+        rule = parse_rule("p(X) :- q(X, A), A >= 18.")
+        assert rule.body[1].predicate == "geq"
+
+    @pytest.mark.parametrize(
+        "operator, predicate",
+        [("=", "eq"), ("!=", "neq"), ("<", "lt"), ("<=", "leq"), (">", "gt"), (">=", "geq")],
+    )
+    def test_every_operator(self, operator, predicate):
+        rule = parse_rule(f"p(X) :- q(X, A), A {operator} 3.")
+        assert rule.body[1].predicate == predicate
+
+    def test_constant_on_the_left(self):
+        rule = parse_rule("p(X) :- q(X, A), 18 <= A.")
+        assert str(rule.body[1].atom) == "leq(18, A)"
+
+    def test_prefix_form_equivalent(self):
+        infix = parse_rule("p(X) :- q(X, A), A < 3.")
+        prefix = parse_rule("p(X) :- q(X, A), lt(A, 3).")
+        assert infix == prefix
+
+    def test_negated_comparison(self):
+        rule = parse_rule("p(X) :- q(X, A), not A < 3.")
+        assert rule.body[1].negative
+        assert rule.body[1].predicate == "lt"
+
+    def test_round_trip_through_str(self):
+        rule = parse_rule("p(X) :- q(X, A), A != 3.")
+        assert parse_rule(str(rule)) == rule
+
+
+class TestAgreementAcrossStrategies:
+    @pytest.mark.parametrize(
+        "query_text", ["adult(X)?", "minor(X)?", "older(cal, Y)?", "peer(X, Y)?"]
+    )
+    def test_people_queries(self, query_text):
+        query = parse_query(query_text)
+        reference = None
+        for name in ALL:
+            result = run_strategy(name, PEOPLE, query, None)
+            if reference is None:
+                reference = result.answer_rows
+            else:
+                assert result.answer_rows == reference, name
+        assert reference  # every query has answers
+
+    def test_recursive_rule_with_guard(self):
+        program = parse_program(
+            """
+            e(0,1). e(1,2). e(2,3). e(3,4).
+            bounded(X, Y) :- e(X, Y), Y <= 2.
+            bounded(X, Y) :- e(X, Z), bounded(Z, Y), Y <= 2.
+            """
+        )
+        query = parse_query("bounded(0, Y)?")
+        reference = None
+        for name in ALL:
+            result = run_strategy(name, program, query, None)
+            rows = result.answer_rows
+            if reference is None:
+                reference = rows
+            assert rows == reference, name
+        assert reference == {(0, 1), (0, 2)}
+
+    def test_correspondence_with_builtins(self):
+        program = parse_program(
+            """
+            e(0,1). e(1,2). e(2,3).
+            small(X, Y) :- e(X, Y), X < Y.
+            small(X, Y) :- e(X, Z), small(Z, Y), X < Y.
+            """
+        )
+        correspondence = check_correspondence(
+            program, parse_query("small(0, Y)?"), None
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_builtin_out_of_order_is_reordered(self):
+        # The comparison comes first textually; every engine must delay it.
+        program = parse_program(
+            """
+            age(ann, 12). age(bob, 30).
+            adult(X) :- A >= 18, age(X, A).
+            """
+        )
+        for name in ALL:
+            result = run_strategy(name, program, parse_query("adult(X)?"), None)
+            assert result.answer_rows == {("bob",)}, name
+
+
+class TestBuiltinSafety:
+    def test_unbound_builtin_variable_is_unsafe(self):
+        from repro.analysis.safety import check_rule_safety
+
+        rule = parse_rule("p(X) :- q(X), X < Limit.")
+        violations = check_rule_safety(rule)
+        assert any("builtin" in v.place for v in violations)
+
+    def test_builtin_does_not_make_head_safe(self):
+        from repro.analysis.safety import check_rule_safety
+
+        rule = parse_rule("p(Y) :- q(X), X < Y.")
+        places = {v.place for v in check_rule_safety(rule)}
+        assert "head" in places
+
+
+class TestBuiltinNegation:
+    def test_not_less_than(self):
+        program = parse_program(
+            """
+            age(ann, 12). age(bob, 30).
+            grown(X) :- age(X, A), not A < 18.
+            """
+        )
+        for name in ALL:
+            result = run_strategy(name, program, parse_query("grown(X)?"), None)
+            assert result.answer_rows == {("bob",)}, name

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+par(a,b). par(b,c). par(c,d).
+anc(X,Y) :- par(X,Y).
+anc(X,Y) :- par(X,Z), anc(Z,Y).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.dl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_query_prints_bindings(self, program_file, capsys):
+        code = main(["query", program_file, "anc(a, X)?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.splitlines() == ["X = b", "X = c", "X = d"]
+
+    def test_query_ground_goal_prints_true(self, program_file, capsys):
+        main(["query", program_file, "anc(a, d)?"])
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_query_ground_goal_prints_false(self, program_file, capsys):
+        main(["query", program_file, "anc(d, a)?"])
+        assert capsys.readouterr().out.strip() == "false"
+
+    def test_query_with_strategy_and_stats(self, program_file, capsys):
+        code = main(
+            ["query", program_file, "anc(a, X)?", "--strategy", "oldt", "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "EvaluationStats" in captured.err
+
+    def test_query_limit(self, program_file, capsys):
+        main(["query", program_file, "anc(a, X)?", "--limit", "1"])
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("p(a) q(b).")
+        code = main(["query", str(bad), "p(X)?"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_table_lists_all_strategies(self, program_file, capsys):
+        code = main(["explain", program_file, "anc(a, X)?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("seminaive", "magic", "supplementary", "alexander", "oldt", "qsqr"):
+            assert name in out
+
+
+class TestCheckCommand:
+    def test_exact_correspondence_exit_zero(self, program_file, capsys):
+        code = main(["check", program_file, "anc(a, X)?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact: True" in out
+
+
+class TestTransformCommand:
+    def test_alexander_output(self, program_file, capsys):
+        code = main(["transform", program_file, "anc(a, X)?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "call__anc__bf(a)." in out
+        assert "% goal: ans__anc__bf(a, X)?" in out
+
+    def test_magic_output(self, program_file, capsys):
+        main(["transform", program_file, "anc(a, X)?", "--kind", "magic"])
+        out = capsys.readouterr().out
+        assert "magic__anc__bf(a)." in out
+
+
+class TestLintCommand:
+    def test_clean_program(self, program_file, capsys):
+        code = main(["lint", program_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "anc is linear" in out
+        assert "ok" in out
+
+    def test_unsafe_program(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.dl"
+        path.write_text("p(X, Y) :- q(X).")
+        code = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unsafe" in out
+
+    def test_unstratifiable_program(self, tmp_path, capsys):
+        path = tmp_path / "win.dl"
+        path.write_text("win(X) :- move(X,Y), not win(Y).")
+        code = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not stratifiable" in out

@@ -1,0 +1,129 @@
+"""Tests for the Alexander/OLDT correspondence checker — the paper's
+Theorem 1 run as an executable property over the workload suite."""
+
+import pytest
+
+from repro.core.compare import check_correspondence
+from repro.datalog.parser import parse_program, parse_query
+from repro.facts.database import Database
+from repro.workloads import ancestor, same_generation
+
+
+class TestCorrespondenceExactness:
+    @pytest.mark.parametrize(
+        "graph, params",
+        [
+            ("chain", {"n": 10}),
+            ("cycle", {"n": 8}),
+            ("tree", {"depth": 3, "branching": 2}),
+            ("random", {"n": 9, "edge_probability": 0.25, "seed": 3}),
+            ("grid", {"width": 3, "height": 3}),
+        ],
+    )
+    def test_ancestor_bound_query(self, graph, params):
+        scenario = ancestor(graph=graph, **params)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    @pytest.mark.parametrize("variant", ["right", "left", "nonlinear", "double"])
+    def test_ancestor_variants(self, variant):
+        scenario = ancestor(graph="chain", variant=variant, n=8)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_open_query(self):
+        scenario = ancestor(graph="chain", n=8)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(1), scenario.database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_fully_bound_query(self):
+        scenario = ancestor(graph="chain", n=8)
+        correspondence = check_correspondence(
+            scenario.program, parse_query("anc(0, 5)?"), scenario.database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_same_generation(self):
+        scenario = same_generation(depth=3, branching=2)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_mutual_recursion_two_adornments(self):
+        program = parse_program(
+            """
+            p(X,Y) :- e(X,Y).
+            p(X,Y) :- q(Y,X).
+            q(X,Y) :- p(X,Y).
+            q(X,Y) :- e(X,Y).
+            """
+        )
+        database = Database()
+        for pair in [(0, 1), (1, 2), (2, 0)]:
+            database.add("e", pair)
+        correspondence = check_correspondence(
+            program, parse_query("p(0, Y)?"), database
+        )
+        assert correspondence.exact, correspondence.summary()
+
+
+class TestCorrespondenceMetrics:
+    def test_inference_ratio_is_bounded_constant(self):
+        # Theorem 2's practical form: the ratio stays within a small
+        # constant band across sizes.
+        ratios = []
+        for n in (8, 16, 32, 64):
+            scenario = ancestor(graph="chain", n=n)
+            correspondence = check_correspondence(
+                scenario.program, scenario.query(0), scenario.database
+            )
+            assert correspondence.exact
+            ratios.append(correspondence.inference_ratio)
+        assert all(0.25 <= ratio <= 4.0 for ratio in ratios), ratios
+        # ... and does not drift with n (no asymptotic gap).
+        assert max(ratios) / min(ratios) < 1.5, ratios
+
+    def test_calls_equal_oldt_tables(self):
+        scenario = ancestor(graph="tree", depth=3, branching=2)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert correspondence.exact
+        assert len(correspondence.calls_matched) == (
+            correspondence.oldt_stats.calls
+        )
+
+    def test_answers_equal_oldt_table_answers(self):
+        scenario = ancestor(graph="chain", n=10)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert len(correspondence.answers_matched) == (
+            correspondence.oldt_stats.facts_derived
+        )
+
+    def test_summary_mentions_exactness(self):
+        scenario = ancestor(graph="chain", n=6)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert "exact: True" in correspondence.summary()
+
+    def test_empty_database_still_exact(self):
+        scenario = ancestor(graph="chain", n=2)
+        empty = Database()
+        empty.relation("par", 2)
+        correspondence = check_correspondence(
+            scenario.program, scenario.query(0), empty
+        )
+        assert correspondence.exact
+        # One call (the seed), zero answers.
+        assert len(correspondence.calls_matched) == 1
+        assert len(correspondence.answers_matched) == 0

@@ -1,0 +1,44 @@
+"""Tests for the shared statistics record."""
+
+from repro.engine.counters import EvaluationStats
+
+
+def test_defaults_are_zero():
+    stats = EvaluationStats()
+    assert stats.as_dict() == {
+        "inferences": 0,
+        "attempts": 0,
+        "facts_derived": 0,
+        "calls": 0,
+        "answers": 0,
+        "iterations": 0,
+    }
+
+
+def test_merge_accumulates_every_field():
+    left = EvaluationStats(inferences=1, attempts=2, facts_derived=3)
+    right = EvaluationStats(inferences=10, calls=5, answers=7, iterations=2)
+    left.merge(right)
+    assert left.inferences == 11
+    assert left.attempts == 2
+    assert left.facts_derived == 3
+    assert left.calls == 5
+    assert left.answers == 7
+    assert left.iterations == 2
+
+
+def test_merge_returns_self_for_chaining():
+    stats = EvaluationStats()
+    assert stats.merge(EvaluationStats(inferences=1)) is stats
+
+
+def test_copy_is_independent():
+    stats = EvaluationStats(inferences=4)
+    clone = stats.copy()
+    clone.inferences += 1
+    assert stats.inferences == 4
+
+
+def test_str_lists_fields():
+    text = str(EvaluationStats(inferences=3))
+    assert "inferences=3" in text and "answers=0" in text

@@ -1,0 +1,95 @@
+"""Unit tests for repro.facts.database."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant
+from repro.facts.database import Database
+
+
+def atom(pred, *values):
+    return Atom(pred, tuple(Constant(v) for v in values))
+
+
+class TestDatabase:
+    def test_relation_created_on_demand(self):
+        db = Database()
+        relation = db.relation("p", 2)
+        assert relation.arity == 2
+        assert db.relation("p") is relation
+
+    def test_relation_unknown_without_arity(self):
+        with pytest.raises(KeyError):
+            Database().relation("p")
+
+    def test_relation_arity_conflict(self):
+        db = Database()
+        db.relation("p", 2)
+        with pytest.raises(ValueError):
+            db.relation("p", 3)
+
+    def test_add_and_contains(self):
+        db = Database()
+        assert db.add("p", ("a",))
+        assert not db.add("p", ("a",))
+        assert "p" in db and "q" not in db
+
+    def test_add_atom_and_has_fact(self):
+        db = Database()
+        db.add_atom(atom("p", "a", "b"))
+        assert db.has_fact(atom("p", "a", "b"))
+        assert not db.has_fact(atom("p", "b", "a"))
+        assert not db.has_fact(atom("q", "a"))
+
+    def test_from_facts_and_rows(self):
+        db = Database.from_facts([atom("e", 1, 2), atom("e", 2, 3)])
+        assert db.rows("e") == {(1, 2), (2, 3)}
+        assert db.rows("missing") == frozenset()
+
+    def test_from_program_extracts_embedded_facts(self):
+        program = parse_program("par(a,b). anc(X,Y) :- par(X,Y).")
+        db = Database.from_program(program)
+        assert db.rows("par") == {("a", "b")}
+        assert "anc" not in db
+
+    def test_atoms_round_trip(self):
+        db = Database.from_facts([atom("e", 1, 2)])
+        assert list(db.atoms("e")) == [atom("e", 1, 2)]
+
+    def test_all_atoms_sorted_by_predicate(self):
+        db = Database.from_facts([atom("z", 1), atom("a", 2)])
+        predicates = [a.predicate for a in db.all_atoms()]
+        assert predicates == ["a", "z"]
+
+    def test_total_facts(self):
+        db = Database.from_facts([atom("e", 1, 2), atom("f", 1)])
+        assert db.total_facts() == 2
+
+    def test_copy_is_deep_enough(self):
+        db = Database.from_facts([atom("e", 1, 2)])
+        clone = db.copy()
+        clone.add("e", (3, 4))
+        assert db.rows("e") == {(1, 2)}
+
+    def test_merge_counts_new(self):
+        left = Database.from_facts([atom("e", 1, 2)])
+        right = Database.from_facts([atom("e", 1, 2), atom("e", 2, 3)])
+        assert left.merge(right) == 1
+        assert left.rows("e") == {(1, 2), (2, 3)}
+
+    def test_restrict(self):
+        db = Database.from_facts([atom("e", 1, 2), atom("f", 1)])
+        only_e = db.restrict(["e"])
+        assert only_e.predicates() == {"e"}
+
+    def test_equality_ignores_empty_relations(self):
+        left = Database.from_facts([atom("e", 1, 2)])
+        right = Database.from_facts([atom("e", 1, 2)])
+        right.relation("idle", 1)  # empty relation should not break equality
+        assert left == right
+
+    def test_arity_of(self):
+        db = Database.from_facts([atom("e", 1, 2)])
+        assert db.arity_of("e") == 2
+        assert db.arity_of("nope") is None

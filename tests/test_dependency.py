@@ -1,0 +1,98 @@
+"""Unit tests for the predicate dependency graph."""
+
+import pytest
+
+from repro.analysis.dependency import DependencyGraph, RecursionKind
+from repro.datalog.parser import parse_program
+
+LINEAR = parse_program(
+    """
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    """
+)
+
+NONLINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- tc(X,Z), tc(Z,Y).
+    """
+)
+
+MUTUAL = parse_program(
+    """
+    even(X) :- zero(X).
+    even(X) :- succ(Y,X), odd(Y).
+    odd(X) :- succ(Y,X), even(Y).
+    """
+)
+
+NEGATION = parse_program(
+    """
+    reach(X,Y) :- e(X,Y).
+    reach(X,Y) :- e(X,Z), reach(Z,Y).
+    unreach(X,Y) :- node(X), node(Y), not reach(X,Y).
+    """
+)
+
+
+class TestEdges:
+    def test_nodes_cover_all_predicates(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.nodes == {"anc", "par"}
+
+    def test_successors_and_predecessors(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.successors["par"] == {"anc"}
+        assert graph.predecessors["anc"] == {"par", "anc"}
+
+    def test_negative_edge_recorded(self):
+        graph = DependencyGraph(NEGATION)
+        assert graph.depends_negatively("unreach", "reach")
+        assert not graph.depends_negatively("reach", "e")
+
+
+class TestSccs:
+    def test_self_loop_is_recursive(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.is_recursive_predicate("anc")
+        assert not graph.is_recursive_predicate("par")
+
+    def test_mutual_recursion_shares_component(self):
+        graph = DependencyGraph(MUTUAL)
+        assert graph.scc_of["even"] == graph.scc_of["odd"]
+        assert graph.is_recursive_predicate("even")
+
+    def test_condensation_order_is_dependencies_first(self):
+        graph = DependencyGraph(NEGATION)
+        order = graph.condensation_order()
+        position = {pred: i for i, component in enumerate(order) for pred in component}
+        assert position["e"] < position["reach"] < position["unreach"]
+        assert position["node"] < position["unreach"]
+
+    def test_sccs_partition_nodes(self):
+        graph = DependencyGraph(MUTUAL)
+        seen = [pred for component in graph.sccs for pred in component]
+        assert sorted(seen) == sorted(graph.nodes)
+
+
+class TestRecursionKind:
+    def test_non_recursive(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.recursion_kind("par") == RecursionKind.NON_RECURSIVE
+
+    def test_linear(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.recursion_kind("anc") == RecursionKind.LINEAR
+
+    def test_nonlinear(self):
+        graph = DependencyGraph(NONLINEAR)
+        assert graph.recursion_kind("tc") == RecursionKind.NON_LINEAR
+
+    def test_mutual_recursion_is_linear_here(self):
+        graph = DependencyGraph(MUTUAL)
+        assert graph.recursion_kind("even") == RecursionKind.LINEAR
+
+    def test_unknown_predicate_is_non_recursive(self):
+        graph = DependencyGraph(LINEAR)
+        assert graph.recursion_kind("ghost") == RecursionKind.NON_RECURSIVE

@@ -1,0 +1,161 @@
+"""Edge-case matrix: the corners every strategy must handle identically."""
+
+import pytest
+
+from repro.core.compare import check_correspondence
+from repro.core.strategy import available_strategies, run_strategy
+from repro.datalog.parser import parse_program, parse_query
+from repro.facts.database import Database
+
+ALL = ("naive", "seminaive", "sld", "oldt", "qsqr", "magic", "supplementary", "alexander")
+# Plain SLD diverges on cyclic data; the cyclic edge cases exclude it.
+TERMINATING = tuple(s for s in ALL if s != "sld")
+
+
+def answers_everywhere(program, query, database=None, strategies=ALL):
+    results = {}
+    for name in strategies:
+        results[name] = run_strategy(name, program, query, database)
+    rows = {name: r.answer_rows for name, r in results.items()}
+    reference = next(iter(rows.values()))
+    for name, value in rows.items():
+        assert value == reference, name
+    return results
+
+
+class TestZeroArity:
+    PROGRAM = parse_program(
+        """
+        step.
+        ready :- step.
+        go :- step, ready.
+        """
+    )
+
+    def test_all_strategies_prove_zero_arity_goal(self):
+        results = answers_everywhere(self.PROGRAM, parse_query("go?"))
+        assert all(len(r.answers) == 1 for r in results.values())
+
+    def test_failing_zero_arity_goal(self):
+        program = parse_program("go :- missing.")
+        results = answers_everywhere(program, parse_query("go?"))
+        assert all(len(r.answers) == 0 for r in results.values())
+
+    def test_correspondence_with_zero_arity(self):
+        correspondence = check_correspondence(
+            self.PROGRAM, parse_query("go?"), Database()
+        )
+        assert correspondence.exact, correspondence.summary()
+
+
+class TestUnknownConstants:
+    def test_query_with_constant_not_in_database(self, ancestor_full):
+        program, database, _, _ = ancestor_full
+        results = answers_everywhere(
+            program, parse_query("anc(ghost, X)?"), database
+        )
+        assert all(len(r.answers) == 0 for r in results.values())
+
+    def test_correspondence_with_unknown_constant(self, ancestor_full):
+        program, database, _, _ = ancestor_full
+        correspondence = check_correspondence(
+            program, parse_query("anc(ghost, X)?"), database
+        )
+        assert correspondence.exact
+        assert len(correspondence.calls_matched) == 1  # just the seed
+
+
+class TestMixedConstantTypes:
+    def test_ints_and_strings_do_not_collide(self):
+        program = parse_program(
+            """
+            e(1, one). e(one, "1").
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            """
+        )
+        results = answers_everywhere(program, parse_query("r(1, X)?"))
+        reference = next(iter(results.values()))
+        assert {str(a) for a in reference.answers} == {
+            'r(1, one)', 'r(1, "1")'
+        }
+
+    def test_integer_query_binding(self):
+        program = parse_program(
+            """
+            e(1, 2). e(2, 3).
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            """
+        )
+        results = answers_everywhere(program, parse_query("r(1, 3)?"))
+        assert all(len(r.answers) == 1 for r in results.values())
+
+
+class TestDegeneratePrograms:
+    def test_facts_only_program(self):
+        program = parse_program("par(a, b). par(b, c).")
+        # No rules: the query predicate is extensional everywhere.
+        results = answers_everywhere(program, parse_query("par(a, X)?"))
+        assert all(len(r.answers) == 1 for r in results.values())
+
+    def test_rule_with_ground_head_and_body(self):
+        program = parse_program(
+            """
+            trigger(on).
+            alarm(loud) :- trigger(on).
+            """
+        )
+        results = answers_everywhere(program, parse_query("alarm(X)?"))
+        assert all(len(r.answers) == 1 for r in results.values())
+
+    def test_constant_head_argument_filtering(self):
+        # The rule only fires for X = special.
+        program = parse_program(
+            """
+            v(special). v(plain).
+            tagged(special, X) :- v(X).
+            """
+        )
+        results = answers_everywhere(program, parse_query("tagged(special, X)?"))
+        assert all(len(r.answers) == 2 for r in results.values())
+        results = answers_everywhere(program, parse_query("tagged(plain, X)?"))
+        assert all(len(r.answers) == 0 for r in results.values())
+
+    def test_self_loop_single_edge(self):
+        program = parse_program(
+            """
+            e(a, a).
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            """
+        )
+        results = answers_everywhere(
+            program, parse_query("r(a, X)?"), strategies=TERMINATING
+        )
+        assert all(len(r.answers) == 1 for r in results.values())
+
+    def test_empty_database_every_strategy(self, ancestor_program):
+        database = Database()
+        database.relation("par", 2)
+        results = answers_everywhere(
+            ancestor_program, parse_query("anc(X, Y)?"), database
+        )
+        assert all(len(r.answers) == 0 for r in results.values())
+
+
+class TestRepeatedQueryVariables:
+    def test_query_with_repeated_variable(self):
+        program = parse_program(
+            """
+            e(a, b). e(b, a). e(b, c).
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            """
+        )
+        # r(X, X): nodes on cycles.
+        results = answers_everywhere(
+            program, parse_query("r(X, X)?"), strategies=TERMINATING
+        )
+        reference = next(iter(results.values()))
+        assert {str(a) for a in reference.answers} == {"r(a, a)", "r(b, b)"}

@@ -1,0 +1,110 @@
+"""Tests for the Engine facade (the public entry point)."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.datalog.parser import parse_query
+from repro.errors import SafetyError
+
+SOURCE = """
+    par(a,b). par(b,c). par(c,d).
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+"""
+
+
+class TestConstruction:
+    def test_from_source(self):
+        engine = Engine.from_source(SOURCE)
+        assert engine.program.idb_predicates == {"anc"}
+        assert engine.database.rows("par") == {
+            ("a", "b"), ("b", "c"), ("c", "d")
+        }
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "program.dl"
+        path.write_text(SOURCE)
+        engine = Engine.from_file(path)
+        assert engine.ask("anc(a, d)?")
+
+    def test_safety_check_on_by_default(self):
+        with pytest.raises(SafetyError):
+            Engine.from_source("p(X, Y) :- q(X).")
+
+    def test_safety_check_can_be_disabled(self):
+        engine = Engine.from_source("p(X, Y) :- q(X).", check_safety=False)
+        assert engine.program is not None
+
+
+class TestQuerying:
+    def test_query_with_string_goal(self):
+        engine = Engine.from_source(SOURCE)
+        result = engine.query("anc(a, X)?")
+        assert [str(a) for a in result.answers] == [
+            "anc(a, b)", "anc(a, c)", "anc(a, d)"
+        ]
+        assert result.strategy == "alexander"
+
+    def test_query_with_atom_goal(self):
+        engine = Engine.from_source(SOURCE)
+        result = engine.query(parse_query("anc(a, d)?"))
+        assert len(result.answers) == 1
+
+    def test_query_with_strategy(self):
+        engine = Engine.from_source(SOURCE)
+        result = engine.query("anc(a, X)?", strategy="oldt")
+        assert result.strategy == "oldt"
+        assert len(result.answers) == 3
+
+    def test_query_with_named_sips(self):
+        engine = Engine.from_source(SOURCE)
+        result = engine.query("anc(a, X)?", sips="most_bound_first")
+        assert len(result.answers) == 3
+
+    def test_ask(self):
+        engine = Engine.from_source(SOURCE)
+        assert engine.ask("anc(a, d)?")
+        assert not engine.ask("anc(d, a)?")
+
+    def test_explain_runs_default_panel(self):
+        engine = Engine.from_source(SOURCE)
+        results = engine.explain("anc(a, X)?")
+        assert set(results) == {
+            "seminaive", "magic", "supplementary", "alexander", "oldt", "qsqr"
+        }
+        rows = {r.answer_rows for r in results.values()}
+        assert len(rows) == 1  # all agree
+
+    def test_explain_custom_panel(self):
+        engine = Engine.from_source(SOURCE)
+        results = engine.explain("anc(a, X)?", strategies=("sld", "oldt"))
+        assert set(results) == {"sld", "oldt"}
+
+    def test_strategies_listing(self):
+        assert "alexander" in Engine.strategies()
+
+
+class TestMutation:
+    def test_add_fact_string(self):
+        engine = Engine.from_source(SOURCE)
+        assert engine.add_fact("par(d, e)")
+        assert engine.ask("anc(a, e)?")
+
+    def test_add_fact_duplicate(self):
+        engine = Engine.from_source(SOURCE)
+        assert not engine.add_fact("par(a, b)")
+
+    def test_add_facts_bulk(self):
+        engine = Engine.from_source(SOURCE)
+        from repro.datalog.parser import parse_atom
+
+        count = engine.add_facts(
+            [parse_atom("par(d, e)"), parse_atom("par(e, f)")]
+        )
+        assert count == 2
+        assert engine.ask("anc(a, f)?")
+
+    def test_input_program_facts_not_duplicated(self):
+        engine = Engine.from_source(SOURCE)
+        # The program handed out is fact-free (facts moved to the DB).
+        assert engine.program.facts == ()

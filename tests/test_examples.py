@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "anc(alice, gina)" in result.stdout
+    assert "exact: True" in result.stdout
+
+
+def test_same_generation_small():
+    result = run_example("same_generation.py", "3", "2")
+    assert result.returncode == 0, result.stderr
+    assert "bound query" in result.stdout
+    assert "open query" in result.stdout
+
+
+def test_bill_of_materials():
+    result = run_example("bill_of_materials.py")
+    assert result.returncode == 0, result.stderr
+    assert "tainted" in result.stdout
+
+
+def test_flight_network():
+    result = run_example("flight_network.py")
+    assert result.returncode == 0, result.stderr
+    assert "diverged as expected" in result.stdout
+    assert "sea" in result.stdout
+
+
+def test_strategy_shootout_small():
+    result = run_example("strategy_shootout.py", "16")
+    assert result.returncode == 0, result.stderr
+    assert "exact" in result.stdout
+    assert "MISMATCH" not in result.stdout
+
+
+def test_game_analysis():
+    result = run_example("game_analysis.py")
+    assert result.returncode == 0, result.stderr
+    assert "drawn" in result.stdout
+    assert "not stratifiable" in result.stdout
+
+
+def test_incremental_social():
+    result = run_example("incremental_social.py")
+    assert result.returncode == 0, result.stderr
+    assert "new: barbara -> alonzo" in result.stdout
+
+
+def test_org_chart():
+    result = run_example("org_chart.py")
+    assert result.returncode == 0, result.stderr
+    assert "raj > sam" in result.stdout

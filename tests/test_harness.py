@@ -1,0 +1,93 @@
+"""Tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    DIVERGED,
+    Measurement,
+    assert_same_answers,
+    measure,
+    scaling_series,
+    sweep,
+)
+from repro.workloads import ancestor
+
+
+class TestMeasure:
+    def test_basic_measurement(self):
+        scenario = ancestor(graph="chain", n=6)
+        m = measure(scenario, "alexander")
+        assert m.strategy == "alexander"
+        assert m.answers == 5
+        assert not m.diverged
+        assert isinstance(m.inferences, int)
+
+    def test_divergence_becomes_row(self):
+        scenario = ancestor(graph="cycle", n=64)
+        m = measure(scenario, "sld")
+        assert m.diverged
+        assert m.inferences == DIVERGED
+
+    def test_row_matches_headers(self):
+        scenario = ancestor(graph="chain", n=4)
+        m = measure(scenario, "oldt")
+        assert len(m.row()) == len(Measurement.headers())
+
+
+class TestSweep:
+    def test_cross_product(self):
+        scenarios = [ancestor(graph="chain", n=4), ancestor(graph="chain", n=6)]
+        measurements = sweep(scenarios, ["seminaive", "oldt"])
+        assert len(measurements) == 4
+
+    def test_agreement_enforced(self):
+        measurements = sweep(
+            [ancestor(graph="chain", n=6)],
+            ["seminaive", "oldt", "alexander", "magic"],
+        )
+        assert_same_answers(measurements)  # must not raise
+
+    def test_divergent_rows_excluded_from_agreement(self):
+        # SLD diverges on the cycle; the sweep must still succeed.
+        measurements = sweep(
+            [ancestor(graph="cycle", n=32)], ["sld", "oldt", "alexander"]
+        )
+        assert any(m.diverged for m in measurements)
+
+    def test_disagreement_detected(self):
+        scenario = ancestor(graph="chain", n=5)
+        good = measure(scenario, "oldt")
+        bad_scenario = ancestor(graph="chain", n=7)
+        bad = measure(bad_scenario, "oldt")
+        with pytest.raises(AssertionError):
+            assert_same_answers([good, bad])
+
+
+class TestScalingSeries:
+    def test_series_shape(self):
+        series = scaling_series(
+            lambda n: ancestor(graph="chain", n=n),
+            [4, 6, 8],
+            ["seminaive", "alexander"],
+        )
+        assert set(series) == {"seminaive", "alexander"}
+        assert [x for x, _ in series["alexander"]] == [4, 6, 8]
+
+    def test_metric_selection(self):
+        series = scaling_series(
+            lambda n: ancestor(graph="chain", n=n),
+            [4, 6],
+            ["alexander"],
+            metric="facts",
+        )
+        values = [y for _, y in series["alexander"]]
+        assert all(isinstance(v, int) for v in values)
+
+    def test_counts_grow_with_size(self):
+        series = scaling_series(
+            lambda n: ancestor(graph="chain", n=n),
+            [4, 8, 16],
+            ["alexander"],
+        )
+        values = [y for _, y in series["alexander"]]
+        assert values[0] < values[1] < values[2]

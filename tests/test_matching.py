@@ -1,0 +1,133 @@
+"""Unit tests for rule compilation and body matching."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.engine.counters import EvaluationStats
+from repro.engine.matching import compile_rule, match_body, order_body
+from repro.errors import SafetyError
+from repro.facts.database import Database
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def view_of(database):
+    def view(position, predicate):
+        try:
+            return database.relation(predicate)
+        except KeyError:
+            return None
+
+    return view
+
+
+def bindings_of(rule_text, facts):
+    rule = parse_rule(rule_text)
+    database = Database()
+    for pred, row in facts:
+        database.add(pred, row)
+    compiled = compile_rule(rule)
+    stats = EvaluationStats()
+    found = list(match_body(compiled, view_of(database), stats))
+    return compiled, found, stats
+
+
+class TestOrderBody:
+    def test_positive_order_is_preserved(self):
+        rule = parse_rule("p(X,Y) :- a(X), b(Y), c(X,Y).")
+        ordered = order_body(rule.body)
+        assert [l.predicate for l in ordered] == ["a", "b", "c"]
+
+    def test_negative_is_delayed_until_bound(self):
+        rule = parse_rule("p(X,Y) :- not r(Y), a(X), b(Y).")
+        ordered = order_body(rule.body)
+        assert [l.predicate for l in ordered] == ["a", "b", "r"]
+
+    def test_negative_placed_at_earliest_bound_point(self):
+        rule = parse_rule("p(X,Y) :- a(X), not r(X), b(Y).")
+        ordered = order_body(rule.body)
+        assert [l.predicate for l in ordered] == ["a", "r", "b"]
+
+    def test_unbindable_negative_raises(self):
+        rule = parse_rule("p(X) :- a(X), not r(W).")
+        with pytest.raises(SafetyError):
+            order_body(rule.body)
+
+    def test_ground_negative_allowed_anywhere(self):
+        rule = parse_rule("p(X) :- not r(a), q(X).")
+        ordered = order_body(rule.body)
+        assert [l.predicate for l in ordered] == ["r", "q"]
+
+
+class TestCompileRule:
+    def test_head_pattern_layout(self):
+        compiled = compile_rule(parse_rule("p(a, X) :- q(X)."))
+        assert compiled.head_pattern == (("c", "a"), ("v", X))
+
+    def test_unsafe_head_variable_raises(self):
+        with pytest.raises(SafetyError):
+            compile_rule(parse_rule("p(X, Y) :- q(X)."))
+
+    def test_literal_classification(self):
+        compiled = compile_rule(parse_rule("p(X) :- e(a, X, X)."))
+        literal = compiled.body[0]
+        assert literal.constants == ((0, "a"),)
+        assert literal.binders == ((1, X),)
+        assert literal.filters == ((2, X),)
+
+    def test_head_tuple_from_binding(self):
+        compiled = compile_rule(parse_rule("p(a, X) :- q(X)."))
+        assert compiled.head_tuple({X: 7}) == ("a", 7)
+
+
+class TestMatchBody:
+    def test_single_literal(self):
+        _, found, _ = bindings_of(
+            "p(X) :- e(X, b).", [("e", ("a", "b")), ("e", ("c", "d"))]
+        )
+        assert [binding[X] for binding in found] == ["a"]
+
+    def test_join_on_shared_variable(self):
+        _, found, _ = bindings_of(
+            "p(X,Y) :- e(X,Z), e(Z,Y).",
+            [("e", ("a", "b")), ("e", ("b", "c")), ("e", ("c", "d"))],
+        )
+        pairs = sorted((b[X], b[Y]) for b in found)
+        assert pairs == [("a", "c"), ("b", "d")]
+
+    def test_repeated_variable_within_literal(self):
+        _, found, _ = bindings_of(
+            "p(X) :- e(X, X).", [("e", ("a", "a")), ("e", ("a", "b"))]
+        )
+        assert [b[X] for b in found] == ["a"]
+
+    def test_negative_literal_filters(self):
+        _, found, _ = bindings_of(
+            "p(X) :- v(X), not bad(X).",
+            [("v", ("a",)), ("v", ("b",)), ("bad", ("b",))],
+        )
+        assert [b[X] for b in found] == ["a"]
+
+    def test_negative_over_unknown_relation_holds(self):
+        _, found, _ = bindings_of(
+            "p(X) :- v(X), not ghost(X).", [("v", ("a",))]
+        )
+        assert len(found) == 1
+
+    def test_missing_positive_relation_yields_nothing(self):
+        _, found, _ = bindings_of("p(X) :- ghost(X).", [])
+        assert found == []
+
+    def test_attempts_are_charged(self):
+        _, _, stats = bindings_of(
+            "p(X,Y) :- e(X,Z), e(Z,Y).",
+            [("e", ("a", "b")), ("e", ("b", "c"))],
+        )
+        assert stats.attempts >= 2
+
+    def test_zero_arity_literal(self):
+        _, found, _ = bindings_of(
+            "p(X) :- go, v(X).", [("go", ()), ("v", ("a",))]
+        )
+        assert len(found) == 1

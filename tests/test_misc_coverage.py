@@ -1,0 +1,210 @@
+"""Coverage for corners not owned by another test module: the error
+hierarchy, CLI variants, strategy-layer internals, and cross-feature
+combinations."""
+
+import pytest
+
+from repro import errors
+from repro.cli import main
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_program, parse_query
+from repro.facts.database import Database
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in (
+            "ParseError",
+            "UnificationError",
+            "ProgramError",
+            "StratificationError",
+            "SafetyError",
+            "EvaluationError",
+            "BudgetExceededError",
+            "TransformError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError), name
+
+    def test_stratification_error_is_a_program_error(self):
+        assert issubclass(errors.StratificationError, errors.ProgramError)
+
+    def test_budget_error_is_an_evaluation_error(self):
+        assert issubclass(errors.BudgetExceededError, errors.EvaluationError)
+
+    def test_parse_error_location_formatting(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+
+    def test_parse_error_without_location(self):
+        assert str(errors.ParseError("oops")) == "oops"
+
+    def test_budget_error_carries_stats(self):
+        from repro.engine.counters import EvaluationStats
+
+        stats = EvaluationStats(inferences=5)
+        error = errors.BudgetExceededError("over", stats)
+        assert error.stats.inferences == 5
+
+
+class TestCliVariants:
+    @pytest.fixture
+    def program_file(self, tmp_path):
+        path = tmp_path / "p.dl"
+        path.write_text(
+            """
+            par(a,b). par(b,c).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        return str(path)
+
+    def test_transform_supplementary(self, program_file, capsys):
+        code = main(
+            ["transform", program_file, "anc(a,X)?", "--kind", "supplementary"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sup_" in out
+
+    def test_query_with_sips_flag(self, program_file, capsys):
+        code = main(
+            ["query", program_file, "anc(a,X)?", "--sips", "most_bound_first"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.splitlines() == ["X = b", "X = c"]
+
+    def test_query_sld_strategy(self, program_file, capsys):
+        code = main(["query", program_file, "anc(a,X)?", "--strategy", "sld"])
+        assert code == 0
+
+    def test_builtin_program_through_cli(self, tmp_path, capsys):
+        path = tmp_path / "b.dl"
+        path.write_text(
+            "age(ann, 12). age(bob, 30). adult(X) :- age(X, A), A >= 18."
+        )
+        code = main(["query", str(path), "adult(X)?"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "X = bob"
+
+    def test_why_with_negation(self, tmp_path, capsys):
+        path = tmp_path / "n.dl"
+        path.write_text(
+            "person(ann). person(bob). smoker(bob).\n"
+            "healthy(X) :- person(X), not smoker(X).\n"
+        )
+        code = main(["why", str(path), "healthy(ann)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[absent]" in out
+
+
+class TestStrategyInternals:
+    def test_transform_strategy_on_recursive_stratified_top(self):
+        # Query a predicate in the top stratum whose rules are recursive
+        # and guarded by a negation over the lower stratum.
+        program = parse_program(
+            """
+            blocked(X) :- flag(X).
+            open_(X) :- door(X), not blocked(X).
+            path(X, Y) :- edge(X, Y), open_(Y).
+            path(X, Y) :- edge(X, Z), open_(Z), path(Z, Y).
+            """
+        )
+        database = Database()
+        for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+            database.add("edge", pair)
+        for node in "abcd":
+            database.add("door", (node,))
+        database.add("flag", ("c",))
+        query = parse_query("path(a, X)?")
+        reference = run_strategy("seminaive", program, query, database)
+        for name in ("magic", "supplementary", "alexander", "oldt", "qsqr"):
+            result = run_strategy(name, program, query, database)
+            assert result.answer_rows == reference.answer_rows, name
+        assert reference.answer_rows == {("a", "b")}
+
+    def test_explain_matrix_on_negation_program(self):
+        from repro.core.engine import Engine
+
+        engine = Engine.from_source(
+            """
+            e(a,b). node(a). node(b). node(c).
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            lonely(X) :- node(X), not tied(X).
+            tied(X) :- r(X,Y).
+            tied(Y) :- r(X,Y).
+            """
+        )
+        results = engine.explain("lonely(X)?")
+        rows = {r.answer_rows for r in results.values()}
+        assert rows == {frozenset({("c",)})}
+
+    def test_correspondence_result_objects_exposed(self):
+        from repro.core.compare import check_correspondence
+        from repro.workloads import ancestor
+
+        scenario = ancestor(graph="chain", n=6)
+        corr = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert corr.alexander_result.strategy == "alexander"
+        assert corr.oldt_result.strategy == "oldt"
+        assert corr.alexander_result.transformed is not None
+
+
+class TestCrossFeatureCombos:
+    def test_provenance_with_builtins(self):
+        from repro.engine.provenance import traced_fixpoint
+
+        program = parse_program(
+            "age(ann, 12). age(bob, 30). adult(X) :- age(X, A), A >= 18."
+        )
+        traced = traced_fixpoint(program)
+        proof = traced.proof(parse_query("adult(bob)"))
+        assert proof is not None
+        leaf_predicates = {child.fact[0] for child in proof.children}
+        assert "age" in leaf_predicates and "geq" in leaf_predicates
+
+    def test_incremental_with_builtins(self):
+        from repro.engine.incremental import IncrementalEngine
+
+        program = parse_program("adult(X) :- age(X, A), A >= 18.")
+        engine = IncrementalEngine(program)
+        engine.add("age(ann, 12)")
+        assert not engine.holds("adult(ann)")
+        new = engine.add("age(bob, 30)")
+        assert ("adult", ("bob",)) in new
+
+    def test_wellfounded_with_builtins(self):
+        from repro.engine.wellfounded import alternating_fixpoint
+
+        program = parse_program(
+            """
+            move(1, 2). move(2, 3).
+            win(X) :- move(X, Y), Y <= 3, not win(Y).
+            """
+        )
+        model = alternating_fixpoint(program)
+        assert model.value_of(parse_query("win(2)")) == "true"
+        assert model.value_of(parse_query("win(1)")) == "false"
+
+    def test_repl_with_builtin_query(self):
+        import io
+
+        from repro.core.engine import Engine
+        from repro.repl import Repl
+
+        engine = Engine.from_source(
+            "age(ann, 12). age(bob, 30). adult(X) :- age(X, A), A >= 18."
+        )
+        output = io.StringIO()
+        repl = Repl(
+            engine,
+            input_stream=io.StringIO("adult(X)?\n"),
+            output_stream=output,
+            show_prompt=False,
+        )
+        repl.run()
+        assert output.getvalue().strip() == "X = bob"

@@ -1,0 +1,91 @@
+"""Tests for the NetworkX bridge, including the closure cross-oracle."""
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_program, parse_query
+from repro.facts.database import Database
+from repro.facts.nx_bridge import (
+    closure_via_networkx,
+    relation_from_graph,
+    relation_to_graph,
+)
+
+TC = parse_program(
+    """
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- e(X,Z), tc(Z,Y).
+    """
+)
+
+
+class TestConversions:
+    def test_digraph_round_trip(self):
+        graph = networkx.DiGraph([(1, 2), (2, 3)])
+        database = relation_from_graph(graph, "e")
+        assert database.rows("e") == {(1, 2), (2, 3)}
+        back = relation_to_graph(database, "e")
+        assert set(back.edges()) == {(1, 2), (2, 3)}
+
+    def test_undirected_graph_gets_both_orientations(self):
+        graph = networkx.Graph([(1, 2)])
+        database = relation_from_graph(graph, "e")
+        assert database.rows("e") == {(1, 2), (2, 1)}
+
+    def test_non_binary_relation_rejected(self):
+        database = Database()
+        database.add("t", (1, 2, 3))
+        with pytest.raises(ValueError):
+            relation_to_graph(database, "t")
+
+    def test_unknown_relation_gives_empty_graph(self):
+        graph = relation_to_graph(Database(), "nothing")
+        assert graph.number_of_edges() == 0
+
+
+class TestClosureOracle:
+    def test_chain(self):
+        database = Database()
+        for pair in [(0, 1), (1, 2)]:
+            database.add("e", pair)
+        assert closure_via_networkx(database, "e") == {
+            (0, 1), (0, 2), (1, 2)
+        }
+
+    def test_cycle_includes_self_pairs(self):
+        database = Database()
+        for pair in [(0, 1), (1, 0)]:
+            database.add("e", pair)
+        assert closure_via_networkx(database, "e") == {
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        }
+
+    def test_self_loop(self):
+        database = Database()
+        database.add("e", (7, 7))
+        assert closure_via_networkx(database, "e") == {(7, 7)}
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            max_size=22,
+            unique=True,
+        )
+    )
+    def test_datalog_closure_equals_networkx_closure(self, edges):
+        """The whole engine stack vs an independent graph library."""
+        database = Database()
+        database.relation("e", 2)
+        for pair in edges:
+            database.add("e", pair)
+        expected = closure_via_networkx(database, "e")
+        result = run_strategy(
+            "seminaive", TC, parse_query("tc(X, Y)?"), database
+        )
+        assert result.answer_rows == expected

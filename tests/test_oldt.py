@@ -1,0 +1,150 @@
+"""Unit tests for OLDT resolution with tabulation."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.errors import EvaluationError
+from repro.topdown.oldt import OLDTEngine, oldt_query
+
+
+class TestOLDTBasics:
+    def test_bound_query(self, ancestor_program, chain_database):
+        answers, _ = oldt_query(
+            ancestor_program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert {str(a) for a in answers} == {
+            "anc(a, b)", "anc(a, c)", "anc(a, d)"
+        }
+
+    def test_open_query(self, ancestor_program, chain_database):
+        answers, _ = oldt_query(
+            ancestor_program, parse_query("anc(X, Y)?"), chain_database
+        )
+        assert len(answers) == 6
+
+    def test_cyclic_data_terminates(self):
+        program = parse_program(
+            """
+            par(a,b). par(b,c). par(c,a).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        answers, _ = oldt_query(program, parse_query("anc(a, X)?"))
+        assert {str(a) for a in answers} == {
+            "anc(a, a)", "anc(a, b)", "anc(a, c)"
+        }
+
+    def test_left_recursion_terminates(self, chain_database):
+        program = parse_program(
+            """
+            anc(X,Y) :- anc(X,Z), par(Z,Y).
+            anc(X,Y) :- par(X,Y).
+            """
+        )
+        answers, _ = oldt_query(
+            program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert len(answers) == 3
+
+    def test_idb_facts_as_unit_clauses(self):
+        program = parse_program(
+            """
+            anc(z, q).
+            par(a, z).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        answers, _ = oldt_query(program, parse_query("anc(a, X)?"))
+        assert {str(a) for a in answers} == {"anc(a, z)", "anc(a, q)"}
+
+
+class TestTabling:
+    def test_one_table_per_call_pattern(self, ancestor_program, chain_database):
+        engine = OLDTEngine(ancestor_program, chain_database)
+        engine.query(parse_query("anc(a, X)?"))
+        patterns = {str(call) for call in engine.call_patterns()}
+        # One table per reachable node: anc(a,_), anc(b,_), anc(c,_), anc(d,_).
+        assert len(patterns) == 4
+
+    def test_tables_memoize_shared_subgoals(self):
+        # Diamond: both branches reach the same subgoal; it is solved once.
+        program = parse_program(
+            """
+            par(a,b1). par(a,b2). par(b1,c). par(b2,c). par(c,d).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        engine = OLDTEngine(program)
+        engine.query(parse_query("anc(a, X)?"))
+        calls = [str(c) for c in engine.call_patterns()]
+        assert len(calls) == len(set(calls))  # no duplicate tables
+        assert engine.stats.calls == len(calls)
+
+    def test_variant_keyed_not_instance_keyed(self, ancestor_program, chain_database):
+        engine = OLDTEngine(ancestor_program, chain_database)
+        engine.query(parse_query("anc(X, Y)?"))
+        # The open call subsumes everything; with variant tabling the
+        # recursive literal anc(Z,Y) under binding Z=b is a *different*
+        # pattern anc(b, Y), so tables for each node appear as well.
+        assert engine.stats.calls >= 1
+
+    def test_answers_deduplicated_in_tables(self, chain_database):
+        program = parse_program(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            anc(X,Y) :- anc(X,Z), par(Z,Y).
+            """
+        )
+        engine = OLDTEngine(program, chain_database)
+        answers = engine.query(parse_query("anc(a, X)?"))
+        assert len(answers) == 3  # despite many derivations
+
+    def test_facts_derived_counts_all_tables(self, ancestor_program, chain_database):
+        engine = OLDTEngine(ancestor_program, chain_database)
+        engine.query(parse_query("anc(a, X)?"))
+        total = sum(len(t.answers) for t in engine.tables.values())
+        assert engine.stats.facts_derived == total
+
+
+class TestOLDTNegation:
+    def test_stratified_negation(self, stratified_source):
+        program = parse_program(stratified_source)
+        answers, _ = oldt_query(program, parse_query("unreach(d, X)?"))
+        assert {str(a) for a in answers} == {
+            "unreach(d, a)", "unreach(d, b)", "unreach(d, c)", "unreach(d, d)"
+        }
+
+    def test_negation_before_binder_is_reordered(self):
+        # The body is normalised: v(X) binds X before the negation runs.
+        program = parse_program("p(X) :- not q(X), v(X). v(a). q(b).")
+        answers, _ = oldt_query(program, parse_query("p(X)?"))
+        assert [str(a) for a in answers] == ["p(a)"]
+
+    def test_never_bound_negation_raises(self):
+        from repro.errors import SafetyError
+
+        program = parse_program("p(X) :- v(X), not q(W). v(a).")
+        with pytest.raises(SafetyError):
+            oldt_query(program, parse_query("p(X)?"))
+
+    def test_negation_cache_prevents_rework(self, stratified_source):
+        program = parse_program(stratified_source)
+        engine = OLDTEngine(program)
+        engine.query(parse_query("unreach(X, Y)?"))
+        # 16 node pairs but only 16 distinct ground reach(x,y) checks.
+        assert len(engine._negation_cache) == 16
+
+
+class TestOLDTBudget:
+    def test_budget_guard(self, ancestor_program, chain_database):
+        with pytest.raises(EvaluationError):
+            oldt_query(
+                ancestor_program,
+                parse_query("anc(X, Y)?"),
+                chain_database,
+                max_steps=3,
+            )

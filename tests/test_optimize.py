@@ -1,0 +1,252 @@
+"""Tests for post-transformation program optimisations."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.facts.database import Database
+from repro.transform.alexander import alexander_templates
+from repro.transform.optimize import (
+    inline_bridge_predicates,
+    optimize_program,
+    remove_duplicate_rules,
+    restrict_to_goal,
+)
+
+
+class TestRemoveDuplicates:
+    def test_exact_duplicates_dropped(self):
+        program = parse_program(
+            """
+            p(X) :- q(X).
+            p(X) :- q(X).
+            """
+        )
+        assert len(remove_duplicate_rules(program)) == 1
+
+    def test_variant_duplicates_dropped(self):
+        program = parse_program(
+            """
+            p(X) :- q(X, Y).
+            p(A) :- q(A, B).
+            """
+        )
+        assert len(remove_duplicate_rules(program)) == 1
+
+    def test_different_sharing_kept(self):
+        program = parse_program(
+            """
+            p(X) :- q(X, X).
+            p(X) :- q(X, Y).
+            """
+        )
+        assert len(remove_duplicate_rules(program)) == 2
+
+    def test_polarity_matters(self):
+        program = parse_program(
+            """
+            p(X) :- q(X), not r(X).
+            p(X) :- q(X), r(X).
+            """
+        )
+        assert len(remove_duplicate_rules(program)) == 2
+
+
+class TestRestrictToGoal:
+    def test_unrelated_rules_dropped(self):
+        program = parse_program(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            unrelated(X) :- something(X).
+            """
+        )
+        restricted = restrict_to_goal(program, parse_query("anc(a, X)"))
+        assert restricted.idb_predicates == {"anc"}
+
+    def test_transitive_dependencies_kept(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- base(X).
+            dead(X) :- base(X).
+            """
+        )
+        restricted = restrict_to_goal(program, parse_query("a(q)"))
+        assert restricted.idb_predicates == {"a", "b", "c"}
+
+    def test_relevant_facts_kept_irrelevant_dropped(self):
+        program = parse_program(
+            """
+            base(k).
+            junk(z).
+            a(X) :- base(X).
+            """
+        )
+        restricted = restrict_to_goal(program, parse_query("a(q)"))
+        facts = {atom.predicate for atom in restricted.facts}
+        assert facts == {"base"}
+
+
+class TestInlineBridges:
+    def test_pure_renaming_bridge_inlined(self):
+        program = parse_program(
+            """
+            bridge(X, Y) :- real(X, Y).
+            user(X) :- bridge(X, Y).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert inlined.idb_predicates == {"user"}
+        assert str(inlined.rules[0]) == "user(X) :- real(X, Y)."
+
+    def test_argument_permutation_inlined(self):
+        program = parse_program(
+            """
+            flip(X, Y) :- e(Y, X).
+            user(X, Y) :- flip(X, Y).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert str(inlined.rules[0]) == "user(X, Y) :- e(Y, X)."
+
+    def test_protected_predicate_survives(self):
+        program = parse_program(
+            """
+            bridge(X) :- real(X).
+            user(X) :- bridge(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program, protected=("bridge",))
+        assert "bridge" in inlined.idb_predicates
+
+    def test_constant_in_body_not_a_bridge(self):
+        program = parse_program(
+            """
+            narrowed(X) :- real(X, a).
+            user(X) :- narrowed(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert "narrowed" in inlined.idb_predicates
+
+    def test_projection_not_a_bridge(self):
+        # Dropping a column changes multiplicity semantics; must be kept.
+        program = parse_program(
+            """
+            proj(X) :- real(X, Y).
+            user(X) :- proj(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert "proj" in inlined.idb_predicates
+
+    def test_recursive_predicate_not_a_bridge(self):
+        program = parse_program(
+            """
+            loop(X, Y) :- loop(X, Y).
+            user(X) :- loop(X, X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert "loop" in inlined.idb_predicates
+
+    def test_bridge_chain_fully_collapsed(self):
+        program = parse_program(
+            """
+            one(X) :- two(X).
+            two(X) :- three(X).
+            three(X) :- real(X).
+            user(X) :- one(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert str(inlined.rules_for("user")[0]) == "user(X) :- real(X)."
+
+    def test_negative_occurrences_rewritten_too(self):
+        program = parse_program(
+            """
+            alias(X) :- real(X).
+            user(X) :- v(X), not alias(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert str(inlined.rules_for("user")[0]) == "user(X) :- v(X), not real(X)."
+
+
+class TestOptimizeEndToEnd:
+    def test_answers_preserved_on_transformed_program(self):
+        rules = parse_program(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        database = Database()
+        for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+            database.add("par", pair)
+        query = parse_query("anc(a, X)?")
+        transformed = alexander_templates(rules, query)
+        plain_db, _ = seminaive_fixpoint(
+            transformed.evaluation_program(), database
+        )
+        optimized = optimize_program(
+            transformed.evaluation_program(), transformed.goal
+        )
+        optimized_db, _ = seminaive_fixpoint(optimized, database)
+        goal_pred = transformed.goal.predicate
+        assert plain_db.rows(goal_pred) == optimized_db.rows(goal_pred)
+
+    def test_optimization_reaches_fixpoint(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- real(X).
+            dead(X) :- junk(X).
+            """
+        )
+        optimized = optimize_program(program, parse_query("a(q)"))
+        # Bridges collapsed and dead code removed: a single rule remains.
+        assert len(optimized.proper_rules) == 1
+        assert str(optimized.proper_rules[0]) == "a(X) :- real(X)."
+
+
+class TestBridgeCycles:
+    def test_two_cycle_of_bridges_not_inlined(self):
+        program = parse_program(
+            """
+            a(X, Y) :- b(X, Y).
+            b(X, Y) :- a(X, Y).
+            user(X) :- a(X, X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        # Neither a nor b may be unfolded (infinite chase); program kept.
+        assert {"a", "b"} <= inlined.idb_predicates
+
+    def test_tail_into_cycle_not_inlined(self):
+        program = parse_program(
+            """
+            entry(X) :- a(X).
+            a(X) :- b(X).
+            b(X) :- a(X).
+            user(X) :- entry(X).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        # entry's chain ends in a cycle: the whole chain is demoted.
+        assert "entry" in inlined.idb_predicates
+
+    def test_optimize_program_terminates_on_bridge_cycle(self):
+        program = parse_program(
+            """
+            a(X, Y) :- b(X, Y).
+            b(X, Y) :- a(X, Y).
+            a(X, Y) :- e(X, Y).
+            p0(X, Y) :- a(X, Y).
+            """
+        )
+        optimized = optimize_program(program, parse_query("p0(q, r)"))
+        assert optimized is not None

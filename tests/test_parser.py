@@ -1,0 +1,133 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    tokenize,
+)
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_positions_are_tracked(self):
+        tokens = list(tokenize("p(X).\nq(a)."))
+        q_token = [t for t in tokens if t.text == "q"][0]
+        assert q_token.line == 2 and q_token.column == 1
+
+    def test_comments_are_skipped(self):
+        tokens = list(tokenize("p(a). % comment\n# another\nq(b)."))
+        assert [t.text for t in tokens if t.kind == "IDENT"] == ["p", "a", "q", "b"]
+
+    def test_not_keyword_and_backslash_plus(self):
+        kinds = [t.kind for t in tokenize("not \\+")]
+        assert kinds == ["NOT", "NOT"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize('p("abc'))
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("p(a) & q(b)"))
+
+    def test_negative_integer(self):
+        tokens = [t for t in tokenize("p(-3).") if t.kind == "INTEGER"]
+        assert tokens[0].text == "-3"
+
+
+class TestParseAtom:
+    def test_simple(self):
+        atom = parse_atom("anc(X, bob)")
+        assert atom.predicate == "anc"
+        assert atom.args == (Variable("X"), Constant("bob"))
+
+    def test_zero_arity(self):
+        assert parse_atom("halt") == Atom("halt")
+
+    def test_integer_and_string_constants(self):
+        atom = parse_atom('p(3, "Hello World")')
+        assert atom.args == (Constant(3), Constant("Hello World"))
+
+    def test_underscore_is_anonymous_and_distinct(self):
+        atom = parse_atom("p(_, _)")
+        left, right = atom.args
+        assert isinstance(left, Variable) and isinstance(right, Variable)
+        assert left != right
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q")
+
+
+class TestParseRule:
+    def test_fact(self):
+        rule = parse_rule("par(a, b).")
+        assert rule.is_fact
+
+    def test_rule_with_body(self):
+        rule = parse_rule("anc(X,Y) :- par(X,Z), anc(Z,Y).")
+        assert rule.head.predicate == "anc"
+        assert [l.predicate for l in rule.body] == ["par", "anc"]
+
+    def test_negative_literal_not(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        assert rule.body[1].negative
+
+    def test_negative_literal_backslash_plus(self):
+        rule = parse_rule("p(X) :- q(X), \\+ r(X).")
+        assert rule.body[1].negative
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(a)")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(a). q(b).")
+
+
+class TestParseProgram:
+    def test_multi_statement(self):
+        program = parse_program(
+            """
+            % ancestor
+            par(a,b). par(b,c).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        assert len(program) == 4
+        assert len(program.facts) == 2
+        assert program.idb_predicates == {"anc"}
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% only comments\n")) == 0
+
+    def test_str_output_reparses_identically(self):
+        source = "p(a).\nq(X) :- p(X), not r(X)."
+        program = parse_program(source)
+        assert parse_program(str(program)) == program
+
+
+class TestParseQuery:
+    def test_with_question_mark(self):
+        assert parse_query("anc(a, X)?") == Atom(
+            "anc", (Constant("a"), Variable("X"))
+        )
+
+    def test_with_dot(self):
+        assert parse_query("anc(a, X).").predicate == "anc"
+
+    def test_bare(self):
+        assert parse_query("anc(a, X)").predicate == "anc"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("anc(a, X)? extra")

@@ -1,0 +1,96 @@
+"""Tests for the pretty-printing helpers."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.datalog.pretty import (
+    format_answers,
+    format_bindings,
+    format_program,
+    format_rule,
+)
+from repro.datalog.terms import Constant
+
+
+def ground(pred, *values):
+    return Atom(pred, tuple(Constant(v) for v in values))
+
+
+class TestFormatRule:
+    def test_short_rule_single_line(self):
+        rule = parse_rule("anc(X,Y) :- par(X,Y).")
+        assert format_rule(rule) == "anc(X, Y) :- par(X, Y)."
+
+    def test_long_rule_wraps(self):
+        body = ", ".join(
+            f"pred_with_a_long_name_{i}(Variable{i}, X)" for i in range(5)
+        )
+        rule = parse_rule(f"head(X) :- {body}.")
+        formatted = format_rule(rule)
+        assert "\n" in formatted
+        assert formatted.endswith(".")
+
+
+class TestFormatProgram:
+    def test_grouping_by_head(self):
+        program = parse_program(
+            """
+            q(X) :- b(X).
+            p(X) :- a(X).
+            p(X) :- q(X).
+            f(a).
+            """
+        )
+        text = format_program(program)
+        blocks = text.split("\n\n")
+        assert blocks[0] == "f(a)."  # facts first
+        # p's two rules grouped in one block despite interleaving.
+        p_block = [b for b in blocks if b.startswith("p(")][0]
+        assert p_block.count("\n") == 1
+
+    def test_flat_mode_preserves_order(self):
+        program = parse_program("b(X) :- e(X). a(X) :- e(X).")
+        text = format_program(program, group_by_head=False)
+        assert text.splitlines()[0].startswith("b(")
+
+    def test_round_trips_through_parser(self):
+        program = parse_program(
+            "f(a). p(X) :- a(X), not b(X). q(X) :- p(X)."
+        )
+        assert parse_program(format_program(program)).predicates == (
+            program.predicates
+        )
+
+
+class TestFormatAnswers:
+    def test_sorted_output(self):
+        text = format_answers([ground("p", "b"), ground("p", "a")])
+        assert text.splitlines() == ["p(a)", "p(b)"]
+
+    def test_limit_with_ellipsis(self):
+        atoms = [ground("p", i) for i in range(5)]
+        text = format_answers(atoms, limit=2)
+        assert "(3 more)" in text
+
+    def test_empty(self):
+        assert format_answers([]) == "(no answers)"
+
+
+class TestFormatBindings:
+    def test_binding_rows(self):
+        query = parse_query("anc(a, X)?")
+        text = format_bindings(query, [ground("anc", "a", "b")])
+        assert text == "X = b"
+
+    def test_two_variables(self):
+        query = parse_query("anc(X, Y)?")
+        text = format_bindings(query, [ground("anc", "a", "b")])
+        assert text == "X = a, Y = b"
+
+    def test_ground_query_true_false(self):
+        query = parse_query("anc(a, b)?")
+        assert format_bindings(query, [ground("anc", "a", "b")]) == "true"
+        assert format_bindings(query, []) == "false"
+
+    def test_no_answers_with_variables(self):
+        query = parse_query("anc(a, X)?")
+        assert format_bindings(query, []) == "(no answers)"

@@ -1,0 +1,156 @@
+"""Property-based cross-engine tests.
+
+The strongest invariant this library offers: on *any* database, every
+strategy computes the same answers, and the Alexander/OLDT correspondence
+is exact.  Hypothesis generates the databases; the programs are the
+canonical recursion shapes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compare import check_correspondence
+from repro.core.strategy import run_strategy
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.facts.database import Database
+
+RIGHT_LINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- e(X,Z), tc(Z,Y).
+    """
+)
+
+LEFT_LINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- tc(X,Z), e(Z,Y).
+    """
+)
+
+NON_LINEAR = parse_program(
+    """
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- tc(X,Z), tc(Z,Y).
+    """
+)
+
+SG = parse_program(
+    """
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+    """
+)
+
+STRATIFIED = parse_program(
+    """
+    r(X,Y) :- e(X,Y).
+    r(X,Y) :- e(X,Z), r(Z,Y).
+    iso(X) :- v(X), not linked(X).
+    linked(X) :- r(X,Y).
+    linked(Y) :- r(X,Y).
+    """
+)
+
+edges = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=18, unique=True
+)
+
+PROGRAMS = [RIGHT_LINEAR, LEFT_LINEAR, NON_LINEAR]
+STRATEGIES = ("seminaive", "oldt", "qsqr", "magic", "supplementary", "alexander")
+
+
+def edge_database(pairs, predicate="e"):
+    database = Database()
+    database.relation(predicate, 2)
+    for pair in pairs:
+        database.add(predicate, pair)
+    return database
+
+
+def bound_query(source=0):
+    return Atom("tc", (Constant(source), Variable("X")))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges, st.integers(0, len(PROGRAMS) - 1), st.integers(0, 5))
+def test_all_strategies_agree_on_random_graphs(pairs, program_index, source):
+    program = PROGRAMS[program_index]
+    database = edge_database(pairs)
+    reference = None
+    for name in STRATEGIES:
+        result = run_strategy(name, program, bound_query(source), database)
+        if reference is None:
+            reference = result.answer_rows
+        else:
+            assert result.answer_rows == reference, name
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges, st.integers(0, 5))
+def test_correspondence_exact_on_random_graphs(pairs, source):
+    database = edge_database(pairs)
+    correspondence = check_correspondence(
+        RIGHT_LINEAR, bound_query(source), database
+    )
+    assert correspondence.exact, correspondence.summary()
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges)
+def test_correspondence_exact_for_nonlinear_recursion(pairs):
+    database = edge_database(pairs)
+    correspondence = check_correspondence(NON_LINEAR, bound_query(0), database)
+    assert correspondence.exact, correspondence.summary()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges, st.integers(0, 5))
+def test_stratified_negation_agreement(pairs, probe):
+    database = edge_database(pairs)
+    for node in range(6):
+        database.add("v", (node,))
+    query = Atom("iso", (Constant(probe),))
+    reference = None
+    for name in ("seminaive", "oldt", "qsqr", "alexander"):
+        result = run_strategy(name, STRATIFIED, query, database)
+        if reference is None:
+            reference = result.answer_rows
+        else:
+            assert result.answer_rows == reference, name
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edges)
+def test_transformed_answers_sound_and_complete(pairs):
+    """Alexander answers == the query-relevant slice of the full fixpoint."""
+    database = edge_database(pairs)
+    full = run_strategy("seminaive", RIGHT_LINEAR, bound_query(0), database)
+    alexander = run_strategy("alexander", RIGHT_LINEAR, bound_query(0), database)
+    assert alexander.answer_rows == full.answer_rows
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10, unique=True)
+)
+def test_same_generation_agreement(pairs):
+    database = Database()
+    for relation in ("up", "down", "flat"):
+        database.relation(relation, 2)
+    for u, v in pairs:
+        database.add("up", (u, v))
+        database.add("down", (v, u))
+    if pairs:
+        database.add("flat", pairs[0])
+    query = Atom("sg", (Constant(0), Variable("X")))
+    reference = None
+    for name in ("seminaive", "oldt", "alexander", "magic"):
+        result = run_strategy(name, SG, query, database)
+        if reference is None:
+            reference = result.answer_rows
+        else:
+            assert result.answer_rows == reference, name

@@ -1,0 +1,131 @@
+"""Tests for provenance tracking and proof-tree reconstruction."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.provenance import format_proof, traced_fixpoint
+from repro.engine.stratified import stratified_fixpoint
+from repro.facts.database import Database
+
+ANCESTOR = """
+    par(a,b). par(b,c). par(c,d).
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+"""
+
+
+class TestTracedFixpoint:
+    def test_same_facts_as_untraced_evaluation(self):
+        program = parse_program(ANCESTOR)
+        traced = traced_fixpoint(program)
+        plain, _ = stratified_fixpoint(program)
+        assert traced.database.rows("anc") == plain.rows("anc")
+
+    def test_edb_fact_has_leaf_proof(self):
+        traced = traced_fixpoint(parse_program(ANCESTOR))
+        proof = traced.proof(parse_query("par(a, b)"))
+        assert proof is not None and proof.is_leaf
+
+    def test_base_case_proof(self):
+        traced = traced_fixpoint(parse_program(ANCESTOR))
+        proof = traced.proof(parse_query("anc(a, b)"))
+        assert proof.rule is not None
+        assert len(proof.children) == 1
+        assert proof.children[0].fact == ("par", ("a", "b"))
+
+    def test_recursive_proof_depth(self):
+        traced = traced_fixpoint(parse_program(ANCESTOR))
+        proof = traced.proof(parse_query("anc(a, d)"))
+        # anc(a,d) <- par(a,b), anc(b,d) <- par(b,c), anc(c,d) <- par(c,d)
+        assert proof.depth() == 4
+        assert proof.size() == 6
+
+    def test_underivable_fact_has_no_proof(self):
+        traced = traced_fixpoint(parse_program(ANCESTOR))
+        assert traced.proof(parse_query("anc(d, a)")) is None
+
+    def test_proofs_are_well_founded(self):
+        # Cyclic data: the first derivation of each fact must not loop.
+        program = parse_program(
+            """
+            par(a,b). par(b,a).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        traced = traced_fixpoint(program)
+        for atom in traced.database.atoms("anc"):
+            proof = traced.proof(atom)
+            assert proof is not None
+            assert proof.depth() <= 10  # finite, small
+
+    def test_every_derived_fact_has_a_derivation(self):
+        program = parse_program(ANCESTOR)
+        traced = traced_fixpoint(program)
+        for atom in traced.database.atoms("anc"):
+            assert traced.derivation_of(atom) is not None
+
+    def test_negation_recorded_as_naf_leaf(self):
+        program = parse_program(
+            """
+            person(ann). person(bob). smoker(bob).
+            healthy(X) :- person(X), not smoker(X).
+            """
+        )
+        traced = traced_fixpoint(program)
+        proof = traced.proof(parse_query("healthy(ann)"))
+        assert proof.negative == (("smoker", ("ann",)),)
+
+    def test_stratified_proof_spans_strata(self):
+        program = parse_program(
+            """
+            e(a,b).
+            node(a). node(b).
+            r(X,Y) :- e(X,Y).
+            unreach(X,Y) :- node(X), node(Y), not r(X,Y).
+            """
+        )
+        traced = traced_fixpoint(program)
+        proof = traced.proof(parse_query("unreach(b, a)"))
+        assert proof is not None
+        assert ("r", ("b", "a")) in proof.negative
+
+
+class TestFormatProof:
+    def test_rendering_structure(self):
+        traced = traced_fixpoint(parse_program(ANCESTOR))
+        text = format_proof(traced.proof(parse_query("anc(a, c)")))
+        lines = text.splitlines()
+        assert lines[0].startswith("anc(a, c)")
+        assert "[rule:" in lines[0]
+        assert any("[fact]" in line for line in lines)
+        # Indentation deepens.
+        assert lines[1].startswith("  ")
+
+    def test_naf_rendered_as_absent(self):
+        program = parse_program(
+            """
+            person(ann). smoker(bob). person(bob).
+            healthy(X) :- person(X), not smoker(X).
+            """
+        )
+        traced = traced_fixpoint(program)
+        text = format_proof(traced.proof(parse_query("healthy(ann)")))
+        assert "not smoker(ann)   [absent]" in text
+
+
+class TestEngineWhy:
+    def test_why_returns_tree(self):
+        engine = Engine.from_source(ANCESTOR)
+        text = engine.why("anc(a, d)")
+        assert "par(c, d)" in text
+
+    def test_why_not_derivable(self):
+        engine = Engine.from_source(ANCESTOR)
+        assert "not derivable" in engine.why("anc(d, a)")
+
+    def test_why_rejects_open_goal(self):
+        engine = Engine.from_source(ANCESTOR)
+        with pytest.raises(ValueError):
+            engine.why("anc(a, X)?")

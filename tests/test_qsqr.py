@@ -1,0 +1,124 @@
+"""Unit tests for QSQR evaluation."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.errors import EvaluationError
+from repro.topdown.qsqr import QSQREngine, qsqr_query
+
+
+class TestQSQRBasics:
+    def test_bound_query(self, ancestor_program, chain_database):
+        answers, _ = qsqr_query(
+            ancestor_program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert {str(a) for a in answers} == {
+            "anc(a, b)", "anc(a, c)", "anc(a, d)"
+        }
+
+    def test_open_query(self, ancestor_program, chain_database):
+        answers, _ = qsqr_query(
+            ancestor_program, parse_query("anc(X, Y)?"), chain_database
+        )
+        assert len(answers) == 6
+
+    def test_fully_bound_query(self, ancestor_program, chain_database):
+        answers, _ = qsqr_query(
+            ancestor_program, parse_query("anc(a, d)?"), chain_database
+        )
+        assert len(answers) == 1
+
+    def test_cyclic_data_terminates(self):
+        program = parse_program(
+            """
+            par(a,b). par(b,c). par(c,a).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        answers, _ = qsqr_query(program, parse_query("anc(a, X)?"))
+        assert len(answers) == 3
+
+    def test_left_recursion_terminates(self, chain_database):
+        program = parse_program(
+            """
+            anc(X,Y) :- anc(X,Z), par(Z,Y).
+            anc(X,Y) :- par(X,Y).
+            """
+        )
+        answers, _ = qsqr_query(
+            program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert len(answers) == 3
+
+    def test_edb_query_answered_by_lookup(self, ancestor_program, chain_database):
+        answers, stats = qsqr_query(
+            ancestor_program, parse_query("par(a, X)?"), chain_database
+        )
+        assert [str(a) for a in answers] == ["par(a, b)"]
+        assert stats.calls == 0
+
+    def test_nonlinear_recursion(self, chain_database):
+        program = parse_program(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- anc(X,Z), anc(Z,Y).
+            """
+        )
+        answers, _ = qsqr_query(
+            program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert len(answers) == 3
+
+
+class TestQSQRMemo:
+    def test_call_count_counts_distinct_subqueries(
+        self, ancestor_program, chain_database
+    ):
+        engine = QSQREngine(ancestor_program, chain_database)
+        engine.query(parse_query("anc(a, X)?"))
+        # Subqueries anc(a,_), anc(b,_), anc(c,_), anc(d,_).
+        assert engine.call_count() == 4
+        assert engine.stats.calls == 4
+
+    def test_answer_table_accumulates(self, ancestor_program, chain_database):
+        engine = QSQREngine(ancestor_program, chain_database)
+        engine.query(parse_query("anc(a, X)?"))
+        assert engine.answer_table("anc") == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+            ("b", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_iterates_until_stable(self, chain_database):
+        # Left recursion needs more than one outer round.
+        program = parse_program(
+            """
+            anc(X,Y) :- anc(X,Z), par(Z,Y).
+            anc(X,Y) :- par(X,Y).
+            """
+        )
+        engine = QSQREngine(program, chain_database)
+        engine.query(parse_query("anc(a, X)?"))
+        assert engine.stats.iterations >= 2
+
+
+class TestQSQRNegation:
+    def test_stratified_negation(self, stratified_source):
+        program = parse_program(stratified_source)
+        answers, _ = qsqr_query(program, parse_query("unreach(d, X)?"))
+        assert len(answers) == 4
+
+    def test_negation_over_edb(self):
+        program = parse_program(
+            """
+            person(ann). person(bob). smoker(bob).
+            healthy(X) :- person(X), not smoker(X).
+            """
+        )
+        answers, _ = qsqr_query(program, parse_query("healthy(X)?"))
+        assert [str(a) for a in answers] == ["healthy(ann)"]
+
+    def test_unsafe_negation_raises(self):
+        program = parse_program("p(X) :- v(X), not q(X, Y). v(a). q(a, b).")
+        with pytest.raises(Exception):
+            qsqr_query(program, parse_query("p(X)?"))

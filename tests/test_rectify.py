@@ -1,0 +1,151 @@
+"""Tests for rule rectification and its effect on the correspondence."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compare import check_correspondence
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.facts.database import Database
+from repro.transform.rectify import (
+    equality_facts,
+    needs_rectification,
+    rectify_program,
+    rectify_rule,
+)
+
+
+class TestRectifyRule:
+    def test_repeated_variable_split_with_equality(self):
+        rule = parse_rule("p0(X, Y) :- p1(Y, Y), e0(X, Y).")
+        rectified = rectify_rule(rule)
+        assert str(rectified) == (
+            "p0(X, Y) :- p1(Y, Y2), eq(Y, Y2), e0(X, Y)."
+        )
+
+    def test_clean_rule_unchanged(self):
+        rule = parse_rule("anc(X,Y) :- par(X,Z), anc(Z,Y).")
+        assert rectify_rule(rule) == rule
+
+    def test_head_left_alone(self):
+        rule = parse_rule("p(X, X) :- e(X).")
+        assert rectify_rule(rule) == rule
+
+    def test_triple_repeat_gets_two_fresh_variables(self):
+        rule = parse_rule("p(X) :- e(X, X, X).")
+        rectified = rectify_rule(rule)
+        assert str(rectified) == "p(X) :- e(X, X2, X3), eq(X, X2), eq(X, X3)."
+
+    def test_fresh_names_avoid_collisions(self):
+        rule = parse_rule("p(X, X2) :- e(X, X), f(X2).")
+        rectified = rectify_rule(rule)
+        # X2 is taken by the head, so the fresh variable must be X3.
+        assert "X3" in {v.name for v in rectified.variables()}
+
+    def test_negative_literal_equalities_come_first(self):
+        rule = parse_rule("p(X) :- v(X), not e(X, X).")
+        rectified = rectify_rule(rule)
+        predicates = [l.predicate for l in rectified.body]
+        assert predicates == ["v", "eq", "e"]
+        assert rectified.body[2].negative
+
+
+class TestNeedsRectification:
+    def test_detects_repeat(self):
+        assert needs_rectification(parse_program("p(X) :- e(X, X)."))
+
+    def test_clean_program(self):
+        assert not needs_rectification(
+            parse_program("p(X) :- e(X, Y), f(Y, Z).")
+        )
+
+
+class TestEqualityFacts:
+    def test_eq_over_active_domain(self):
+        database = Database()
+        database.add("e", ("a", "b"))
+        extended = equality_facts(database)
+        assert extended.rows("eq") == {("a", "a"), ("b", "b")}
+        # Original relations kept; input not mutated.
+        assert extended.rows("e") == {("a", "b")}
+        assert "eq" not in database
+
+    def test_program_constants_included(self):
+        database = Database()
+        database.add("e", (1, 2))
+        program = parse_program("p(X) :- e(X, 7).")
+        extended = equality_facts(database, program)
+        assert (7, 7) in extended.rows("eq")
+
+
+class TestRectificationRestoresExactness:
+    # The fuzzer's real counterexample: p1(Y, Y) induces a call pattern
+    # no positional adornment expresses, so the raw correspondence is
+    # inexact; after rectification it is exact again.
+    SOURCE = """
+        p0(X, Y) :- p1(Y, Y), e0(X, Y).
+        p1(X, Y) :- e0(X, X), p0(X, Y).
+    """
+
+    def build(self):
+        program = parse_program(self.SOURCE)
+        database = Database()
+        database.add("e0", (0, 0))
+        database.add("e0", (0, 1))
+        database.add("e0", (1, 1))
+        return program, database
+
+    def test_raw_program_answers_still_agree(self):
+        program, database = self.build()
+        query = parse_query("p0(0, Q)?")
+        correspondence = check_correspondence(program, query, database)
+        assert (
+            correspondence.alexander_result.answer_rows
+            == correspondence.oldt_result.answer_rows
+        )
+
+    def test_rectified_program_is_exact(self):
+        program, database = self.build()
+        rectified = rectify_program(program)
+        extended = equality_facts(database, program)
+        query = parse_query("p0(0, Q)?")
+        correspondence = check_correspondence(rectified, query, extended)
+        assert correspondence.exact, correspondence.summary()
+
+    def test_rectified_answers_match_original(self):
+        program, database = self.build()
+        rectified = rectify_program(program)
+        extended = equality_facts(database, program)
+        query = parse_query("p0(0, Q)?")
+        original = run_strategy("seminaive", program, query, database)
+        after = run_strategy("seminaive", rectified, query, extended)
+        assert original.answer_rows == after.answer_rows
+
+
+constants = st.integers(0, 3)
+edge_rows = st.lists(st.tuples(constants, constants), max_size=8, unique=True)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(edge_rows)
+def test_property_rectification_preserves_answers(rows):
+    program = parse_program(
+        """
+        p0(X, Y) :- p1(Y, Y), e0(X, Y).
+        p1(X, Y) :- e0(X, X), p0(X, Y).
+        p0(X, Y) :- e0(X, Y).
+        """
+    )
+    database = Database()
+    database.relation("e0", 2)
+    for row in rows:
+        database.add("e0", row)
+    rectified = rectify_program(program)
+    extended = equality_facts(database, program)
+    query = parse_query("p0(0, Q)?")
+    original = run_strategy("seminaive", program, query, database)
+    after = run_strategy("alexander", rectified, query, extended)
+    assert original.answer_rows == after.answer_rows
+    correspondence = check_correspondence(rectified, query, extended)
+    assert correspondence.exact, correspondence.summary()

@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.facts.relation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.facts.relation import Relation
+
+
+class TestRelationBasics:
+    def test_add_reports_novelty(self):
+        relation = Relation("p", 2)
+        assert relation.add(("a", "b"))
+        assert not relation.add(("a", "b"))
+
+    def test_add_rejects_wrong_arity(self):
+        relation = Relation("p", 2)
+        with pytest.raises(ValueError):
+            relation.add(("a",))
+
+    def test_len_contains_iter(self):
+        relation = Relation("p", 1, [("a",), ("b",)])
+        assert len(relation) == 2
+        assert ("a",) in relation
+        assert sorted(relation) == [("a",), ("b",)]
+
+    def test_bool(self):
+        assert not Relation("p", 1)
+        assert Relation("p", 1, [("a",)])
+
+    def test_add_all_counts_new_only(self):
+        relation = Relation("p", 1, [("a",)])
+        assert relation.add_all([("a",), ("b",), ("c",)]) == 2
+
+    def test_rows_snapshot_is_immutable_copy(self):
+        relation = Relation("p", 1, [("a",)])
+        snapshot = relation.rows()
+        relation.add(("b",))
+        assert snapshot == frozenset({("a",)})
+
+    def test_zero_arity_relation(self):
+        relation = Relation("seed", 0)
+        assert relation.add(())
+        assert () in relation
+        assert not relation.add(())
+
+    def test_discard(self):
+        relation = Relation("p", 1, [("a",)])
+        assert relation.discard(("a",))
+        assert not relation.discard(("a",))
+        assert len(relation) == 0
+
+    def test_clear(self):
+        relation = Relation("p", 1, [("a",)])
+        relation.clear()
+        assert len(relation) == 0
+
+    def test_copy_is_independent(self):
+        relation = Relation("p", 1, [("a",)])
+        clone = relation.copy()
+        clone.add(("b",))
+        assert len(relation) == 1 and len(clone) == 2
+
+    def test_equality(self):
+        assert Relation("p", 1, [("a",)]) == Relation("p", 1, [("a",)])
+        assert Relation("p", 1, [("a",)]) != Relation("p", 1, [("b",)])
+        assert Relation("p", 1) != Relation("q", 1)
+
+
+class TestLookup:
+    def setup_method(self):
+        self.relation = Relation(
+            "e", 2, [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]
+        )
+
+    def test_unbound_scan(self):
+        assert len(list(self.relation.lookup({}))) == 4
+
+    def test_single_column(self):
+        assert sorted(self.relation.lookup({0: "a"})) == [("a", "b"), ("a", "c")]
+
+    def test_two_columns(self):
+        assert list(self.relation.lookup({0: "a", 1: "c"})) == [("a", "c")]
+
+    def test_missing_value(self):
+        assert list(self.relation.lookup({0: "zz"})) == []
+
+    def test_index_stays_fresh_after_insert(self):
+        list(self.relation.lookup({0: "a"}))  # force index build
+        self.relation.add(("a", "z"))
+        assert ("a", "z") in set(self.relation.lookup({0: "a"}))
+
+    def test_index_rebuilt_after_discard(self):
+        list(self.relation.lookup({0: "a"}))
+        self.relation.discard(("a", "b"))
+        assert sorted(self.relation.lookup({0: "a"})) == [("a", "c")]
+
+    def test_count(self):
+        assert self.relation.count() == 4
+        assert self.relation.count({0: "a"}) == 2
+
+
+# --- property-based ----------------------------------------------------------
+
+rows = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=40
+)
+
+
+@given(rows)
+def test_relation_behaves_like_a_set(data):
+    relation = Relation("r", 2)
+    mirror = set()
+    for row in data:
+        assert relation.add(row) == (row not in mirror)
+        mirror.add(row)
+    assert relation.rows() == frozenset(mirror)
+
+
+@given(rows, st.integers(0, 5))
+def test_lookup_matches_filter_semantics(data, key):
+    relation = Relation("r", 2, data)
+    via_index = sorted(relation.lookup({0: key}))
+    via_scan = sorted(row for row in set(data) if row[0] == key)
+    assert via_index == via_scan
+
+
+@given(rows, st.integers(0, 5), st.integers(0, 5))
+def test_two_column_lookup_matches_filter(data, key0, key1):
+    relation = Relation("r", 2, data)
+    via_index = sorted(relation.lookup({0: key0, 1: key1}))
+    via_scan = sorted(
+        row for row in set(data) if row[0] == key0 and row[1] == key1
+    )
+    assert via_index == via_scan

@@ -1,0 +1,122 @@
+"""Tests for the interactive REPL (driven through string streams)."""
+
+import io
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.repl import Repl
+
+SOURCE = """
+par(a,b). par(b,c). par(c,d).
+anc(X,Y) :- par(X,Y).
+anc(X,Y) :- par(X,Z), anc(Z,Y).
+"""
+
+
+def run_session(lines, source=SOURCE):
+    engine = Engine.from_source(source)
+    output = io.StringIO()
+    repl = Repl(
+        engine,
+        input_stream=io.StringIO("\n".join(lines) + "\n"),
+        output_stream=output,
+        show_prompt=False,
+    )
+    repl.run()
+    return output.getvalue()
+
+
+class TestQueries:
+    def test_query_with_question_mark(self):
+        out = run_session(["anc(a, X)?"])
+        assert out.splitlines() == ["X = b", "X = c", "X = d"]
+
+    def test_bare_atom_is_treated_as_query(self):
+        out = run_session(["anc(a, d)"])
+        assert out.strip() == "true"
+
+    def test_ground_query_false(self):
+        out = run_session(["anc(d, a)?"])
+        assert out.strip() == "false"
+
+    def test_stats_toggle(self):
+        out = run_session([":stats on", "anc(a, b)?"])
+        assert "EvaluationStats" in out
+        out = run_session([":stats off", "anc(a, b)?"])
+        assert "EvaluationStats" not in out
+
+    def test_parse_error_is_survivable(self):
+        out = run_session(["anc(a,?", "anc(a, b)?"])
+        assert "error:" in out
+        assert "true" in out
+
+
+class TestAssertions:
+    def test_assert_fact_extends_database(self):
+        out = run_session(["par(d, e).", "anc(a, e)?"])
+        assert "asserted par(d, e)." in out
+        assert "true" in out
+
+    def test_assert_duplicate(self):
+        out = run_session(["par(a, b)."])
+        assert "already known" in out
+
+    def test_rules_cannot_be_asserted(self):
+        out = run_session(["q(X) :- par(X, Y)."])
+        assert "only ground facts" in out
+
+
+class TestCommands:
+    def test_strategy_switch(self):
+        out = run_session([":strategy oldt", "anc(a, X)?"])
+        assert "strategy set to oldt" in out
+        assert "X = b" in out
+
+    def test_strategy_listing(self):
+        out = run_session([":strategy"])
+        assert "alexander" in out and "oldt" in out
+
+    def test_unknown_strategy(self):
+        out = run_session([":strategy warp"])
+        assert "unknown strategy" in out
+
+    def test_why(self):
+        out = run_session([":why anc(a, c)"])
+        assert "[fact]" in out and "par(b, c)" in out
+
+    def test_explain(self):
+        out = run_session([":explain anc(a, X)"])
+        assert "seminaive" in out and "alexander" in out
+
+    def test_report(self):
+        out = run_session([":report"])
+        assert "safe: yes" in out and "linear" in out
+
+    def test_program(self):
+        out = run_session([":program"])
+        assert "anc(X, Y) :- par(X, Y)." in out
+
+    def test_load(self, tmp_path):
+        facts = tmp_path / "extra.dl"
+        facts.write_text("par(d, e).")
+        out = run_session([f":load {facts}", "anc(a, e)?"])
+        assert "loaded 1 new fact(s)" in out
+        assert "true" in out
+
+    def test_help(self):
+        out = run_session([":help"])
+        assert ":strategy" in out
+
+    def test_quit_stops_loop(self):
+        out = run_session([":quit", "anc(a, b)?"])
+        assert "bye" in out
+        assert "true" not in out  # the line after :quit is never read
+
+    def test_unknown_command(self):
+        out = run_session([":teleport"])
+        assert "unknown command" in out
+
+    def test_comments_and_blank_lines_ignored(self):
+        out = run_session(["", "% hello", "# hi"])
+        assert out == ""

@@ -1,0 +1,84 @@
+"""Tests for the whole-program analysis report."""
+
+import pytest
+
+from repro.analysis.report import ProgramReport
+from repro.datalog.parser import parse_program
+
+
+def report_of(source):
+    return ProgramReport.build(parse_program(source))
+
+
+class TestProgramReport:
+    def test_clean_recursive_program(self):
+        report = report_of(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        assert report.ok and report.safe and report.stratifiable
+        assert report.loosely_stratified
+        assert report.stratum_count == 1
+        info = {p.name: p for p in report.predicates}
+        assert info["anc"].kind == "idb"
+        assert info["anc"].recursion == "linear"
+        assert info["anc"].rule_count == 2
+        assert info["par"].kind == "edb"
+        assert info["par"].recursion == "-"
+
+    def test_recursive_predicates_listing(self):
+        report = report_of(
+            """
+            tc(X,Y) :- e(X,Y).
+            tc(X,Y) :- tc(X,Z), tc(Z,Y).
+            top(X) :- tc(X,Y).
+            """
+        )
+        assert report.recursive_predicates == ("tc",)
+        info = {p.name: p for p in report.predicates}
+        assert info["tc"].recursion == "non-linear"
+        assert info["top"].recursion == "non-recursive"
+
+    def test_strata_recorded(self):
+        report = report_of(
+            """
+            r(X,Y) :- e(X,Y).
+            unreach(X,Y) :- node(X), node(Y), not r(X,Y).
+            """
+        )
+        info = {p.name: p for p in report.predicates}
+        assert report.stratum_count == 2
+        assert info["unreach"].stratum > info["r"].stratum
+
+    def test_unsafe_program_reported(self):
+        report = report_of("p(X, Y) :- q(X).")
+        assert not report.safe and not report.ok
+        assert len(report.safety_violations) == 1
+
+    def test_unstratifiable_program_reported(self):
+        report = report_of("win(X) :- move(X,Y), not win(Y).")
+        assert not report.stratifiable and not report.ok
+        assert not report.loosely_stratified
+        assert report.stratum_count == 0
+
+    def test_loose_but_not_stratified(self):
+        report = report_of("p(X, a) :- q(X, Y), not p(Y, b).")
+        assert not report.stratifiable
+        assert report.loosely_stratified
+
+    def test_render_contains_key_facts(self):
+        report = report_of(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        text = report.render()
+        assert "safe: yes" in text
+        assert "anc" in text and "linear" in text
+
+    def test_render_lists_violations(self):
+        text = report_of("p(X, Y) :- q(X).").render()
+        assert "unsafe:" in text

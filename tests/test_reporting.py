@@ -1,0 +1,58 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.bench.reporting import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "count"], [["alpha", 1], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        # All rows share the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [[1.23456]])
+        assert "1.23" in text and "1.23456" not in text
+
+    def test_first_column_left_other_right(self):
+        text = render_table(["key", "value"], [["a", 1], ["long-key", 22]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("a ")
+        assert rows[0].rstrip().endswith("1")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_series_merged_on_x(self):
+        text = render_series(
+            "scaling",
+            "n",
+            {"fast": [(1, 10), (2, 20)], "slow": [(2, 99), (3, 100)]},
+        )
+        lines = text.splitlines()
+        assert lines[0] == "scaling"
+        assert "fast" in lines[1] and "slow" in lines[1]
+        # x=1 has no slow value: rendered as '-'.
+        row_one = [l for l in lines if l.startswith("1 ")][0]
+        assert "-" in row_one
+
+    def test_x_order_is_first_seen(self):
+        text = render_series("s", "n", {"a": [(3, 1), (1, 2)]})
+        data_lines = text.splitlines()[3:]
+        assert data_lines[0].startswith("3")
+
+
+class TestRenderKv:
+    def test_keys_aligned(self):
+        text = render_kv("info", {"a": 1, "long_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0] == "info"
+        assert lines[1].index(":") == lines[2].index(":")
+        assert "2.50" in lines[2]

@@ -1,0 +1,117 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ProgramError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+PAR_XY = Literal(Atom("par", (X, Y)))
+ANC_ZY = Literal(Atom("anc", (Z, Y)))
+RULE_BASE = Rule(Atom("anc", (X, Y)), (PAR_XY,))
+RULE_REC = Rule(Atom("anc", (X, Y)), (Literal(Atom("par", (X, Z))), ANC_ZY))
+FACT = Rule(Atom("par", (a, b)), ())
+
+
+class TestRule:
+    def test_is_fact(self):
+        assert FACT.is_fact
+        assert not RULE_BASE.is_fact
+
+    def test_positive_and_negative_body(self):
+        rule = Rule(
+            Atom("p", (X,)),
+            (Literal(Atom("q", (X,))), Literal(Atom("r", (X,)), positive=False)),
+        )
+        assert [l.predicate for l in rule.positive_body()] == ["q"]
+        assert [l.predicate for l in rule.negative_body()] == ["r"]
+
+    def test_variables_covers_head_and_body(self):
+        assert RULE_REC.variables() == {X, Y, Z}
+
+    def test_substitute(self):
+        ground = RULE_BASE.substitute({X: a, Y: b})
+        assert ground.head == Atom("anc", (a, b))
+        assert ground.body[0].atom == Atom("par", (a, b))
+
+    def test_rename_apart_produces_variant(self):
+        renamed = RULE_REC.rename_apart()
+        assert renamed.variables().isdisjoint(RULE_REC.variables())
+        # Structure preserved: same predicates in same positions.
+        assert renamed.head.predicate == "anc"
+        assert [l.predicate for l in renamed.body] == ["par", "anc"]
+
+    def test_rename_apart_preserves_sharing(self):
+        renamed = RULE_REC.rename_apart()
+        # The Z in par(X,Z) and anc(Z,Y) must stay the same variable.
+        assert renamed.body[0].args[1] == renamed.body[1].args[0]
+
+    def test_str_fact(self):
+        assert str(FACT) == "par(a, b)."
+
+    def test_str_rule(self):
+        assert str(RULE_BASE) == "anc(X, Y) :- par(X, Y)."
+
+
+class TestProgram:
+    def test_rejects_non_ground_bodyless_rule(self):
+        with pytest.raises(ProgramError):
+            Program([Rule(Atom("p", (X,)), ())])
+
+    def test_rejects_non_rule(self):
+        with pytest.raises(ProgramError):
+            Program([Atom("p", (a,))])  # type: ignore[list-item]
+
+    def test_facts_and_proper_rules_split(self):
+        program = Program([FACT, RULE_BASE, RULE_REC])
+        assert program.facts == (FACT.head,)
+        assert program.proper_rules == (RULE_BASE, RULE_REC)
+
+    def test_idb_edb_partition(self):
+        program = Program([FACT, RULE_BASE, RULE_REC])
+        assert program.idb_predicates == {"anc"}
+        assert program.edb_predicates == {"par"}
+        assert program.predicates == {"anc", "par"}
+
+    def test_rules_for(self):
+        program = Program([FACT, RULE_BASE, RULE_REC])
+        assert program.rules_for("anc") == (RULE_BASE, RULE_REC)
+        assert program.rules_for("par") == ()
+
+    def test_arities(self):
+        program = Program([FACT, RULE_BASE])
+        assert program.arities == {"par": 2, "anc": 2}
+
+    def test_arities_raise_on_inconsistency(self):
+        bad = Program(
+            [Rule(Atom("p", (X,)), (Literal(Atom("q", (X,))),)),
+             Rule(Atom("q", (X, Y)), (Literal(Atom("p", (X,))), Literal(Atom("p", (Y,)))))]
+        )
+        with pytest.raises(ProgramError):
+            bad.arities
+
+    def test_constants_active_domain(self):
+        program = Program([FACT, RULE_BASE])
+        assert program.constants() == {"a", "b"}
+
+    def test_with_rules_extends(self):
+        program = Program([RULE_BASE])
+        extended = program.with_rules([RULE_REC])
+        assert len(extended) == 2
+        assert len(program) == 1  # immutable
+
+    def test_without_facts(self):
+        program = Program([FACT, RULE_BASE])
+        assert Program([RULE_BASE]) == program.without_facts()
+
+    def test_equality_and_hash(self):
+        assert Program([RULE_BASE]) == Program([RULE_BASE])
+        assert hash(Program([RULE_BASE])) == hash(Program([RULE_BASE]))
+
+    def test_iteration_order_preserved(self):
+        program = Program([FACT, RULE_BASE, RULE_REC])
+        assert list(program) == [FACT, RULE_BASE, RULE_REC]

@@ -1,0 +1,72 @@
+"""Unit tests for the safety (range restriction) checker."""
+
+import pytest
+
+from repro.analysis.safety import (
+    check_program_safety,
+    check_rule_safety,
+    require_safe,
+)
+from repro.datalog.parser import parse_program, parse_rule
+from repro.errors import SafetyError
+
+
+class TestRuleSafety:
+    def test_safe_rule_has_no_violations(self):
+        rule = parse_rule("anc(X,Y) :- par(X,Z), anc(Z,Y).")
+        assert check_rule_safety(rule) == []
+
+    def test_unbound_head_variable(self):
+        rule = parse_rule("p(X, Y) :- q(X).")
+        violations = check_rule_safety(rule)
+        assert len(violations) == 1
+        assert violations[0].variable.name == "Y"
+        assert violations[0].place == "head"
+
+    def test_unbound_negative_variable(self):
+        rule = parse_rule("p(X) :- q(X), not r(X, Y).")
+        violations = check_rule_safety(rule)
+        assert len(violations) == 1
+        assert "negative literal" in violations[0].place
+
+    def test_negative_literal_does_not_bind(self):
+        rule = parse_rule("p(X) :- not q(X).")
+        violations = check_rule_safety(rule)
+        # X is unsafe twice: in the head and in the negative literal.
+        assert {v.place.split()[0] for v in violations} == {"head", "negative"}
+
+    def test_repeated_unsafe_variable_reported_once_per_place(self):
+        rule = parse_rule("p(Y, Y) :- q(X).")
+        violations = check_rule_safety(rule)
+        assert len(violations) == 1
+
+    def test_constant_only_head_is_safe(self):
+        rule = parse_rule("flag(on) :- q(X).")
+        assert check_rule_safety(rule) == []
+
+
+class TestProgramSafety:
+    def test_program_collects_all_violations(self):
+        program = parse_program(
+            """
+            p(X, Y) :- q(X).
+            r(Z) :- s(Z), not t(W).
+            """
+        )
+        violations = check_program_safety(program)
+        assert {v.variable.name for v in violations} == {"Y", "W"}
+
+    def test_require_safe_passes_clean_program(self):
+        program = parse_program("anc(X,Y) :- par(X,Y).")
+        require_safe(program)  # must not raise
+
+    def test_require_safe_raises_with_summary(self):
+        program = parse_program("p(X, Y) :- q(X).")
+        with pytest.raises(SafetyError) as excinfo:
+            require_safe(program)
+        assert "Y" in str(excinfo.value)
+
+    def test_violation_str_mentions_rule(self):
+        rule = parse_rule("p(X, Y) :- q(X).")
+        violation = check_rule_safety(rule)[0]
+        assert "p(X, Y)" in str(violation)

@@ -1,0 +1,79 @@
+"""Unit tests for sideways information passing strategies."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.errors import SafetyError
+from repro.transform.sips import left_to_right, most_bound_first, named_sips
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def body_of(text):
+    return parse_rule(text).body
+
+
+class TestLeftToRight:
+    def test_preserves_positive_order(self):
+        ordered = left_to_right(
+            body_of("p(X,Y) :- c(Y), a(X), b(X,Y)."), frozenset()
+        )
+        assert [l.predicate for l in ordered] == ["c", "a", "b"]
+
+    def test_delays_negatives(self):
+        ordered = left_to_right(
+            body_of("p(X) :- not bad(X), v(X)."), frozenset()
+        )
+        assert [l.predicate for l in ordered] == ["v", "bad"]
+
+    def test_head_bound_variables_enable_early_negatives(self):
+        ordered = left_to_right(
+            body_of("p(X) :- not bad(X), v(X)."), frozenset({X})
+        )
+        assert [l.predicate for l in ordered] == ["bad", "v"]
+
+    def test_unbindable_negative_raises(self):
+        with pytest.raises(SafetyError):
+            left_to_right(body_of("p(X) :- v(X), not bad(W)."), frozenset())
+
+
+class TestMostBoundFirst:
+    def test_picks_bound_literal_first(self):
+        ordered = most_bound_first(
+            body_of("p(X,Y) :- far(Y), near(X)."), frozenset({X})
+        )
+        assert [l.predicate for l in ordered] == ["near", "far"]
+
+    def test_binding_cascades(self):
+        ordered = most_bound_first(
+            body_of("p(X,W) :- c(Z,W), a(X,Y), b(Y,Z)."), frozenset({X})
+        )
+        assert [l.predicate for l in ordered] == ["a", "b", "c"]
+
+    def test_zero_arity_literal_scores_fully_bound(self):
+        ordered = most_bound_first(
+            body_of("p(X) :- v(X), go."), frozenset()
+        )
+        assert ordered[0].predicate == "go"
+
+    def test_tie_broken_by_program_order(self):
+        ordered = most_bound_first(
+            body_of("p(X,Y) :- a(X), b(Y)."), frozenset()
+        )
+        assert [l.predicate for l in ordered] == ["a", "b"]
+
+    def test_result_is_permutation(self):
+        body = body_of("p(X,Y) :- a(X), b(Y), not c(X,Y), d(X,Y).")
+        ordered = most_bound_first(body, frozenset())
+        assert sorted(str(l) for l in ordered) == sorted(str(l) for l in body)
+
+
+class TestNamedSips:
+    def test_lookup(self):
+        assert named_sips("left_to_right") is left_to_right
+        assert named_sips("most_bound_first") is most_bound_first
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            named_sips("nonsense")

@@ -1,0 +1,122 @@
+"""Unit tests for plain SLD resolution."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.errors import BudgetExceededError, EvaluationError
+from repro.topdown.sld import SLDEngine, sld_query
+
+
+class TestSLDBasics:
+    def test_bound_query(self, ancestor_program, chain_database):
+        answers, _ = sld_query(
+            ancestor_program, parse_query("anc(a, X)?"), chain_database
+        )
+        assert {str(a) for a in answers} == {
+            "anc(a, b)", "anc(a, c)", "anc(a, d)"
+        }
+
+    def test_fully_bound_query(self, ancestor_program, chain_database):
+        answers, _ = sld_query(
+            ancestor_program, parse_query("anc(a, d)?"), chain_database
+        )
+        assert len(answers) == 1
+
+    def test_failing_query(self, ancestor_program, chain_database):
+        answers, _ = sld_query(
+            ancestor_program, parse_query("anc(d, a)?"), chain_database
+        )
+        assert answers == []
+
+    def test_open_query(self, ancestor_program, chain_database):
+        answers, _ = sld_query(
+            ancestor_program, parse_query("anc(X, Y)?"), chain_database
+        )
+        assert len(answers) == 6
+
+    def test_edb_query(self, ancestor_program, chain_database):
+        answers, _ = sld_query(
+            ancestor_program, parse_query("par(a, X)?"), chain_database
+        )
+        assert [str(a) for a in answers] == ["par(a, b)"]
+
+    def test_duplicate_derivations_deduplicated(self):
+        # A diamond gives two derivations of anc(a, c) and anc(a, d).
+        program = parse_program(
+            """
+            par(a,b1). par(a,b2). par(b1,c). par(b2,c). par(c,d).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        answers, stats = sld_query(program, parse_query("anc(a, X)?"))
+        assert {str(a) for a in answers} == {
+            "anc(a, b1)", "anc(a, b2)", "anc(a, c)", "anc(a, d)"
+        }
+        # ... but the engine still paid for every derivation: without
+        # tabling, the c and d subtrees are explored once per branch.
+        assert stats.inferences > len(answers)
+
+    def test_ask_stops_at_first_proof(self, ancestor_program, chain_database):
+        engine = SLDEngine(ancestor_program, chain_database)
+        assert engine.ask(parse_query("anc(a, d)?"))
+        assert not engine.ask(parse_query("anc(d, a)?"))
+
+
+class TestSLDNegation:
+    def test_ground_negation_as_failure(self):
+        program = parse_program(
+            """
+            person(ann). person(bob). smoker(bob).
+            healthy(X) :- person(X), not smoker(X).
+            """
+        )
+        answers, _ = sld_query(program, parse_query("healthy(X)?"))
+        assert [str(a) for a in answers] == ["healthy(ann)"]
+
+    def test_negation_before_binder_is_reordered(self):
+        # The body is normalised: v(X) binds X before the negation runs.
+        program = parse_program("p(X) :- not q(X), v(X). v(a). q(b).")
+        answers, _ = sld_query(program, parse_query("p(X)?"))
+        assert [str(a) for a in answers] == ["p(a)"]
+
+    def test_never_bound_negation_raises(self):
+        from repro.errors import SafetyError
+
+        program = parse_program("p(X) :- v(X), not q(W). v(a).")
+        with pytest.raises(SafetyError):
+            sld_query(program, parse_query("p(X)?"))
+
+
+class TestSLDDivergence:
+    def test_cyclic_data_exceeds_budget(self):
+        program = parse_program(
+            """
+            par(a,b). par(b,a).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sld_query(program, parse_query("anc(a, X)?"), max_steps=5000)
+        assert excinfo.value.stats is not None
+
+    def test_left_recursion_diverges_even_on_acyclic_data(self, chain_database):
+        program = parse_program(
+            """
+            anc(X,Y) :- anc(X,Z), par(Z,Y).
+            anc(X,Y) :- par(X,Y).
+            """
+        )
+        with pytest.raises(BudgetExceededError):
+            sld_query(program, parse_query("anc(a, X)?"), chain_database)
+
+    def test_budget_configurable(self, ancestor_program, chain_database):
+        # A generous budget lets the acyclic query finish.
+        answers, _ = sld_query(
+            ancestor_program,
+            parse_query("anc(a, X)?"),
+            chain_database,
+            max_steps=10_000,
+        )
+        assert len(answers) == 3

@@ -1,0 +1,79 @@
+"""Unit tests for stratified evaluation with negation."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.engine.stratified import stratified_fixpoint
+from repro.errors import StratificationError
+from repro.facts.database import Database
+
+
+class TestStratifiedFixpoint:
+    def test_unreachable_pairs(self, stratified_source):
+        program = parse_program(stratified_source)
+        completed, _ = stratified_fixpoint(program)
+        # Chain a->b->c->d: d reaches nothing; nothing reaches a.
+        unreach = completed.rows("unreach")
+        assert ("d", "a") in unreach
+        assert ("a", "a") in unreach  # no self-loop in reach
+        assert ("a", "d") not in unreach
+
+    def test_three_strata(self):
+        program = parse_program(
+            """
+            base(a). base(b). base(c).
+            first(X) :- base(X), picked(X).
+            picked(a).
+            second(X) :- base(X), not first(X).
+            third(X) :- base(X), not second(X).
+            """
+        )
+        completed, _ = stratified_fixpoint(program)
+        assert completed.rows("second") == {("b",), ("c",)}
+        assert completed.rows("third") == {("a",)}
+
+    def test_negation_sees_completed_lower_stratum(self):
+        # The recursive closure must be complete before the negation runs.
+        program = parse_program(
+            """
+            e(a,b). e(b,c).
+            node(a). node(b). node(c).
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            island(X) :- node(X), not touched(X).
+            touched(X) :- r(X,Y).
+            touched(Y) :- r(X,Y).
+            """
+        )
+        completed, _ = stratified_fixpoint(program)
+        assert completed.rows("island") == frozenset()
+
+    def test_non_stratifiable_program_rejected(self):
+        program = parse_program("win(X) :- move(X,Y), not win(Y). move(a,b).")
+        with pytest.raises(StratificationError):
+            stratified_fixpoint(program)
+
+    def test_engine_choice_naive(self, stratified_source):
+        program = parse_program(stratified_source)
+        semi, _ = stratified_fixpoint(program, engine="seminaive")
+        naive, _ = stratified_fixpoint(program, engine="naive")
+        assert semi.rows("unreach") == naive.rows("unreach")
+        assert semi.rows("reach") == naive.rows("reach")
+
+    def test_negation_over_pure_edb(self):
+        program = parse_program(
+            """
+            person(ann). person(bob).
+            smoker(bob).
+            healthy(X) :- person(X), not smoker(X).
+            """
+        )
+        completed, _ = stratified_fixpoint(program)
+        assert completed.rows("healthy") == {("ann",)}
+
+    def test_stats_accumulate_across_strata(self, stratified_source):
+        program = parse_program(stratified_source)
+        _, stats = stratified_fixpoint(program)
+        assert stats.facts_derived == len(
+            stratified_fixpoint(program)[0].rows("reach")
+        ) + len(stratified_fixpoint(program)[0].rows("unreach"))

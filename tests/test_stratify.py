@@ -1,0 +1,110 @@
+"""Unit tests for stratification."""
+
+import pytest
+
+from repro.analysis.stratify import is_stratifiable, stratify
+from repro.datalog.parser import parse_program
+from repro.errors import StratificationError
+
+
+class TestStratify:
+    def test_negation_free_program_is_one_stratum(self):
+        program = parse_program(
+            """
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        stratification = stratify(program)
+        assert stratification.depth == 1
+        assert set(stratification.strata[0].proper_rules) == set(
+            program.proper_rules
+        )
+
+    def test_two_strata_for_single_negation(self):
+        program = parse_program(
+            """
+            reach(X,Y) :- e(X,Y).
+            reach(X,Y) :- e(X,Z), reach(Z,Y).
+            unreach(X,Y) :- node(X), node(Y), not reach(X,Y).
+            """
+        )
+        stratification = stratify(program)
+        assert stratification.depth == 2
+        assert stratification.strata[0].idb_predicates == {"reach"}
+        assert stratification.strata[1].idb_predicates == {"unreach"}
+        assert (
+            stratification.stratum_for_predicate("unreach")
+            > stratification.stratum_for_predicate("reach")
+        )
+
+    def test_three_strata_chain_of_negations(self):
+        program = parse_program(
+            """
+            a(X) :- base(X).
+            b(X) :- base(X), not a(X).
+            c(X) :- base(X), not b(X).
+            """
+        )
+        assert stratify(program).depth == 3
+
+    def test_edb_predicates_are_stratum_zero(self):
+        program = parse_program("p(X) :- q(X), not r(X).")
+        stratification = stratify(program)
+        assert stratification.stratum_for_predicate("q") == 0
+        assert stratification.stratum_for_predicate("r") == 0
+
+    def test_positive_recursion_through_negated_lower_stratum_ok(self):
+        program = parse_program(
+            """
+            safe(X) :- node(X), not bad(X).
+            conn(X,Y) :- safe(X), safe(Y), e(X,Y).
+            conn(X,Y) :- conn(X,Z), conn(Z,Y).
+            """
+        )
+        assert is_stratifiable(program)
+        stratification = stratify(program)
+        assert stratification.stratum_for_predicate("conn") >= (
+            stratification.stratum_for_predicate("safe")
+        )
+
+    def test_direct_negative_self_loop_rejected(self):
+        program = parse_program("win(X) :- move(X,Y), not win(Y).")
+        with pytest.raises(StratificationError):
+            stratify(program)
+        assert not is_stratifiable(program)
+
+    def test_negative_cycle_through_two_predicates_rejected(self):
+        program = parse_program(
+            """
+            p(X) :- base(X), not q(X).
+            q(X) :- base(X), not p(X).
+            """
+        )
+        assert not is_stratifiable(program)
+
+    def test_positive_cycle_is_fine(self):
+        program = parse_program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            p(X) :- base(X).
+            """
+        )
+        assert is_stratifiable(program)
+
+    def test_strata_union_preserves_all_rules(self):
+        program = parse_program(
+            """
+            a(X) :- base(X).
+            b(X) :- base(X), not a(X).
+            c(X) :- b(X).
+            """
+        )
+        stratification = stratify(program)
+        recovered = [
+            rule for stratum in stratification.strata for rule in stratum
+        ]
+        assert sorted(map(str, recovered)) == sorted(
+            map(str, program.proper_rules)
+        )

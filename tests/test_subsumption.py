@@ -1,0 +1,106 @@
+"""Tests for atom subsumption and subsumption-based tabling in OLDT."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import subsumes
+from repro.topdown.oldt import OLDTEngine
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubsumes:
+    def test_open_subsumes_bound(self):
+        assert subsumes(Atom("p", (X, Y)), Atom("p", (a, b))) is not None
+
+    def test_open_subsumes_partially_bound(self):
+        assert subsumes(Atom("p", (X, Y)), Atom("p", (a, Z))) is not None
+
+    def test_bound_does_not_subsume_open(self):
+        assert subsumes(Atom("p", (a, X)), Atom("p", (Y, b))) is None
+
+    def test_special_variables_are_frozen(self):
+        # p(X, X) does not subsume p(Y, Z): Y and Z are distinct symbols.
+        assert subsumes(Atom("p", (X, X)), Atom("p", (Y, Z))) is None
+        assert subsumes(Atom("p", (X, X)), Atom("p", (Z, Z))) is not None
+
+    def test_repeated_general_variable_requires_equal_args(self):
+        assert subsumes(Atom("p", (X, X)), Atom("p", (a, b))) is None
+        assert subsumes(Atom("p", (X, X)), Atom("p", (a, a))) is not None
+
+    def test_two_general_vars_may_share_a_target(self):
+        assert subsumes(Atom("p", (X, Y)), Atom("p", (a, a))) is not None
+
+    def test_predicate_and_arity_must_match(self):
+        assert subsumes(Atom("p", (X,)), Atom("q", (a,))) is None
+        assert subsumes(Atom("p", (X,)), Atom("p", (a, b))) is None
+
+    def test_subsumption_is_reflexive_up_to_renaming(self):
+        assert subsumes(Atom("p", (X, Y)), Atom("p", (Z, Z))) is not None
+        assert subsumes(Atom("p", (X, Y)), Atom("p", (X, Y))) is not None
+
+
+PROGRAM = parse_program(
+    """
+    par(a,b). par(b,c). par(c,d).
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    """
+)
+
+
+class TestSubsumptionTabling:
+    def test_same_answers_both_modes(self):
+        for query_text in ("anc(X, Y)?", "anc(a, X)?", "anc(a, d)?", "anc(X, d)?"):
+            query = parse_query(query_text)
+            variant = OLDTEngine(PROGRAM, tabling="variant").query(query)
+            subsumed = OLDTEngine(PROGRAM, tabling="subsumption").query(query)
+            assert {str(a) for a in variant} == {str(a) for a in subsumed}, query_text
+
+    def test_open_query_uses_single_table(self):
+        engine = OLDTEngine(PROGRAM, tabling="subsumption")
+        engine.query(parse_query("anc(X, Y)?"))
+        assert engine.stats.calls == 1
+
+    def test_variant_mode_creates_table_per_pattern(self):
+        engine = OLDTEngine(PROGRAM, tabling="variant")
+        engine.query(parse_query("anc(X, Y)?"))
+        # ff plus one bf table per node with an incoming par edge (b, c, d).
+        assert engine.stats.calls == 4
+
+    def test_subsumption_does_fewer_inferences_on_open_query(self):
+        query = parse_query("anc(X, Y)?")
+        variant = OLDTEngine(PROGRAM, tabling="variant")
+        variant.query(query)
+        subsumed = OLDTEngine(PROGRAM, tabling="subsumption")
+        subsumed.query(query)
+        assert subsumed.stats.inferences < variant.stats.inferences
+
+    def test_bound_first_query_identical_to_variant(self):
+        query = parse_query("anc(a, X)?")
+        variant = OLDTEngine(PROGRAM, tabling="variant")
+        variant.query(query)
+        subsumed = OLDTEngine(PROGRAM, tabling="subsumption")
+        subsumed.query(query)
+        # Bound calls only: no general table ever exists to subsume them.
+        assert subsumed.stats.calls == variant.stats.calls
+        assert subsumed.stats.inferences == variant.stats.inferences
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            OLDTEngine(PROGRAM, tabling="telepathy")
+
+    def test_cyclic_data_terminates_in_subsumption_mode(self):
+        program = parse_program(
+            """
+            par(a,b). par(b,a).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        engine = OLDTEngine(program, tabling="subsumption")
+        answers = engine.query(parse_query("anc(X, Y)?"))
+        assert len(answers) == 4

@@ -1,0 +1,111 @@
+"""Unit tests for the supplementary magic sets transformation."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.facts.database import Database
+from repro.transform.magic import magic_sets
+from repro.transform.supplementary import supplementary_magic_sets
+
+ANCESTOR = parse_program(
+    """
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    """
+)
+
+SG = parse_program(
+    """
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).
+    """
+)
+
+
+def chain_db():
+    db = Database()
+    for pair in [("a", "b"), ("b", "c"), ("c", "d")]:
+        db.add("par", pair)
+    return db
+
+
+class TestSupplementaryRewriting:
+    def test_structure_for_right_linear_ancestor(self):
+        transformed = supplementary_magic_sets(
+            ANCESTOR, parse_query("anc(a, X)?")
+        )
+        rules = {str(r) for r in transformed.program}
+        assert "anc__bf(X, Y) :- magic__anc__bf(X), par(X, Y)." in rules
+        assert "sup_1_1__anc__bf(X, Z) :- magic__anc__bf(X), par(X, Z)." in rules
+        assert "magic__anc__bf(Z) :- sup_1_1__anc__bf(X, Z)." in rules
+        assert "anc__bf(X, Y) :- sup_1_1__anc__bf(X, Z), anc__bf(Z, Y)." in rules
+
+    def test_prefix_shared_not_recomputed(self):
+        # The magic rule's body is just the supplementary literal — the
+        # par join is not repeated (unlike plain magic).
+        transformed = supplementary_magic_sets(
+            ANCESTOR, parse_query("anc(a, X)?")
+        )
+        magic_rules = [
+            rule
+            for rule in transformed.program
+            if rule.head.predicate.startswith("magic__")
+        ]
+        for rule in magic_rules:
+            assert len(rule.body) == 1
+
+    def test_three_literal_body_builds_two_sups(self):
+        transformed = supplementary_magic_sets(SG, parse_query("sg(a, X)?"))
+        sup_predicates = {
+            rule.head.predicate
+            for rule in transformed.program
+            if rule.head.predicate.startswith("sup_")
+        }
+        assert len(sup_predicates) == 2  # after up(X,U) and after sg(U,V)
+
+    def test_sup_carries_only_needed_variables(self):
+        transformed = supplementary_magic_sets(SG, parse_query("sg(a, X)?"))
+        # After up(X,U): X needed by head, U by the sg call => arity 2.
+        # After sg(U,V): only X and V still needed => arity 2, and U gone.
+        arities = sorted(
+            rule.head.arity
+            for rule in transformed.program
+            if rule.head.predicate.startswith("sup_")
+        )
+        assert arities == [2, 2]
+
+    def test_same_answers_as_magic(self):
+        for query_text in ["anc(a, X)?", "anc(c, X)?", "anc(X, Y)?", "anc(a, d)?"]:
+            query = parse_query(query_text)
+            supp = supplementary_magic_sets(ANCESTOR, query)
+            magic = magic_sets(ANCESTOR, query)
+            supp_db, _ = seminaive_fixpoint(supp.evaluation_program(), chain_db())
+            magic_db, _ = seminaive_fixpoint(magic.evaluation_program(), chain_db())
+            assert supp_db.rows(supp.goal.predicate) == magic_db.rows(
+                magic.goal.predicate
+            )
+
+    def test_magic_facts_coincide_with_plain_magic(self):
+        query = parse_query("anc(c, X)?")
+        supp = supplementary_magic_sets(ANCESTOR, query)
+        magic = magic_sets(ANCESTOR, query)
+        supp_db, _ = seminaive_fixpoint(supp.evaluation_program(), chain_db())
+        magic_db, _ = seminaive_fixpoint(magic.evaluation_program(), chain_db())
+        assert supp_db.rows("magic__anc__bf") == magic_db.rows("magic__anc__bf")
+
+    def test_fewer_attempts_than_plain_magic_on_deep_chain(self):
+        db = Database()
+        for i in range(30):
+            db.add("par", (i, i + 1))
+        query = parse_query("anc(0, X)?")
+        supp = supplementary_magic_sets(ANCESTOR, query)
+        magic = magic_sets(ANCESTOR, query)
+        _, supp_stats = seminaive_fixpoint(supp.evaluation_program(), db)
+        _, magic_stats = seminaive_fixpoint(magic.evaluation_program(), db)
+        # Supplementary's point: the shared prefix is not re-joined.
+        assert supp_stats.attempts < magic_stats.attempts
+
+    def test_kind_label(self):
+        transformed = supplementary_magic_sets(ANCESTOR, parse_query("anc(a, X)?"))
+        assert transformed.kind == "supplementary"

@@ -1,0 +1,86 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    fresh_variable,
+    is_ground_term,
+    reset_fresh_counter,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str_is_bare_name(self):
+        assert str(Variable("Xs")) == "Xs"
+
+    def test_repr_roundtrips_name(self):
+        assert "Xs" in repr(Variable("Xs"))
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_int_and_str_constants_differ(self):
+        assert Constant(1) != Constant("1")
+
+    def test_str_lowercase_identifier_prints_bare(self):
+        assert str(Constant("abc_1")) == "abc_1"
+
+    def test_str_integer_prints_bare(self):
+        assert str(Constant(42)) == "42"
+
+    def test_str_uppercase_value_is_quoted(self):
+        assert str(Constant("Abc")) == '"Abc"'
+
+    def test_str_with_space_is_quoted(self):
+        assert str(Constant("two words")) == '"two words"'
+
+    def test_str_with_quote_is_escaped(self):
+        assert str(Constant('say "hi"')) == '"say \\"hi\\""'
+
+    def test_bool_constant_is_quoted_not_bare(self):
+        # bool is an int subclass; it must not print as 0/1.
+        assert str(Constant(True)) == '"True"'
+
+    def test_empty_string_is_quoted(self):
+        assert str(Constant("")) == '""'
+
+    def test_negative_integer_prints_bare(self):
+        assert str(Constant(-7)) == "-7"
+
+
+class TestFreshVariables:
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_fresh_variable_uses_prefix(self):
+        assert fresh_variable("Zz").name.startswith("Zz#")
+
+    def test_fresh_never_collides_with_parsed_names(self):
+        # Parsed names cannot contain '#'.
+        assert "#" in fresh_variable().name
+
+    def test_reset_counter_restarts_numbering(self):
+        reset_fresh_counter()
+        first = fresh_variable().name
+        reset_fresh_counter()
+        assert fresh_variable().name == first
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert is_ground_term(Constant("a"))
+
+    def test_variable_is_not_ground(self):
+        assert not is_ground_term(Variable("X"))

@@ -1,0 +1,197 @@
+"""Unit and property tests for repro.datalog.unify."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import (
+    EMPTY_SUBSTITUTION,
+    Substitution,
+    are_variants,
+    match_atom,
+    unify_atoms,
+    unify_terms,
+    variant_key,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubstitution:
+    def test_empty_resolve_is_identity(self):
+        assert EMPTY_SUBSTITUTION.resolve(X) == X
+        assert EMPTY_SUBSTITUTION.resolve(a) == a
+
+    def test_bind_and_resolve(self):
+        subst = EMPTY_SUBSTITUTION.bind(X, a)
+        assert subst.resolve(X) == a
+
+    def test_bind_variable_to_variable_then_ground(self):
+        subst = EMPTY_SUBSTITUTION.bind(X, Y).bind(Y, a)
+        # Resolved-form invariant: X must now map straight to a.
+        assert subst.resolve(X) == a
+
+    def test_bind_self_is_noop(self):
+        subst = EMPTY_SUBSTITUTION.bind(X, X)
+        assert len(subst) == 0
+
+    def test_apply_atom(self):
+        subst = Substitution({X: a})
+        assert subst.apply_atom(Atom("p", (X, Y))) == Atom("p", (a, Y))
+
+    def test_compose_order_matters(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: a})
+        composed = first.compose(second)
+        assert composed.resolve(X) == a
+
+    def test_restrict(self):
+        subst = Substitution({X: a, Y: b})
+        restricted = subst.restrict([X])
+        assert X in restricted and Y not in restricted
+
+    def test_equality_with_mapping(self):
+        assert Substitution({X: a}) == {X: a}
+
+    def test_hashable(self):
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+
+class TestUnifyTerms:
+    def test_constant_with_itself(self):
+        assert unify_terms(a, a) == EMPTY_SUBSTITUTION
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(a, b) is None
+
+    def test_variable_binds_constant(self):
+        assert unify_terms(X, a).resolve(X) == a
+
+    def test_symmetric_variable_binding(self):
+        assert unify_terms(a, X).resolve(X) == a
+
+    def test_variable_with_variable(self):
+        subst = unify_terms(X, Y)
+        assert subst.resolve(X) == subst.resolve(Y)
+
+    def test_respects_existing_binding(self):
+        subst = Substitution({X: a})
+        assert unify_terms(X, b, subst) is None
+        assert unify_terms(X, a, subst) == subst
+
+
+class TestUnifyAtoms:
+    def test_different_predicates_fail(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_different_arities_fail(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("p", (X, Y))) is None
+
+    def test_basic_mgu(self):
+        subst = unify_atoms(Atom("p", (X, b)), Atom("p", (a, Y)))
+        assert subst.resolve(X) == a and subst.resolve(Y) == b
+
+    def test_repeated_variable_constraint(self):
+        assert unify_atoms(Atom("p", (X, X)), Atom("p", (a, b))) is None
+        subst = unify_atoms(Atom("p", (X, X)), Atom("p", (a, a)))
+        assert subst.resolve(X) == a
+
+    def test_chained_variable_aliasing(self):
+        subst = unify_atoms(Atom("p", (X, Y, X)), Atom("p", (Z, Z, a)))
+        for var in (X, Y, Z):
+            assert subst.resolve(var) == a
+
+    def test_zero_arity(self):
+        assert unify_atoms(Atom("p"), Atom("p")) == EMPTY_SUBSTITUTION
+
+
+class TestMatchAtom:
+    def test_matches_ground_instance(self):
+        binding = match_atom(Atom("p", (X, Y)), Atom("p", (a, b)))
+        assert binding.resolve(X) == a and binding.resolve(Y) == b
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("p", (X, X)), Atom("p", (a, b))) is None
+
+    def test_constant_positions_checked(self):
+        assert match_atom(Atom("p", (a, X)), Atom("p", (b, b))) is None
+
+    def test_wrong_predicate(self):
+        assert match_atom(Atom("p", (X,)), Atom("q", (a,))) is None
+
+
+class TestVariants:
+    def test_renamed_atoms_are_variants(self):
+        assert are_variants(Atom("p", (X, Y, X)), Atom("p", (Z, Y, Z)))
+
+    def test_different_sharing_is_not_variant(self):
+        assert not are_variants(Atom("p", (X, X, Y)), Atom("p", (X, Y, Y)))
+
+    def test_constants_participate(self):
+        assert not are_variants(Atom("p", (a, X)), Atom("p", (b, X)))
+        assert are_variants(Atom("p", (a, X)), Atom("p", (a, Z)))
+
+    def test_variant_key_distinguishes_value_types(self):
+        assert variant_key(Atom("p", (Constant(1),))) != variant_key(
+            Atom("p", (Constant("1"),))
+        )
+
+
+# --- property-based tests ----------------------------------------------------
+
+constants = st.sampled_from([Constant(v) for v in ("a", "b", "c", 0, 1)])
+variables_ = st.sampled_from([Variable(n) for n in "XYZUVW"])
+terms = st.one_of(constants, variables_)
+atoms = st.builds(
+    lambda args: Atom("p", tuple(args)), st.lists(terms, min_size=0, max_size=4)
+)
+ground_atoms = st.builds(
+    lambda args: Atom("p", tuple(args)), st.lists(constants, min_size=0, max_size=4)
+)
+
+
+@given(atoms)
+def test_unification_is_reflexive(atom):
+    assert unify_atoms(atom, atom) is not None
+
+
+@given(atoms, atoms)
+def test_unification_is_symmetric_in_success(left, right):
+    forward = unify_atoms(left, right)
+    backward = unify_atoms(right, left)
+    assert (forward is None) == (backward is None)
+
+
+@given(atoms, atoms)
+def test_unifier_equalises_atoms(left, right):
+    subst = unify_atoms(left, right)
+    if subst is not None:
+        assert subst.apply_atom(left) == subst.apply_atom(right)
+
+
+@given(atoms, ground_atoms)
+def test_match_is_a_restricted_unify(pattern, ground):
+    binding = match_atom(pattern, ground)
+    if binding is not None:
+        assert binding.apply_atom(pattern) == ground
+        # Any successful match implies unifiability.
+        assert unify_atoms(pattern, ground) is not None
+
+
+@given(atoms)
+def test_variant_key_invariant_under_renaming(atom):
+    renaming = {
+        var: Variable(f"R{i}")
+        for i, var in enumerate(dict.fromkeys(atom.variables()))
+    }
+    renamed = atom.substitute(renaming)
+    assert variant_key(atom) == variant_key(renamed)
+
+
+@given(atoms, atoms)
+def test_variants_unify(left, right):
+    if are_variants(left, right):
+        assert unify_atoms(left, right) is not None

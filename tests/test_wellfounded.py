@@ -1,0 +1,151 @@
+"""Tests for the well-founded semantics (alternating fixpoint)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.stratified import stratified_fixpoint
+from repro.engine.wellfounded import alternating_fixpoint
+from repro.facts.database import Database
+
+WIN = "win(X) :- move(X,Y), not win(Y)."
+
+
+def win_model(edges):
+    database = Database()
+    database.relation("move", 2)
+    for pair in edges:
+        database.add("move", pair)
+    return alternating_fixpoint(parse_program(WIN), database)
+
+
+class TestWinGame:
+    def test_chain_positions_alternate(self):
+        # 0 -> 1 -> 2: node 2 is lost (no moves), 1 won, 0 lost.
+        model = win_model([(0, 1), (1, 2)])
+        assert model.value_of(parse_query("win(2)")) == "false"
+        assert model.value_of(parse_query("win(1)")) == "true"
+        assert model.value_of(parse_query("win(0)")) == "false"
+        assert model.is_total()
+
+    def test_longer_chain(self):
+        model = win_model([(i, i + 1) for i in range(5)])
+        values = [model.value_of(parse_query(f"win({i})")) for i in range(6)]
+        # Node 5 is the dead end (lost); odd distance to it wins, so the
+        # values alternate true/false from node 0.
+        assert values == ["true", "false", "true", "false", "true", "false"]
+
+    def test_two_cycle_is_undefined(self):
+        model = win_model([("a", "b"), ("b", "a")])
+        assert model.value_of(parse_query("win(a)")) == "undefined"
+        assert model.value_of(parse_query("win(b)")) == "undefined"
+        assert not model.is_total()
+        assert len(model.undefined_atoms()) == 2
+
+    def test_three_cycle_is_undefined(self):
+        model = win_model([("a", "b"), ("b", "c"), ("c", "a")])
+        assert all(
+            model.value_of(parse_query(f"win({n})")) == "undefined"
+            for n in "abc"
+        )
+
+    def test_cycle_with_escape_to_win(self):
+        # a <-> b, plus b -> c (dead end). b can move to the lost c, so b
+        # is won; then a's only move is to a won node: a is lost.
+        model = win_model([("a", "b"), ("b", "a"), ("b", "c")])
+        assert model.value_of(parse_query("win(b)")) == "true"
+        assert model.value_of(parse_query("win(a)")) == "false"
+        assert model.value_of(parse_query("win(c)")) == "false"
+        assert model.is_total()
+
+    def test_unknown_atom_is_false(self):
+        model = win_model([(0, 1)])
+        assert model.value_of(parse_query("win(99)")) == "false"
+
+
+class TestAgreementWithStratified:
+    SOURCES = [
+        """
+        e(a,b). e(b,c). node(a). node(b). node(c).
+        r(X,Y) :- e(X,Y).
+        r(X,Y) :- e(X,Z), r(Z,Y).
+        unreach(X,Y) :- node(X), node(Y), not r(X,Y).
+        """,
+        """
+        base(a). base(b). picked(a).
+        first(X) :- base(X), picked(X).
+        second(X) :- base(X), not first(X).
+        third(X) :- base(X), not second(X).
+        """,
+        """
+        par(a,b). par(b,c).
+        anc(X,Y) :- par(X,Y).
+        anc(X,Y) :- par(X,Z), anc(Z,Y).
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_total_and_equal_on_stratified_programs(self, source):
+        program = parse_program(source)
+        model = alternating_fixpoint(program)
+        reference, _ = stratified_fixpoint(program)
+        assert model.is_total()
+        for predicate in program.idb_predicates:
+            assert model.true.rows(predicate) == reference.rows(predicate)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            max_size=12,
+            unique=True,
+        )
+    )
+    def test_property_stratified_reachability_always_total(self, edges):
+        program = parse_program(
+            """
+            r(X,Y) :- e(X,Y).
+            r(X,Y) :- e(X,Z), r(Z,Y).
+            iso(X) :- v(X), not hit(X).
+            hit(X) :- r(X,Y).
+            """
+        )
+        database = Database()
+        database.relation("e", 2)
+        for pair in edges:
+            database.add("e", pair)
+        for node in range(5):
+            database.add("v", (node,))
+        model = alternating_fixpoint(program, database)
+        reference, _ = stratified_fixpoint(program, database)
+        assert model.is_total()
+        assert model.true.rows("iso") == reference.rows("iso")
+
+
+class TestUndefinedSets:
+    def test_mutual_negation_undefined(self):
+        program = parse_program(
+            """
+            b(x).
+            p(X) :- b(X), not q(X).
+            q(X) :- b(X), not p(X).
+            """
+        )
+        model = alternating_fixpoint(program)
+        assert model.value_of(parse_query("p(x)")) == "undefined"
+        assert model.value_of(parse_query("q(x)")) == "undefined"
+
+    def test_true_part_still_derived_alongside_undefined(self):
+        program = parse_program(
+            """
+            move(a,b). move(b,a).
+            move(c,d).
+            win(X) :- move(X,Y), not win(Y).
+            """
+        )
+        model = alternating_fixpoint(program)
+        # The a/b cycle is undefined but the c -> d chain is decided.
+        assert model.value_of(parse_query("win(c)")) == "true"
+        assert model.value_of(parse_query("win(d)")) == "false"
+        assert model.value_of(parse_query("win(a)")) == "undefined"

@@ -1,0 +1,158 @@
+"""Tests for graph generators and scenario builders."""
+
+import pytest
+
+from repro.workloads import (
+    ancestor,
+    bill_of_materials,
+    graphs,
+    make_edges,
+    same_generation,
+    unreachable,
+    win_game,
+)
+
+
+class TestGraphs:
+    def test_chain(self):
+        assert graphs.chain(4) == [(0, 1), (1, 2), (2, 3)]
+        assert graphs.chain(1) == []
+
+    def test_cycle(self):
+        edges = graphs.cycle(3)
+        assert (2, 0) in edges and len(edges) == 3
+
+    def test_balanced_tree_node_count(self):
+        edges = graphs.balanced_tree(3, 2)
+        assert len(edges) == 2 + 4 + 8
+        assert graphs.balanced_tree(0, 2) == []
+
+    def test_balanced_tree_has_unique_parents(self):
+        edges = graphs.balanced_tree(4, 3)
+        children = [child for _, child in edges]
+        assert len(children) == len(set(children))
+
+    def test_random_digraph_is_seeded(self):
+        first = graphs.random_digraph(10, 0.3, seed=42)
+        second = graphs.random_digraph(10, 0.3, seed=42)
+        third = graphs.random_digraph(10, 0.3, seed=43)
+        assert first == second
+        assert first != third
+
+    def test_random_digraph_no_self_loops(self):
+        assert all(u != v for u, v in graphs.random_digraph(8, 0.8, seed=1))
+
+    def test_random_digraph_probability_bounds(self):
+        assert graphs.random_digraph(5, 0.0) == []
+        assert len(graphs.random_digraph(5, 1.0)) == 20
+        with pytest.raises(ValueError):
+            graphs.random_digraph(5, 1.5)
+
+    def test_grid_edge_count(self):
+        # width*height nodes; right edges: (w-1)*h, down edges: w*(h-1).
+        assert len(graphs.grid(3, 2)) == 2 * 2 + 3 * 1
+
+    def test_complete(self):
+        assert len(graphs.complete(4)) == 12
+
+    def test_layered_dag_every_node_has_successor(self):
+        edges = graphs.layered_dag(3, 4, seed=5)
+        sources = {u for u, _ in edges}
+        assert sources >= set(range(8))  # both non-final layers covered
+
+    def test_star(self):
+        assert graphs.star(4) == [(0, 1), (0, 2), (0, 3)]
+        assert graphs.star(4, outward=False) == [(1, 0), (2, 0), (3, 0)]
+
+    def test_nodes_of(self):
+        assert graphs.nodes_of([(3, 1), (1, 2)]) == [1, 2, 3]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            graphs.chain(0)
+        with pytest.raises(ValueError):
+            graphs.balanced_tree(-1)
+
+    def test_make_edges_dispatch(self):
+        assert make_edges("chain", n=3) == [(0, 1), (1, 2)]
+        with pytest.raises(ValueError):
+            make_edges("mobius", n=3)
+
+
+class TestScenarios:
+    def test_ancestor_database_and_queries(self):
+        scenario = ancestor(graph="chain", n=5)
+        assert scenario.database.rows("par") == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        assert str(scenario.query(0)) == "anc(0, X)"
+        assert str(scenario.query(1)) == "anc(X, Y)"
+
+    def test_ancestor_open_query_only_when_source_none(self):
+        scenario = ancestor(graph="chain", n=5, source=None)
+        assert len(scenario.queries) == 1
+        assert str(scenario.query(0)) == "anc(X, Y)"
+
+    def test_ancestor_variant_validation(self):
+        with pytest.raises(ValueError):
+            ancestor(variant="spiral", n=4)
+
+    def test_same_generation_structure(self):
+        scenario = same_generation(depth=2, branching=2)
+        assert scenario.database.rows("flat") == {(1, 2), (2, 1)}
+        # up is the reverse of down.
+        ups = scenario.database.rows("up")
+        downs = scenario.database.rows("down")
+        assert {(b, a) for a, b in ups} == downs
+
+    def test_unreachable_has_nodes_relation(self):
+        scenario = unreachable(graph="chain", n=4)
+        assert scenario.database.rows("node") == {(0,), (1,), (2,), (3,)}
+
+    def test_bill_of_materials_banned_marking(self):
+        scenario = bill_of_materials(depth=2, branching=2, banned_every=3)
+        banned = {part for (part,) in scenario.database.rows("banned")}
+        assert banned == {2, 5}
+
+    def test_win_game_program_shape(self):
+        scenario = win_game(n=4)
+        assert scenario.program.idb_predicates == {"win"}
+        assert len(scenario.database.rows("move")) == 3
+
+    def test_scenario_names_are_descriptive(self):
+        assert "ancestor-right-chain" == ancestor(n=4).name
+        assert "same-generation" in same_generation(depth=2).name
+
+
+class TestBoundedReachability:
+    def test_builder(self):
+        from repro.workloads import bounded_reachability
+
+        scenario = bounded_reachability(graph="chain", n=8, bound=4)
+        assert scenario.database.rows("e")
+        assert "low" in scenario.program.idb_predicates
+        assert "b4" in scenario.name
+
+    def test_all_strategies_agree(self):
+        from repro.core.strategy import run_strategy
+        from repro.workloads import bounded_reachability
+
+        scenario = bounded_reachability(graph="chain", n=10, bound=5)
+        reference = None
+        for name in ("seminaive", "oldt", "qsqr", "magic", "alexander"):
+            result = run_strategy(
+                name, scenario.program, scenario.query(0), scenario.database
+            )
+            if reference is None:
+                reference = result.answer_rows
+            assert result.answer_rows == reference, name
+        assert reference == {(0, y) for y in range(1, 6)}
+
+    def test_correspondence_exact(self):
+        from repro.core.compare import check_correspondence
+        from repro.workloads import bounded_reachability
+
+        scenario = bounded_reachability(graph="random", n=10,
+                                        edge_probability=0.25, seed=4)
+        corr = check_correspondence(
+            scenario.program, scenario.query(0), scenario.database
+        )
+        assert corr.exact, corr.summary()
