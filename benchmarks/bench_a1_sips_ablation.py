@@ -7,7 +7,6 @@ the counts differ — but every answer set must be identical, and the
 Alexander/OLDT correspondence only holds for the OLDT-faithful order.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.core.strategy import run_strategy
@@ -66,7 +65,13 @@ def run_cases():
 def test_a1_sips_ablation(benchmark, report):
     rows = benchmark.pedantic(run_cases, rounds=1, iterations=1)
     table = render_table(
-        ("scenario", "query", "answers", "attempts (left-to-right)", "attempts (most-bound-first)"),
+        (
+            "scenario",
+            "query",
+            "answers",
+            "attempts (left-to-right)",
+            "attempts (most-bound-first)",
+        ),
         rows,
         title="A1: SIPS ablation — identical answers, different join work",
     )

@@ -6,7 +6,7 @@ each distinct derivation once.  The Alexander method presupposes the
 semi-naive discipline — this ablation quantifies why.
 """
 
-import pytest
+import time
 
 from repro.bench.reporting import render_series
 from repro.engine.naive import naive_fixpoint
@@ -18,24 +18,42 @@ SIZES = (8, 16, 32, 64)
 
 def run_series():
     series = {"naive": [], "seminaive": []}
+    entries = []
     for n in SIZES:
         scenario = ancestor(graph="chain", n=n)
+        timings = {}
+        start = time.perf_counter()
         _, naive_stats = naive_fixpoint(scenario.program, scenario.database)
+        timings["naive"] = time.perf_counter() - start
+        start = time.perf_counter()
         _, semi_stats = seminaive_fixpoint(scenario.program, scenario.database)
+        timings["seminaive"] = time.perf_counter() - start
         assert naive_stats.facts_derived == semi_stats.facts_derived
         series["naive"].append((n, naive_stats.inferences))
         series["seminaive"].append((n, semi_stats.inferences))
-    return series
+        for engine, stats in (("naive", naive_stats), ("seminaive", semi_stats)):
+            entries.append(
+                {
+                    "id": f"chain{n}/{engine}",
+                    "n": n,
+                    "engine": engine,
+                    "inferences": stats.inferences,
+                    "facts": stats.facts_derived,
+                    "iterations": stats.iterations,
+                    "seconds": timings[engine],
+                }
+            )
+    return series, entries
 
 
 def test_a2_seminaive_ablation(benchmark, report):
-    series = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    series, entries = benchmark.pedantic(run_series, rounds=1, iterations=1)
     figure = render_series(
         "A2: naive vs semi-naive inferences, full closure of chain(n)",
         "n",
         series,
     )
-    report("a2_seminaive_ablation", figure)
+    report("a2_seminaive_ablation", figure, entries=entries)
     naive = [y for _, y in series["naive"]]
     semi = [y for _, y in series["seminaive"]]
     assert all(s < v for s, v in zip(semi, naive)), figure

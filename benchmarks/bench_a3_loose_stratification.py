@@ -8,7 +8,6 @@ constants can break predicate-level negative cycles.  The table classifies
 a spectrum of programs under all three analyses.
 """
 
-import pytest
 
 from repro.analysis.loose import is_locally_stratified, is_loosely_stratified
 from repro.analysis.stratify import is_stratifiable

@@ -8,7 +8,6 @@ and the modes coincide exactly.  The ablation quantifies both regimes and
 checks answers never change.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.topdown.oldt import OLDTEngine

@@ -10,7 +10,6 @@ Two claims this bench pins down:
    region, at a cost of a bounded number of Γ iterations.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.datalog.parser import parse_program, parse_query

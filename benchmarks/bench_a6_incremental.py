@@ -7,7 +7,6 @@ pays only for the *new* derivations, Θ(n²) total — asymptotically the
 same as a single batch run over the final database.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.datalog.parser import parse_program, parse_query

@@ -7,9 +7,7 @@ supplementary magic exactly, tracks OLDT within a vanishing margin, and
 QSQR pays roughly double (its outer restart re-scans answer tables).
 """
 
-import pytest
-
-from repro.bench.harness import scaling_series
+from repro.bench.harness import assert_same_answers, measure, measurement_record
 from repro.bench.reporting import render_series
 from repro.workloads import ancestor
 
@@ -18,17 +16,27 @@ STRATEGIES = ("seminaive", "magic", "supplementary", "alexander", "oldt", "qsqr"
 
 
 def run_series():
-    return scaling_series(
-        lambda n: ancestor(graph="chain", n=n), SIZES, list(STRATEGIES)
-    )
+    series = {name: [] for name in STRATEGIES}
+    entries = []
+    for n in SIZES:
+        scenario = ancestor(graph="chain", n=n)
+        per_size = [measure(scenario, strategy) for strategy in STRATEGIES]
+        assert_same_answers(per_size)
+        for measurement in per_size:
+            series[measurement.strategy].append((n, measurement.inferences))
+            record = measurement_record(measurement)
+            record["id"] = f"chain{n}/{measurement.strategy}"
+            record["n"] = n
+            entries.append(record)
+    return series, entries
 
 
 def test_f1_scaling_chain(benchmark, report):
-    series = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    series, entries = benchmark.pedantic(run_series, rounds=1, iterations=1)
     figure = render_series(
         "F1: inferences for anc(0, X) over chain(n)", "n", series
     )
-    report("f1_scaling_chain", figure)
+    report("f1_scaling_chain", figure, entries=entries)
     by_name = {
         name: [y for _, y in points] for name, points in series.items()
     }

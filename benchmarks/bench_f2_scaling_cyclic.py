@@ -5,7 +5,6 @@ reaches every node, so all memoing strategies do Θ(n²) work; on sparse
 random digraphs the bound query touches only the query's cone.
 """
 
-import pytest
 
 from repro.bench.harness import scaling_series
 from repro.bench.reporting import render_series

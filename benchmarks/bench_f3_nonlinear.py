@@ -7,7 +7,6 @@ instead of the full quadratic sg relation.  Non-linear transitive closure
 engine and the double recursion of the tabled engines.
 """
 
-import pytest
 
 from repro.bench.harness import scaling_series
 from repro.bench.reporting import render_series

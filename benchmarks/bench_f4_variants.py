@@ -23,7 +23,6 @@ strategy) — who wins depends on how you *write* the recursion, not just
 how you evaluate it.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.core.strategy import run_strategy

@@ -6,7 +6,7 @@ and answers that OLDT resolution generates.  The table reports the shared
 counts; the assertion demands exactness on every row.
 """
 
-import pytest
+import time
 
 from repro.bench.reporting import render_table
 from repro.core.compare import check_correspondence
@@ -31,30 +31,49 @@ SCENARIOS = [
 
 def run_all():
     rows = []
+    entries = []
     for label, scenario, query_text in SCENARIOS:
         query = parse_query(query_text) if query_text else scenario.query(0)
+        start = time.perf_counter()
         corr = check_correspondence(scenario.program, query, scenario.database)
+        elapsed = time.perf_counter() - start
+        call_mismatch = len(corr.calls_only_alexander) + len(corr.calls_only_oldt)
+        answer_mismatch = len(corr.answers_only_alexander) + len(corr.answers_only_oldt)
         rows.append(
             (
                 label,
                 str(query),
                 len(corr.calls_matched),
-                len(corr.calls_only_alexander) + len(corr.calls_only_oldt),
+                call_mismatch,
                 len(corr.answers_matched),
-                len(corr.answers_only_alexander) + len(corr.answers_only_oldt),
+                answer_mismatch,
                 "yes" if corr.exact else "NO",
             )
         )
-    return rows
+        entries.append(
+            {
+                "id": label,
+                "query": str(query),
+                "calls_matched": len(corr.calls_matched),
+                "call_mismatch": call_mismatch,
+                "answers_matched": len(corr.answers_matched),
+                "answer_mismatch": answer_mismatch,
+                "exact": corr.exact,
+                "inferences": corr.alexander_stats.inferences,
+                "oldt_inferences": corr.oldt_stats.inferences,
+                "seconds": elapsed,
+            }
+        )
+    return rows, entries
 
 
 def test_t1_correspondence_exact_everywhere(benchmark, report):
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, entries = benchmark.pedantic(run_all, rounds=1, iterations=1)
     table = render_table(
         ("scenario", "query", "calls", "call-mismatch", "answers", "answer-mismatch", "exact"),
         rows,
         title="T1: Alexander (bottom-up) vs OLDT — call/answer correspondence",
     )
-    report("t1_correspondence", table)
+    report("t1_correspondence", table, entries=entries)
     assert all(row[-1] == "yes" for row in rows), table
     assert all(row[3] == 0 and row[5] == 0 for row in rows), table

@@ -6,7 +6,6 @@ demands that every ratio sits in the band [1/4, 4] and that the ratio does
 not drift with input size (no asymptotic gap).
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.core.strategy import run_strategy

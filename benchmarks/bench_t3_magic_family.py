@@ -9,10 +9,8 @@ re-evaluates each rule prefix once per IDB body literal, so its join
 fact count is lower (no continuation facts).
 """
 
-import pytest
-
+from repro.bench.harness import measure, measurement_record
 from repro.bench.reporting import render_table
-from repro.core.strategy import run_strategy
 from repro.workloads import ancestor, same_generation
 
 SUITE = [
@@ -27,30 +25,34 @@ SUITE = [
 
 def run_suite():
     rows = []
+    entries = []
     for label, scenario in SUITE:
-        query = scenario.query(0)
         results = {
-            name: run_strategy(name, scenario.program, query, scenario.database)
+            name: measure(scenario, name)
             for name in ("alexander", "supplementary", "magic")
         }
-        reference = results["alexander"].answer_rows
-        assert all(r.answer_rows == reference for r in results.values())
+        reference = results["alexander"].result.answer_rows
+        assert all(m.result.answer_rows == reference for m in results.values())
         rows.append(
             (
                 label,
-                results["alexander"].stats.inferences,
-                results["supplementary"].stats.inferences,
-                results["magic"].stats.inferences,
-                results["alexander"].stats.attempts,
-                results["supplementary"].stats.attempts,
-                results["magic"].stats.attempts,
+                results["alexander"].inferences,
+                results["supplementary"].inferences,
+                results["magic"].inferences,
+                results["alexander"].attempts,
+                results["supplementary"].attempts,
+                results["magic"].attempts,
             )
         )
-    return rows
+        for measurement in results.values():
+            record = measurement_record(measurement)
+            record["id"] = f"{label}/{measurement.strategy}"
+            entries.append(record)
+    return rows, entries
 
 
 def test_t3_magic_family(benchmark, report):
-    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    rows, entries = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     table = render_table(
         (
             "scenario",
@@ -64,7 +66,7 @@ def test_t3_magic_family(benchmark, report):
         rows,
         title="T3: Alexander == supplementary magic; plain magic re-joins prefixes",
     )
-    report("t3_magic_family", table)
+    report("t3_magic_family", table, entries=entries)
     for row in rows:
         label, alex_inf, supp_inf, magic_inf, alex_att, supp_att, magic_att = row
         # Exact identity between Alexander and supplementary magic.

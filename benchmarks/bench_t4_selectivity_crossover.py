@@ -8,7 +8,6 @@ call/continuation bookkeeping is pure overhead when everything is asked
 for anyway.
 """
 
-import pytest
 
 from repro.bench.reporting import render_table
 from repro.core.strategy import run_strategy
@@ -52,7 +51,8 @@ def test_t4_selectivity_crossover(benchmark, report):
             "alex (open)",
         ),
         rows,
-        title="T4: selective queries favour the transformation; open queries favour plain semi-naive",
+        title="T4: selective queries favour the transformation; "
+        "open queries favour plain semi-naive",
     )
     report("t4_selectivity_crossover", table)
     for row in rows:

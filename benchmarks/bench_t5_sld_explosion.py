@@ -8,7 +8,6 @@ Two failure modes of un-memoed SLD resolution:
 * **Outright divergence** on cyclic data, reported as DIVERGED rows.
 """
 
-import pytest
 
 from repro.bench.harness import DIVERGED, measure
 from repro.bench.reporting import render_table

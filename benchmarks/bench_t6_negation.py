@@ -6,9 +6,8 @@ strategy, and the rewriting still pays off for selective queries on the
 top stratum.
 """
 
-import pytest
 
-from repro.bench.harness import Measurement, measure, sweep
+from repro.bench.harness import Measurement, measure
 from repro.bench.reporting import render_table
 from repro.workloads import bill_of_materials, unreachable
 

@@ -2,27 +2,54 @@
 
 Every bench prints its table (visible with ``pytest -s``) and also writes
 it under ``benchmarks/results/`` so EXPERIMENTS.md can quote the output of
-the latest run.
+the latest run.  Benches that pass structured ``entries`` additionally
+emit a schema-versioned JSON artifact (``BENCH_<id>.json``, see
+``docs/OBSERVABILITY.md``) next to the text table, so CI and trend
+tooling never have to parse ASCII.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
+
+from repro.obs import BenchArtifact
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def report():
-    """A callable ``report(experiment_id, text)`` that persists and echoes
-    a rendered table."""
+    """A callable ``report(experiment_id, text, entries=None, meta=None)``
+    that persists and echoes a rendered table.
+
+    Args:
+        entries: optional JSON-ready dicts (each with a unique ``id``);
+            when given, ``BENCH_<experiment_id>.json`` is written too.
+        meta: free-form provenance merged into the artifact's ``meta``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _report(experiment_id: str, text: str) -> None:
+    def _report(
+        experiment_id: str,
+        text: str,
+        entries: list[dict] | None = None,
+        meta: dict | None = None,
+    ) -> None:
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(text + "\n", encoding="utf-8")
-        print(f"\n{text}\n[written to {path}]")
+        written = [str(path)]
+        if entries is not None:
+            artifact = BenchArtifact(
+                bench_id=experiment_id,
+                created_unix=time.time(),
+                meta=meta or {},
+            )
+            for entry in entries:
+                artifact.add_entry(entry)
+            written.append(str(artifact.write(RESULTS_DIR)))
+        print(f"\n{text}\n[written to {', '.join(written)}]")
 
     return _report

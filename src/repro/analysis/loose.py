@@ -27,7 +27,6 @@ suite cross-checks against.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable
 
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program, Rule

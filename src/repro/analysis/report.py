@@ -11,7 +11,7 @@ my program?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..datalog.rules import Program
 from ..errors import StratificationError

@@ -13,7 +13,6 @@ which makes it usable as a lint pass in the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Variable

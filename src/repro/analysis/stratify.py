@@ -11,7 +11,7 @@ by :mod:`repro.engine.stratified`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..datalog.rules import Program, Rule
 from ..errors import StratificationError

@@ -9,14 +9,22 @@ columns.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..core.strategy import QueryResult, run_strategy
 from ..errors import BudgetExceededError
 from ..workloads.programs import Scenario
 
-__all__ = ["Measurement", "measure", "sweep", "scaling_series", "assert_same_answers"]
+__all__ = [
+    "Measurement",
+    "measure",
+    "measurement_record",
+    "sweep",
+    "scaling_series",
+    "assert_same_answers",
+]
 
 DIVERGED = "diverged"
 
@@ -35,6 +43,7 @@ class Measurement:
     calls: int | str
     diverged: bool
     result: QueryResult | None
+    seconds: float = 0.0
 
     def row(self) -> tuple:
         return (
@@ -46,6 +55,7 @@ class Measurement:
             self.attempts,
             self.facts,
             self.calls,
+            f"{self.seconds * 1e3:.2f}",
         )
 
     @staticmethod
@@ -59,14 +69,21 @@ class Measurement:
             "attempts",
             "facts",
             "calls",
+            "ms",
         )
 
 
 def measure(
     scenario: Scenario, strategy: str, query_index: int = 0
 ) -> Measurement:
-    """Run one strategy on one scenario query; divergence becomes a row."""
+    """Run one strategy on one scenario query; divergence becomes a row.
+
+    Wall-clock time (``seconds``, monotonic) is measured around the
+    strategy call — for diverged runs it covers the time until the budget
+    tripped.
+    """
     query = scenario.query(query_index)
+    start = time.perf_counter()
     try:
         result = run_strategy(
             strategy, scenario.program, query, scenario.database
@@ -83,7 +100,9 @@ def measure(
             calls=DIVERGED,
             diverged=True,
             result=None,
+            seconds=time.perf_counter() - start,
         )
+    elapsed = time.perf_counter() - start
     stats = result.stats
     return Measurement(
         scenario=scenario.name,
@@ -96,7 +115,29 @@ def measure(
         calls=stats.calls if stats.calls else len(result.calls),
         diverged=False,
         result=result,
+        seconds=elapsed,
     )
+
+
+def measurement_record(measurement: Measurement) -> dict:
+    """A :class:`Measurement` as a JSON-ready bench-artifact entry.
+
+    The ``id`` is ``<scenario>/<query>/<strategy>`` — unique within one
+    benchmark's sweep.
+    """
+    return {
+        "id": f"{measurement.scenario}/{measurement.query}/{measurement.strategy}",
+        "scenario": measurement.scenario,
+        "query": measurement.query,
+        "strategy": measurement.strategy,
+        "answers": measurement.answers,
+        "inferences": measurement.inferences,
+        "attempts": measurement.attempts,
+        "facts": measurement.facts,
+        "calls": measurement.calls,
+        "diverged": measurement.diverged,
+        "seconds": measurement.seconds,
+    }
 
 
 def sweep(

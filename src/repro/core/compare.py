@@ -20,7 +20,6 @@ mismatch honestly rather than normalising it away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program

@@ -8,7 +8,7 @@ literals, rule heads are (positive) atoms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import Iterator, Mapping
 
 from .terms import Constant, Term, Variable
 

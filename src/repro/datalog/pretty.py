@@ -8,11 +8,11 @@ bench reporting layer.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 from .atoms import Atom
 from .rules import Program, Rule
-from .terms import Constant, Variable
+from .terms import Variable
 
 __all__ = [
     "format_program",

@@ -15,12 +15,11 @@ construction.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from ..datalog.atoms import Atom
 from ..datalog.parser import parse_query
 from ..datalog.rules import Program
-from ..datalog.terms import Constant
 from ..datalog.unify import match_atom
 from ..errors import ProgramError
 from ..facts.database import Database

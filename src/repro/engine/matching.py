@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
 
-from ..datalog.atoms import Atom, Literal
+from ..datalog.atoms import Literal
 from ..datalog.builtins import evaluate_builtin, is_builtin
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Variable

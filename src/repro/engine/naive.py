@@ -18,6 +18,7 @@ from typing import Sequence
 from ..datalog.rules import Program
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
 
@@ -81,12 +82,22 @@ def naive_fixpoint(
     for rule in program.proper_rules:
         working.relation(rule.head.predicate, rule.head.arity)
     compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
-    changed = True
-    while changed:
-        stats.iterations += 1
-        changed = False
-        for predicate, row in apply_rules_once(compiled_rules, working, stats):
-            if working.add(predicate, row):
-                stats.facts_derived += 1
-                changed = True
+    obs = get_metrics()
+    with obs.timer("naive"):
+        changed = True
+        while changed:
+            stats.iterations += 1
+            changed = False
+            new_rows = 0
+            with obs.timer("round"):
+                for predicate, row in apply_rules_once(compiled_rules, working, stats):
+                    if working.add(predicate, row):
+                        stats.facts_derived += 1
+                        new_rows += 1
+                        changed = True
+            if obs.enabled:
+                obs.observe("naive.delta_rows", new_rows)
+    if obs.enabled:
+        obs.incr("naive.runs")
+        obs.observe("naive.iterations", stats.iterations)
     return working, stats

@@ -16,7 +16,7 @@ command line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 from ..analysis.stratify import stratify
 from ..datalog.atoms import Atom

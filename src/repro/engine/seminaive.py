@@ -30,6 +30,7 @@ from typing import Mapping
 from ..datalog.rules import Program
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
 
@@ -91,6 +92,7 @@ def seminaive_fixpoint(
         The completed database and the statistics record.
     """
     stats = stats if stats is not None else EvaluationStats()
+    obs = get_metrics()
     working = database.copy() if database is not None else Database()
     working.add_atoms(program.facts)
     derived = program.idb_predicates
@@ -105,58 +107,75 @@ def seminaive_fixpoint(
         except KeyError:
             return None
 
-    # --- round 0: one T_P application on the initial database --------------
-    # Facts are merged only at the round boundary; merging mid-round would
-    # let later rules consume this round's facts and then recompute the
-    # same instantiation from the delta in round 1.
-    stats.iterations += 1
-    delta: dict[str, Relation] = {
-        predicate: Relation(predicate, arities[predicate]) for predicate in derived
-    }
-    for compiled in compiled_rules:
-        for binding in match_body(compiled, full_view, stats):
-            stats.inferences += 1
-            row = compiled.head_tuple(binding)
-            if row not in working.relation(compiled.head_predicate):
-                delta[compiled.head_predicate].add(row)
-    for predicate in derived:
-        for row in delta[predicate]:
-            if working.add(predicate, row):
-                stats.facts_derived += 1
-
-    # --- delta rounds -------------------------------------------------------
-    while any(delta[predicate] for predicate in derived):
+    with obs.timer("seminaive"):
+        # --- round 0: one T_P application on the initial database ----------
+        # Facts are merged only at the round boundary; merging mid-round
+        # would let later rules consume this round's facts and then
+        # recompute the same instantiation from the delta in round 1.
         stats.iterations += 1
-        # old = full minus current delta (the state before the last merge).
-        old: dict[str, Relation] = {}
-        for predicate in derived:
-            snapshot = Relation(predicate, arities[predicate])
-            delta_rows = delta[predicate].rows()
-            for row in working.relation(predicate):
-                if row not in delta_rows:
-                    snapshot.add(row)
-            old[predicate] = snapshot
-        new_delta: dict[str, Relation] = {
-            predicate: Relation(predicate, arities[predicate])
-            for predicate in derived
+        delta: dict[str, Relation] = {
+            predicate: Relation(predicate, arities[predicate]) for predicate in derived
         }
-        for compiled in compiled_rules:
-            for position in _variant_positions(compiled, derived):
-                literal = compiled.body[position]
-                delta_relation = delta[literal.predicate]
-                if not delta_relation:
-                    continue
-                view = _RoundView(working, position, delta_relation, old, derived)
-                for binding in match_body(compiled, view, stats):
+        with obs.timer("round"):
+            for compiled in compiled_rules:
+                for binding in match_body(compiled, full_view, stats):
                     stats.inferences += 1
                     row = compiled.head_tuple(binding)
                     if row not in working.relation(compiled.head_predicate):
-                        new_delta[compiled.head_predicate].add(row)
-        # Merge after the round so all variants of the round read a
-        # consistent full view.
-        for predicate in derived:
-            for row in new_delta[predicate]:
-                if working.add(predicate, row):
-                    stats.facts_derived += 1
-        delta = new_delta
+                        delta[compiled.head_predicate].add(row)
+            for predicate in derived:
+                for row in delta[predicate]:
+                    if working.add(predicate, row):
+                        stats.facts_derived += 1
+        if obs.enabled:
+            obs.observe(
+                "seminaive.delta_rows",
+                sum(len(delta[predicate]) for predicate in derived),
+            )
+
+        # --- delta rounds ---------------------------------------------------
+        while any(delta[predicate] for predicate in derived):
+            stats.iterations += 1
+            with obs.timer("round"):
+                # old = full minus current delta (the state before the last
+                # merge).
+                old: dict[str, Relation] = {}
+                for predicate in derived:
+                    snapshot = Relation(predicate, arities[predicate])
+                    delta_rows = delta[predicate].rows()
+                    for row in working.relation(predicate):
+                        if row not in delta_rows:
+                            snapshot.add(row)
+                    old[predicate] = snapshot
+                new_delta: dict[str, Relation] = {
+                    predicate: Relation(predicate, arities[predicate])
+                    for predicate in derived
+                }
+                for compiled in compiled_rules:
+                    for position in _variant_positions(compiled, derived):
+                        literal = compiled.body[position]
+                        delta_relation = delta[literal.predicate]
+                        if not delta_relation:
+                            continue
+                        view = _RoundView(working, position, delta_relation, old, derived)
+                        for binding in match_body(compiled, view, stats):
+                            stats.inferences += 1
+                            row = compiled.head_tuple(binding)
+                            if row not in working.relation(compiled.head_predicate):
+                                new_delta[compiled.head_predicate].add(row)
+                # Merge after the round so all variants of the round read a
+                # consistent full view.
+                for predicate in derived:
+                    for row in new_delta[predicate]:
+                        if working.add(predicate, row):
+                            stats.facts_derived += 1
+            if obs.enabled:
+                obs.observe(
+                    "seminaive.delta_rows",
+                    sum(len(new_delta[predicate]) for predicate in derived),
+                )
+            delta = new_delta
+    if obs.enabled:
+        obs.incr("seminaive.runs")
+        obs.observe("seminaive.iterations", stats.iterations)
     return working, stats

@@ -14,6 +14,7 @@ from typing import Callable
 
 from ..datalog.rules import Program
 from ..facts.database import Database
+from ..obs import get_metrics
 from .counters import EvaluationStats
 from .naive import naive_fixpoint
 from .seminaive import seminaive_fixpoint
@@ -50,10 +51,15 @@ def stratified_fixpoint(
     from ..analysis.stratify import stratify
 
     stats = stats if stats is not None else EvaluationStats()
+    obs = get_metrics()
     fixpoint = seminaive_fixpoint if engine == "seminaive" else naive_fixpoint
     working = database.copy() if database is not None else Database()
     working.add_atoms(program.facts)
     stratification = stratify(program)
-    for stratum in stratification.strata:
-        working, _ = fixpoint(stratum, working, stats)
+    with obs.timer("stratified"):
+        for index, stratum in enumerate(stratification.strata):
+            with obs.timer(f"stratum{index}"):
+                working, _ = fixpoint(stratum, working, stats)
+    if obs.enabled:
+        obs.observe("stratified.strata", len(stratification.strata))
     return working, stats

@@ -22,13 +22,13 @@ coincides with :func:`repro.engine.stratified.stratified_fixpoint`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import compile_rule, match_body
 
@@ -128,17 +128,25 @@ def alternating_fixpoint(
 ) -> WellFoundedModel:
     """Compute the well-founded model of *program* over *database*."""
     stats = EvaluationStats()
+    obs = get_metrics()
     base = database.copy() if database is not None else Database()
     base.add_atoms(program.facts)
     rules_only = program.without_facts()
 
     underestimate = base.copy()
-    while True:
-        overestimate = _gamma(rules_only, base, underestimate, stats)
-        next_underestimate = _gamma(rules_only, base, overestimate, stats)
-        if next_underestimate == underestimate:
-            break
-        underestimate = next_underestimate
+    alternations = 0
+    with obs.timer("wellfounded"):
+        while True:
+            alternations += 1
+            with obs.timer("gamma"):
+                overestimate = _gamma(rules_only, base, underestimate, stats)
+            with obs.timer("gamma"):
+                next_underestimate = _gamma(rules_only, base, overestimate, stats)
+            if next_underestimate == underestimate:
+                break
+            underestimate = next_underestimate
+    if obs.enabled:
+        obs.observe("wellfounded.alternations", alternations)
 
     undefined: set[Fact] = set()
     for relation in overestimate.relations():

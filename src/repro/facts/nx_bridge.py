@@ -17,7 +17,6 @@ Example::
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from .database import Database
 

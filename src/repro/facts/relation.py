@@ -9,7 +9,7 @@ probe any bound column in expected O(1).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
 __all__ = ["Relation"]
 

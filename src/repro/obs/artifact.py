@@ -1,0 +1,129 @@
+"""Schema-versioned JSON benchmark artifacts.
+
+The text tables under ``benchmarks/results/`` are for humans;
+:class:`BenchArtifact` is the machine-readable sibling: one JSON document
+per benchmark (``BENCH_<id>.json``) carrying the same rows as structured
+*entries* plus wall-clock timings and an optional metrics snapshot, so CI
+can diff runs over time instead of parsing ASCII.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema_version": "repro-bench/1",
+      "bench_id": "f1_scaling_chain",
+      "created_unix": 1754323200.0,          # optional; caller-stamped
+      "meta": { ... },                       # free-form provenance
+      "entries": [                           # one object per data point
+        {"id": "...", "seconds": 0.0123, "inferences": 496, ...},
+        ...
+      ]
+    }
+
+Every entry must at least carry a string ``id`` unique within the
+artifact; the remaining keys are benchmark-defined (the CI gate keys on
+``inferences`` and ``seconds``).  The major version (the digit after the
+slash) is bumped on breaking changes; :meth:`BenchArtifact.from_json`
+rejects majors it does not understand so a stale reader fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["SCHEMA_VERSION", "BenchArtifact", "artifact_filename"]
+
+SCHEMA_VERSION = "repro-bench/1"
+_SCHEMA_FAMILY = SCHEMA_VERSION.rsplit("/", 1)[0]
+_SCHEMA_MAJOR = int(SCHEMA_VERSION.rsplit("/", 1)[1])
+
+
+def artifact_filename(bench_id: str) -> str:
+    """The canonical on-disk name for a benchmark artifact."""
+    return f"BENCH_{bench_id}.json"
+
+
+@dataclass
+class BenchArtifact:
+    """One benchmark run, as machine-readable entries."""
+
+    bench_id: str
+    schema_version: str = SCHEMA_VERSION
+    created_unix: float | None = None
+    meta: dict = field(default_factory=dict)
+    entries: list[dict] = field(default_factory=list)
+
+    def add_entry(self, entry: Mapping) -> dict:
+        """Append one data point; returns the stored dict.
+
+        Raises:
+            ValueError: when the entry has no string ``id`` or the id
+                duplicates an existing entry.
+        """
+        record = dict(entry)
+        entry_id = record.get("id")
+        if not isinstance(entry_id, str) or not entry_id:
+            raise ValueError(f"artifact entry needs a non-empty string 'id': {record!r}")
+        if any(existing["id"] == entry_id for existing in self.entries):
+            raise ValueError(f"duplicate artifact entry id {entry_id!r}")
+        self.entries.append(record)
+        return record
+
+    def entry(self, entry_id: str) -> dict:
+        for record in self.entries:
+            if record["id"] == entry_id:
+                return record
+        raise KeyError(entry_id)
+
+    # --- JSON round-trip -------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "schema_version": self.schema_version,
+            "bench_id": self.bench_id,
+            "meta": self.meta,
+            "entries": self.entries,
+        }
+        if self.created_unix is not None:
+            payload["created_unix"] = self.created_unix
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "BenchArtifact":
+        version = payload.get("schema_version", "")
+        family, _, major = version.rpartition("/")
+        if family != _SCHEMA_FAMILY or not major.isdigit():
+            raise ValueError(f"not a bench artifact (schema_version={version!r})")
+        if int(major) > _SCHEMA_MAJOR:
+            raise ValueError(
+                f"bench artifact schema {version!r} is newer than supported "
+                f"{SCHEMA_VERSION!r}"
+            )
+        return cls(
+            bench_id=payload["bench_id"],
+            schema_version=version,
+            created_unix=payload.get("created_unix"),
+            meta=dict(payload.get("meta", {})),
+            entries=[dict(entry) for entry in payload.get("entries", ())],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchArtifact":
+        return cls.from_dict(json.loads(text))
+
+    # --- filesystem ------------------------------------------------------------
+    def write(self, directory: str | pathlib.Path) -> pathlib.Path:
+        """Write ``BENCH_<bench_id>.json`` under *directory*; returns the path."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / artifact_filename(self.bench_id)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def read(cls, path: str | pathlib.Path) -> "BenchArtifact":
+        return cls.from_json(pathlib.Path(path).read_text(encoding="utf-8"))

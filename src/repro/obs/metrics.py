@@ -1,0 +1,283 @@
+"""The metrics registry: wall-clock timers, counters, and histograms.
+
+One :class:`Metrics` object collects everything an instrumented run
+produces:
+
+* **timers** — monotonic (``time.perf_counter``) wall-clock spans opened
+  with :meth:`Metrics.timer`.  Timers nest: a timer opened while another
+  is active records under the slash-joined path of the active stack
+  (``"stratified/stratum0/seminaive"``), so one registry captures the
+  whole call tree of a structured evaluation.
+* **counters** — monotonically increasing integers
+  (:meth:`Metrics.incr`); :meth:`Metrics.fold_stats` folds a whole
+  :class:`repro.engine.counters.EvaluationStats` record in under a
+  prefix, so the classical inference counters and the new timing data
+  travel through one interface.
+* **histograms** — summary statistics (count/total/min/max/last) of
+  observed values (:meth:`Metrics.observe`); the engines feed these with
+  per-iteration delta sizes and table growth.
+
+Instrumentation points call :func:`get_metrics` and talk to whatever is
+active.  By default that is the module-level :class:`NullMetrics`
+singleton, whose recording methods are no-ops and whose timer is one
+shared, stateless context manager — disabled instrumentation costs a
+dictionary-free attribute lookup and an empty method call, nothing more.
+Enable collection for a region with :func:`collect`::
+
+    with collect() as metrics:
+        run_strategy("alexander", program, query, database)
+    print(metrics.snapshot())
+
+The snapshot is plain JSON-serialisable data; the bench artifact layer
+(:mod:`repro.obs.artifact`) embeds it verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "TimerStat",
+    "HistogramStat",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "collect",
+]
+
+
+@dataclass
+class TimerStat:
+    """Aggregated wall-clock spans of one timer path (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.minimum if self.count else 0.0,
+            "max_s": self.maximum,
+        }
+
+
+@dataclass
+class HistogramStat:
+    """Summary statistics of one observed series (e.g. delta sizes)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.last = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "last": self.last,
+        }
+
+
+class _Span:
+    """An open timer span; records into its registry on exit."""
+
+    __slots__ = ("_metrics", "_name", "_path", "_start")
+
+    def __init__(self, metrics: "Metrics", name: str):
+        self._metrics = metrics
+        self._name = name
+        self._path = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._path = self._metrics._push(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._metrics._pop(self._path, elapsed)
+
+
+class _NullSpan:
+    """The shared no-op span handed out by :class:`NullMetrics`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Metrics:
+    """A live registry of timers, counters, and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.timers: dict[str, TimerStat] = {}
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, HistogramStat] = {}
+        self._stack: list[str] = []
+
+    # --- timers ---------------------------------------------------------------
+    def timer(self, name: str):
+        """A context manager timing one span under *name* (nest-aware)."""
+        return _Span(self, name)
+
+    def _push(self, name: str) -> str:
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        return path
+
+    def _pop(self, path: str, elapsed: float) -> None:
+        if self._stack and self._stack[-1] == path:
+            self._stack.pop()
+        stat = self.timers.get(path)
+        if stat is None:
+            stat = self.timers[path] = TimerStat()
+        stat.record(elapsed)
+
+    @property
+    def depth(self) -> int:
+        """How many timer spans are currently open."""
+        return len(self._stack)
+
+    # --- counters -------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def fold_stats(self, stats, prefix: str = "engine") -> None:
+        """Fold an ``EvaluationStats``-shaped record (anything exposing
+        ``as_dict() -> Mapping[str, int]``) into the counters."""
+        for key, value in stats.as_dict().items():
+            self.incr(f"{prefix}.{key}", value)
+
+    # --- histograms -----------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        stat = self.histograms.get(name)
+        if stat is None:
+            stat = self.histograms[name] = HistogramStat()
+        stat.observe(value)
+
+    # --- export ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Everything collected so far, as plain JSON-serialisable data."""
+        return {
+            "timers": {name: stat.as_dict() for name, stat in sorted(self.timers.items())},
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: stat.as_dict() for name, stat in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.timers.clear()
+        self.counters.clear()
+        self.histograms.clear()
+        self._stack.clear()
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every recording call is a no-op.
+
+    Instrumented hot paths run against this by default; the overhead per
+    hook is one global lookup plus one trivially inlined call, so engines
+    need no ``if enabled`` guards of their own.
+    """
+
+    enabled = False
+
+    def timer(self, name: str):
+        return _NULL_SPAN
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def fold_stats(self, stats, prefix: str = "engine") -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+NULL_METRICS = NullMetrics()
+
+_active: Metrics = NULL_METRICS
+
+
+def get_metrics() -> Metrics:
+    """The registry instrumentation points should record into."""
+    return _active
+
+
+def set_metrics(metrics: Metrics | None) -> Metrics:
+    """Install *metrics* as the active registry; returns the previous one.
+
+    Passing ``None`` restores the disabled default.
+    """
+    global _active
+    previous = _active
+    _active = metrics if metrics is not None else NULL_METRICS
+    return previous
+
+
+@contextmanager
+def collect(metrics: Metrics | None = None) -> Iterator[Metrics]:
+    """Activate a registry for the duration of a ``with`` block.
+
+    Args:
+        metrics: registry to activate; a fresh :class:`Metrics` when
+            omitted.  The previously active registry (usually the
+            disabled default) is restored on exit, even on error.
+    """
+    registry = metrics if metrics is not None else Metrics()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

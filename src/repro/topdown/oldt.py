@@ -38,11 +38,12 @@ from dataclasses import dataclass, field
 from ..datalog.atoms import Atom, Literal
 from ..datalog.builtins import evaluate_builtin, is_builtin
 from ..datalog.rules import Program
-from ..datalog.terms import Constant, Variable
+from ..datalog.terms import Constant
 from ..datalog.unify import subsumes, unify_atoms, variant_key
 from ..engine.counters import EvaluationStats
 from ..errors import EvaluationError
 from ..facts.database import Database
+from ..obs import get_metrics
 
 __all__ = ["OLDTEngine", "oldt_query"]
 
@@ -121,8 +122,17 @@ class OLDTEngine:
     # --- public API -----------------------------------------------------------
     def query(self, goal: Atom) -> list[Atom]:
         """All answers to *goal* (instances of the goal atom)."""
-        table = self._get_or_create_table(goal)
-        self._run()
+        obs = get_metrics()
+        with obs.timer("oldt"):
+            table = self._get_or_create_table(goal)
+            self._run()
+        if obs.enabled:
+            obs.observe("oldt.tables", len(self._tables))
+            obs.observe(
+                "oldt.table_answers",
+                sum(len(t.answers) for t in self._tables.values()),
+            )
+            obs.observe("oldt.scheduler_steps", self.stats.iterations)
         if table.key == variant_key(goal):
             answers = list(table.answers)
         else:

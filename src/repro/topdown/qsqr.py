@@ -29,12 +29,13 @@ from typing import Iterable, Mapping
 
 from ..datalog.atoms import Atom
 from ..datalog.builtins import evaluate_builtin, is_builtin
-from ..datalog.rules import Program
+from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Variable
 from ..engine.counters import EvaluationStats
 from ..errors import EvaluationError
 from ..facts.database import Database
 from ..facts.relation import Relation
+from ..obs import get_metrics
 
 __all__ = ["QSQREngine", "qsqr_query"]
 
@@ -86,12 +87,20 @@ class QSQREngine:
         """All answers to *goal*, as ground instances of the goal atom."""
         if goal.predicate not in self._program.idb_predicates:
             return self._edb_answers(goal)
+        obs = get_metrics()
         before = -1
-        while before != self._table_size():
-            before = self._table_size()
-            self.stats.iterations += 1
-            self._round_seen.clear()
-            self._subquery(goal, {})
+        with obs.timer("qsqr"):
+            while before != self._table_size():
+                before = self._table_size()
+                self.stats.iterations += 1
+                self._round_seen.clear()
+                with obs.timer("round"):
+                    self._subquery(goal, {})
+                if obs.enabled:
+                    obs.observe("qsqr.round_new_answers", self._table_size() - before)
+        if obs.enabled:
+            obs.observe("qsqr.calls", len(self._all_calls))
+            obs.observe("qsqr.table_answers", self._table_size())
         answers = []
         for env in self._join_idb(goal, {}, charge=False):
             answers.append(self._instantiate(goal, env))

@@ -14,7 +14,7 @@ step of the Generalized Magic Sets procedure of Beeri–Ramakrishnan 1987.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..datalog.atoms import Atom, Literal
 from ..datalog.rules import Program, Rule

@@ -22,7 +22,7 @@ the test suite against the unoptimised evaluation).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from ..datalog.atoms import Atom, Literal
 from ..datalog.rules import Program, Rule

@@ -24,11 +24,10 @@ predicate's interface.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..datalog.atoms import Atom, Literal
 from ..datalog.rules import Program, Rule
-from ..datalog.terms import Constant, Variable
+from ..datalog.terms import Variable
 from ..facts.database import Database
 
 __all__ = ["rectify_rule", "rectify_program", "equality_facts", "EQ_PREDICATE"]

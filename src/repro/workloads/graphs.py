@@ -14,7 +14,7 @@ and grids give quadratic reachable sets.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Iterable
 
 __all__ = [
     "chain",

@@ -17,7 +17,7 @@ magic-sets papers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping
 
 from ..datalog.atoms import Atom
 from ..datalog.parser import parse_program, parse_query

@@ -1,0 +1,136 @@
+"""Tests for the CI smoke runner's baseline-tolerance gate (tools/bench_ci.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).parent.parent / "tools" / "bench_ci.py"
+_spec = importlib.util.spec_from_file_location("bench_ci", _TOOL)
+bench_ci = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_ci", bench_ci)
+_spec.loader.exec_module(bench_ci)
+
+
+class TestCompareToBaseline:
+    def test_exact_match_passes(self):
+        assert bench_ci.compare_to_baseline({"a": 10}, {"a": 10}, 0.0) == []
+
+    def test_deviation_beyond_tolerance_flagged(self):
+        deviations = bench_ci.compare_to_baseline({"a": 11}, {"a": 10}, 0.05)
+        assert len(deviations) == 1
+        assert deviations[0]["kind"] == "regression"
+        assert deviations[0]["expected"] == 10
+        assert deviations[0]["actual"] == 11
+
+    def test_deviation_within_tolerance_passes(self):
+        assert bench_ci.compare_to_baseline({"a": 11}, {"a": 10}, 0.10) == []
+        assert bench_ci.compare_to_baseline({"a": 9}, {"a": 10}, 0.10) == []
+
+    def test_improvement_is_still_a_deviation(self):
+        deviations = bench_ci.compare_to_baseline({"a": 5}, {"a": 10}, 0.0)
+        assert deviations[0]["kind"] == "improvement"
+
+    def test_missing_and_unbaselined_ids_flagged(self):
+        deviations = bench_ci.compare_to_baseline({"new": 1}, {"old": 2}, 1.0)
+        kinds = {d["id"]: d["kind"] for d in deviations}
+        assert kinds == {"new": "unbaselined", "old": "missing"}
+
+    def test_zero_baseline_requires_exact_match(self):
+        assert bench_ci.compare_to_baseline({"a": 0}, {"a": 0}, 0.5) == []
+        assert bench_ci.compare_to_baseline({"a": 1}, {"a": 0}, 0.5) != []
+
+
+class TestBaselineIO:
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        bench_ci.write_baseline(path, {"b": 2, "a": 1}, 0.05)
+        payload = bench_ci.load_baseline(path)
+        assert payload["schema_version"] == bench_ci.BASELINE_SCHEMA
+        assert payload["tolerance"] == 0.05
+        assert payload["counts"] == {"a": 1, "b": 2}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema_version": "bogus/1", "counts": {}}))
+        with pytest.raises(ValueError):
+            bench_ci.load_baseline(path)
+
+
+class TestRunChecks:
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            bench_ci.run_checks(["nope"])
+
+    def test_a2_group_entries_and_metrics(self):
+        entries, failures, snapshot = bench_ci.run_checks(["a2"])
+        assert failures == []
+        assert all(entry["id"].startswith("a2/") for entry in entries)
+        assert all(entry["seconds"] >= 0.0 for entry in entries)
+        assert all(isinstance(entry["inferences"], int) for entry in entries)
+        assert "bench_ci.a2" in snapshot["timers"]
+
+    def test_baseline_counts_skips_non_integer_inferences(self):
+        counts = bench_ci.baseline_counts(
+            [{"id": "a", "inferences": 3}, {"id": "b", "inferences": "diverged"}, {"id": "c"}]
+        )
+        assert counts == {"a": 3}
+
+
+class TestMainGate:
+    def _run_main(self, tmp_path, baseline_counts=None, tolerance=0.0, extra=()):
+        baseline = tmp_path / "baseline.json"
+        if baseline_counts is not None:
+            bench_ci.write_baseline(baseline, baseline_counts, tolerance)
+        return bench_ci.main(
+            [
+                "--only",
+                "a2",
+                "--baseline",
+                str(baseline),
+                "--output-dir",
+                str(tmp_path),
+                *extra,
+            ]
+        )
+
+    def test_update_baseline_then_green(self, tmp_path):
+        assert self._run_main(tmp_path, extra=["--update-baseline"]) == 0
+        baseline = bench_ci.load_baseline(tmp_path / "baseline.json")
+        assert baseline["counts"]
+        assert self._run_main(tmp_path, baseline_counts=baseline["counts"]) == 0
+
+    def test_injected_regression_exits_nonzero(self, tmp_path):
+        assert self._run_main(tmp_path, extra=["--update-baseline"]) == 0
+        counts = bench_ci.load_baseline(tmp_path / "baseline.json")["counts"]
+        doctored = dict(counts)
+        key = sorted(doctored)[0]
+        doctored[key] -= 1  # pretend the baseline expected less work
+        assert self._run_main(tmp_path, baseline_counts=doctored) == 2
+
+    def test_missing_baseline_exits_nonzero(self, tmp_path):
+        assert self._run_main(tmp_path) == 3
+
+    def test_artifact_written_with_schema_and_timings(self, tmp_path):
+        from repro.obs import BenchArtifact
+
+        self._run_main(tmp_path, extra=["--update-baseline"])
+        artifact = BenchArtifact.read(tmp_path / "BENCH_ci.json")
+        assert artifact.schema_version == "repro-bench/1"
+        assert artifact.meta["total_seconds"] > 0.0
+        assert artifact.meta["metrics"]["timers"]
+        assert all("seconds" in entry for entry in artifact.entries)
+
+    def test_committed_baseline_matches_current_code(self):
+        """The repo's own gate must be green: full run vs committed baseline."""
+        entries, failures, _ = bench_ci.run_checks()
+        assert failures == []
+        committed = bench_ci.load_baseline(bench_ci.DEFAULT_BASELINE)
+        deviations = bench_ci.compare_to_baseline(
+            bench_ci.baseline_counts(entries),
+            committed["counts"],
+            committed.get("tolerance", 0.0),
+        )
+        assert deviations == []

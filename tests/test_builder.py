@@ -5,7 +5,6 @@ import pytest
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.builder import const, pred, variables
 from repro.datalog.parser import parse_rule
-from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
 
 

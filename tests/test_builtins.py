@@ -6,8 +6,7 @@ from repro.core.compare import check_correspondence
 from repro.core.strategy import run_strategy
 from repro.datalog.builtins import evaluate_builtin, is_builtin
 from repro.datalog.parser import parse_program, parse_query, parse_rule
-from repro.errors import EvaluationError, SafetyError
-from repro.facts.database import Database
+from repro.errors import EvaluationError
 
 ALL = ("naive", "seminaive", "sld", "oldt", "qsqr", "magic", "supplementary", "alexander")
 

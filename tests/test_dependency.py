@@ -1,6 +1,5 @@
 """Unit tests for the predicate dependency graph."""
 
-import pytest
 
 from repro.analysis.dependency import DependencyGraph, RecursionKind
 from repro.datalog.parser import parse_program

@@ -1,9 +1,8 @@
 """Edge-case matrix: the corners every strategy must handle identically."""
 
-import pytest
 
 from repro.core.compare import check_correspondence
-from repro.core.strategy import available_strategies, run_strategy
+from repro.core.strategy import run_strategy
 from repro.datalog.parser import parse_program, parse_query
 from repro.facts.database import Database
 

@@ -4,7 +4,6 @@ import io
 
 import pytest
 
-from repro.datalog.parser import parse_atom
 from repro.errors import ParseError
 from repro.facts import (
     Database,

@@ -8,7 +8,6 @@ recursion, multiple adornments, zero-binding queries, and rules whose
 bodies mention the same predicate twice.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

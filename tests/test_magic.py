@@ -1,6 +1,5 @@
 """Unit tests for the generalized magic sets transformation."""
 
-import pytest
 
 from repro.datalog.parser import parse_program, parse_query
 from repro.engine.seminaive import seminaive_fixpoint

@@ -1,12 +1,10 @@
 """Unit tests for the naive fixpoint engine."""
 
-import pytest
 
 from repro.datalog.parser import parse_program
 from repro.engine.counters import EvaluationStats
 from repro.engine.naive import apply_rules_once, naive_fixpoint
 from repro.engine.matching import compile_rule
-from repro.facts.database import Database
 
 
 class TestNaiveFixpoint:

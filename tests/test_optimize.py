@@ -1,6 +1,5 @@
 """Tests for post-transformation program optimisations."""
 
-import pytest
 
 from repro.datalog.parser import parse_program, parse_query
 from repro.engine.seminaive import seminaive_fixpoint

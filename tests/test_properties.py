@@ -6,7 +6,6 @@ is exact.  Hypothesis generates the databases; the programs are the
 canonical recursion shapes.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ from repro.core.engine import Engine
 from repro.datalog.parser import parse_program, parse_query
 from repro.engine.provenance import format_proof, traced_fixpoint
 from repro.engine.stratified import stratified_fixpoint
-from repro.facts.database import Database
 
 ANCESTOR = """
     par(a,b). par(b,c). par(c,d).

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datalog.parser import parse_program, parse_query
-from repro.errors import EvaluationError
 from repro.topdown.qsqr import QSQREngine, qsqr_query
 
 

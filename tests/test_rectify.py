@@ -1,6 +1,5 @@
 """Tests for rule rectification and its effect on the correspondence."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.core.engine import Engine
 from repro.repl import Repl

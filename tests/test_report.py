@@ -1,6 +1,5 @@
 """Tests for the whole-program analysis report."""
 
-import pytest
 
 from repro.analysis.report import ProgramReport
 from repro.datalog.parser import parse_program

@@ -10,7 +10,6 @@ The two load-bearing properties:
    equals facts_derived exactly.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

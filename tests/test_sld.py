@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datalog.parser import parse_program, parse_query
-from repro.errors import BudgetExceededError, EvaluationError
+from repro.errors import BudgetExceededError
 from repro.topdown.sld import SLDEngine, sld_query
 
 

@@ -35,7 +35,9 @@ def assert_agreement(results):
 
 
 class TestAgreementMatrix:
-    @pytest.mark.parametrize("query_text", ["anc(0, X)?", "anc(X, 5)?", "anc(X, Y)?", "anc(0, 5)?"])
+    @pytest.mark.parametrize(
+        "query_text", ["anc(0, X)?", "anc(X, 5)?", "anc(X, Y)?", "anc(0, 5)?"]
+    )
     def test_ancestor_chain(self, query_text):
         scenario = ancestor(graph="chain", n=8)
         query = parse_query(query_text)

@@ -5,7 +5,6 @@ import pytest
 from repro.datalog.parser import parse_program
 from repro.engine.stratified import stratified_fixpoint
 from repro.errors import StratificationError
-from repro.facts.database import Database
 
 
 class TestStratifiedFixpoint:

@@ -1,6 +1,5 @@
 """Unit tests for repro.datalog.terms."""
 
-import pytest
 
 from repro.datalog.terms import (
     Constant,

@@ -1,7 +1,6 @@
 """Unit and property tests for repro.datalog.unify."""
 
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.datalog.atoms import Atom
