@@ -74,19 +74,24 @@ class Measurement:
 
 
 def measure(
-    scenario: Scenario, strategy: str, query_index: int = 0
+    scenario: Scenario, strategy: str, query_index: int = 0, planner=None
 ) -> Measurement:
     """Run one strategy on one scenario query; divergence becomes a row.
 
     Wall-clock time (``seconds``, monotonic) is measured around the
     strategy call — for diverged runs it covers the time until the budget
     tripped.
+
+    Args:
+        planner: optional join-planner spec forwarded to
+            :func:`repro.core.strategy.run_strategy` (the A7 ablation
+            flips this between ``None`` and ``"greedy"``).
     """
     query = scenario.query(query_index)
     start = time.perf_counter()
     try:
         result = run_strategy(
-            strategy, scenario.program, query, scenario.database
+            strategy, scenario.program, query, scenario.database, planner=planner
         )
     except BudgetExceededError:
         return Measurement(

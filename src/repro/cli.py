@@ -72,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("left_to_right", "most_bound_first"),
         help="SIPS for the transformation strategies",
     )
+    query.add_argument(
+        "--planner",
+        action="store_const",
+        const="greedy",
+        default=None,
+        help="enable cost-based join planning (same answers, fewer joins)",
+    )
     query.add_argument("--stats", action="store_true", help="print counters")
     query.add_argument(
         "--limit", type=int, default=None, help="print at most N answers"
@@ -132,7 +139,9 @@ def _load(path: str, fact_files: list[str] | None = None) -> Engine:
 def _cmd_query(args) -> int:
     engine = _load(args.file, args.facts)
     goal = parse_query(args.goal)
-    result = engine.query(goal, strategy=args.strategy, sips=args.sips)
+    result = engine.query(
+        goal, strategy=args.strategy, sips=args.sips, planner=args.planner
+    )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:
         print(result.stats, file=sys.stderr)

@@ -102,10 +102,20 @@ def check_correspondence(
     program: Program,
     query: Atom,
     database: Database | None = None,
+    planner=None,
 ) -> Correspondence:
-    """Run Alexander (bottom-up) and OLDT on the same query and compare."""
-    alexander = run_strategy("alexander", program, query, database)
-    oldt = run_strategy("oldt", program, query, database)
+    """Run Alexander (bottom-up) and OLDT on the same query and compare.
+
+    Args:
+        planner: optional join-planner spec (e.g. ``"greedy"``) applied to
+            *both* sides.  Planning must not disturb the correspondence:
+            bottom-up it only reorders joins within a rule body, top-down
+            it only permutes runs of extensional literals, so the
+            call/answer sets are provably unchanged — running the checker
+            with a planner pins exactly that.
+    """
+    alexander = run_strategy("alexander", program, query, database, planner=planner)
+    oldt = run_strategy("oldt", program, query, database, planner=planner)
 
     alexander_calls = alexander.calls
     oldt_calls = oldt.calls

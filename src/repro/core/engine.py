@@ -94,6 +94,7 @@ class Engine:
         goal: Atom | str,
         strategy: str = DEFAULT_STRATEGY,
         sips: "Sips | str | None" = None,
+        planner: "str | None" = None,
     ) -> QueryResult:
         """Evaluate *goal* under *strategy*.
 
@@ -102,12 +103,17 @@ class Engine:
             strategy: one of :func:`available_strategies`.
             sips: optional SIPS name or function for the transformation
                 strategies.
+            planner: optional join-planner spec (``"greedy"``) enabling
+                cost-based body ordering; answers are identical, only
+                the join work changes (see ``docs/ARCHITECTURE.md``).
         """
         if isinstance(goal, str):
             goal = parse_query(goal)
         if isinstance(sips, str):
             sips = named_sips(sips)
-        return run_strategy(strategy, self._program, goal, self._database, sips)
+        return run_strategy(
+            strategy, self._program, goal, self._database, sips, planner=planner
+        )
 
     def ask(self, goal: Atom | str, strategy: str = DEFAULT_STRATEGY) -> bool:
         """True iff *goal* has at least one answer."""

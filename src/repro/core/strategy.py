@@ -2,11 +2,14 @@
 
 Every evaluation method in the library — bottom-up, top-down, and
 transformation-based — is exposed as a *strategy*: a function taking
-``(program, query, database)`` and returning a :class:`QueryResult` whose
-``answers`` are ground instances of the original query atom and whose
-``stats`` use the shared counter semantics.  The benchmark harness and the
-CLI enumerate strategies through :func:`available_strategies` /
-:func:`run_strategy`.
+``(program, query, database, planner)`` and returning a
+:class:`QueryResult` whose ``answers`` are ground instances of the
+original query atom and whose ``stats`` use the shared counter semantics.
+The benchmark harness and the CLI enumerate strategies through
+:func:`available_strategies` / :func:`run_strategy`.  The ``planner``
+argument (e.g. ``"greedy"``) enables cost-based join ordering
+(:mod:`repro.engine.planner`) in every strategy that joins; plain SLD
+ignores it.
 
 Transformation strategies follow the *structured* pipeline for stratified
 negation: strata below the query predicate's stratum are materialised
@@ -87,10 +90,15 @@ def _sorted_answers(query: Atom, atoms) -> tuple[Atom, ...]:
 
 def _bottom_up(engine: str):
     def run(
-        program: Program, query: Atom, database: Database | None
+        program: Program,
+        query: Atom,
+        database: Database | None,
+        planner=None,
     ) -> QueryResult:
         stats = EvaluationStats()
-        completed, _ = stratified_fixpoint(program, database, stats, engine=engine)
+        completed, _ = stratified_fixpoint(
+            program, database, stats, engine=engine, planner=planner
+        )
         matching = (
             atom
             for atom in completed.atoms(query.predicate)
@@ -105,7 +113,11 @@ def _bottom_up(engine: str):
     return run
 
 
-def _sld(program: Program, query: Atom, database: Database | None) -> QueryResult:
+def _sld(
+    program: Program, query: Atom, database: Database | None, planner=None
+) -> QueryResult:
+    # Plain SLD resolves one tuple at a time in clause-text order; there is
+    # no set-oriented join to plan, so `planner` is accepted and ignored.
     engine = SLDEngine(program, database)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
@@ -113,8 +125,10 @@ def _sld(program: Program, query: Atom, database: Database | None) -> QueryResul
     )
 
 
-def _oldt(program: Program, query: Atom, database: Database | None) -> QueryResult:
-    engine = OLDTEngine(program, database)
+def _oldt(
+    program: Program, query: Atom, database: Database | None, planner=None
+) -> QueryResult:
+    engine = OLDTEngine(program, database, planner=planner)
     raw = engine.query(query)
     answers = _sorted_answers(query, raw)
     calls, answer_facts = _oldt_call_summary(engine)
@@ -151,8 +165,10 @@ def _oldt_call_summary(engine: OLDTEngine):
     )
 
 
-def _qsqr(program: Program, query: Atom, database: Database | None) -> QueryResult:
-    engine = QSQREngine(program, database)
+def _qsqr(
+    program: Program, query: Atom, database: Database | None, planner=None
+) -> QueryResult:
+    engine = QSQREngine(program, database, planner=planner)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
         strategy="qsqr", query=query, answers=answers, stats=engine.stats
@@ -161,7 +177,10 @@ def _qsqr(program: Program, query: Atom, database: Database | None) -> QueryResu
 
 def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
     def run(
-        program: Program, query: Atom, database: Database | None
+        program: Program,
+        query: Atom,
+        database: Database | None,
+        planner=None,
     ) -> QueryResult:
         stats = EvaluationStats()
         working = database.copy() if database is not None else Database()
@@ -201,14 +220,14 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
             )
         )
         if lower.proper_rules:
-            working, _ = stratified_fixpoint(lower, working, stats)
+            working, _ = stratified_fixpoint(lower, working, stats, planner=planner)
         target = stratification.strata[query_stratum]
         edb = frozenset(
             (program.predicates | working.predicates()) - target.idb_predicates
         )
         transformed = transform(target, query, sips, edb)
         evaluation = transformed.evaluation_program()
-        completed, _ = seminaive_fixpoint(evaluation, working, stats)
+        completed, _ = seminaive_fixpoint(evaluation, working, stats, planner=planner)
 
         goal = transformed.goal
         matching = (
@@ -248,7 +267,9 @@ def _transform_call_summary(
     return frozenset(calls), answer_facts
 
 
-_STRATEGIES: dict[str, Callable[[Program, Atom, Database | None], QueryResult]] = {
+_STRATEGIES: dict[
+    str, Callable[[Program, Atom, "Database | None", object], QueryResult]
+] = {
     "naive": _bottom_up("naive"),
     "seminaive": _bottom_up("seminaive"),
     "sld": _sld,
@@ -271,12 +292,16 @@ def run_strategy(
     query: Atom,
     database: Database | None = None,
     sips: Sips | None = None,
+    planner=None,
 ) -> QueryResult:
     """Evaluate *query* on *program* + *database* under strategy *name*.
 
     Args:
         sips: optional SIPS override, honoured by the transformation
             strategies only (A1 ablation).
+        planner: optional join-planner spec (e.g. ``"greedy"``) enabling
+            cost-based body ordering (:mod:`repro.engine.planner`); the
+            ``sld`` strategy accepts and ignores it.
     """
     if name not in _STRATEGIES:
         raise ReproError(
@@ -288,5 +313,7 @@ def run_strategy(
             "supplementary": supplementary_magic_sets,
             "alexander": alexander_templates,
         }[name]
-        return _transform_strategy(name, transform, sips)(program, query, database)
-    return _STRATEGIES[name](program, query, database)
+        return _transform_strategy(name, transform, sips)(
+            program, query, database, planner
+        )
+    return _STRATEGIES[name](program, query, database, planner)

@@ -3,6 +3,7 @@
 from .counters import EvaluationStats
 from .incremental import IncrementalEngine
 from .naive import naive_fixpoint
+from .planner import JoinPlan, JoinPlanner, resolve_planner
 from .provenance import (
     Derivation,
     ProofNode,
@@ -27,4 +28,7 @@ __all__ = [
     "alternating_fixpoint",
     "WellFoundedModel",
     "IncrementalEngine",
+    "JoinPlan",
+    "JoinPlanner",
+    "resolve_planner",
 ]

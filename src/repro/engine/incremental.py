@@ -26,6 +26,7 @@ from ..facts.database import Database
 from ..facts.relation import Relation
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
+from .planner import JoinPlanner
 from .seminaive import seminaive_fixpoint
 
 __all__ = ["IncrementalEngine"]
@@ -34,9 +35,23 @@ Fact = tuple[str, tuple]
 
 
 class IncrementalEngine:
-    """A continuously materialised fixpoint over a positive program."""
+    """A continuously materialised fixpoint over a positive program.
 
-    def __init__(self, program: Program, database: Database | None = None):
+    Args:
+        program: a negation-free program; embedded facts are loaded.
+        database: extensional facts; copied, never mutated.
+        planner: optional join-planner spec (e.g. ``"greedy"``).  The
+            initial materialisation plans as usual; the delta-continuation
+            rules are then compiled against the *materialised* database,
+            so IDB statistics are real sizes rather than unknowns.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        planner: "JoinPlanner | str | None" = None,
+    ):
         for rule in program.proper_rules:
             for literal in rule.body:
                 if literal.negative:
@@ -45,13 +60,28 @@ class IncrementalEngine:
                         f"program; offending rule: {rule}"
                     )
         self._program = program.without_facts()
-        self._compiled: list[CompiledRule] = [
-            compile_rule(rule) for rule in self._program.proper_rules
-        ]
+        self._planner_spec = planner
         self.stats = EvaluationStats()
         initial = database.copy() if database is not None else Database()
         initial.add_atoms(program.facts)
-        self._working, _ = seminaive_fixpoint(self._program, initial, self.stats)
+        self._working, _ = seminaive_fixpoint(
+            self._program, initial, self.stats, planner=planner
+        )
+        self._compiled: list[CompiledRule] = self._compile_rules()
+
+    def _compile_rules(self) -> list[CompiledRule]:
+        spec = self._planner_spec
+        if isinstance(spec, JoinPlanner):
+            active: JoinPlanner | None = spec
+        elif spec is None or spec is False:
+            active = None
+        else:
+            # No ``unknown`` set: after materialisation every IDB relation
+            # has its real cardinality, so the statistics are trustworthy.
+            active = JoinPlanner(self._working)
+        return [
+            compile_rule(rule, active) for rule in self._program.proper_rules
+        ]
 
     # --- read access ------------------------------------------------------------
     @property
@@ -177,5 +207,8 @@ class IncrementalEngine:
         base = self._working.restrict(
             self._working.predicates() - self._program.idb_predicates
         )
-        self._working, _ = seminaive_fixpoint(self._program, base, self.stats)
+        self._working, _ = seminaive_fixpoint(
+            self._program, base, self.stats, planner=self._planner_spec
+        )
+        self._compiled = self._compile_rules()
         return True

@@ -11,12 +11,19 @@ objects.
 Negative literals are checked by absence once all their variables are
 bound; the compiler orders them after the positive literals that bind
 them (a safety analysis elsewhere guarantees such an order exists).
+
+Positive literals join in textual order by default; passing a
+:class:`repro.engine.planner.JoinPlanner` to :func:`compile_rule` swaps in
+its statistics-driven order instead.  Either way the compiled rule
+enumerates the same fact set — ordering only changes how much work the
+index-nested-loop join does (see ``docs/ARCHITECTURE.md``, "The matcher/
+planner contract").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from ..datalog.atoms import Literal
 from ..datalog.builtins import evaluate_builtin, is_builtin
@@ -25,6 +32,9 @@ from ..datalog.terms import Constant, Variable
 from ..errors import SafetyError
 from ..facts.relation import Relation
 from .counters import EvaluationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .planner import JoinPlanner
 
 __all__ = [
     "CompiledLiteral",
@@ -119,7 +129,11 @@ def _compile_literal(literal: Literal) -> CompiledLiteral:
     )
 
 
-def order_body(body: Sequence[Literal], rule: Rule | None = None) -> tuple[Literal, ...]:
+def order_body(
+    body: Sequence[Literal],
+    rule: Rule | None = None,
+    positives: Sequence[Literal] | None = None,
+) -> tuple[Literal, ...]:
     """Order body literals so every *test* literal is fully bound.
 
     Tests — negative literals and built-in comparisons — check but never
@@ -128,13 +142,20 @@ def order_body(body: Sequence[Literal], rule: Rule | None = None) -> tuple[Liter
     their given relative order (the transformations in this library emit
     bodies in binding-propagation order already).
 
+    Args:
+        positives: optional explicit ordering of the positive
+            non-built-in literals (a permutation of them, typically from
+            :class:`repro.engine.planner.JoinPlanner`); textual order
+            when omitted.
+
     Raises:
         SafetyError: when some test literal has a variable that occurs
             in no binding literal.
     """
-    positives = [
-        lit for lit in body if lit.positive and not is_builtin(lit.predicate)
-    ]
+    if positives is None:
+        positives = [
+            lit for lit in body if lit.positive and not is_builtin(lit.predicate)
+        ]
     negatives = [
         lit for lit in body if lit.negative or is_builtin(lit.predicate)
     ]
@@ -171,13 +192,23 @@ def order_body(body: Sequence[Literal], rule: Rule | None = None) -> tuple[Liter
     return tuple(ordered)
 
 
-def compile_rule(rule: Rule) -> CompiledRule:
+def compile_rule(rule: Rule, planner: "JoinPlanner | None" = None) -> CompiledRule:
     """Compile a rule for bottom-up matching.
 
     The head must be range-restricted: every head variable must occur in
     some positive body literal.
+
+    Args:
+        planner: optional :class:`repro.engine.planner.JoinPlanner`; when
+            given, positive literals are joined in its cost-based order
+            instead of textual order.  Tests keep their earliest-bound
+            placement either way, and the derived fact set is identical —
+            only the enumeration work changes.
     """
-    ordered = order_body(rule.body, rule)
+    if planner is not None:
+        ordered = planner.order_body(rule)
+    else:
+        ordered = order_body(rule.body, rule)
     bound: set[Variable] = set()
     compiled: list[CompiledLiteral] = []
     for literal in ordered:

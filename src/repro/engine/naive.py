@@ -21,6 +21,7 @@ from ..facts.relation import Relation
 from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
+from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["naive_fixpoint", "apply_rules_once"]
 
@@ -61,6 +62,7 @@ def naive_fixpoint(
     program: Program,
     database: Database | None = None,
     stats: EvaluationStats | None = None,
+    planner: "JoinPlanner | str | None" = None,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint naively.
 
@@ -68,6 +70,9 @@ def naive_fixpoint(
         program: rules to evaluate; embedded ground facts are loaded too.
         database: extensional facts; copied, never mutated.
         stats: optional counter record to accumulate into.
+        planner: optional join planner (``"greedy"`` or a
+            :class:`repro.engine.planner.JoinPlanner`); rule bodies are
+            compiled in its cost-based order instead of textual order.
 
     Returns:
         The completed database (EDB plus all derived IDB facts) and the
@@ -81,7 +86,10 @@ def naive_fixpoint(
     # than "unknown".
     for rule in program.proper_rules:
         working.relation(rule.head.predicate, rule.head.arity)
-    compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
+    active_planner = resolve_planner(planner, working, program)
+    compiled_rules = [
+        compile_rule(rule, active_planner) for rule in program.proper_rules
+    ]
     obs = get_metrics()
     with obs.timer("naive"):
         changed = True

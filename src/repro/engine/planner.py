@@ -1,0 +1,310 @@
+"""Statistics-driven join planning for rule bodies.
+
+:mod:`repro.engine.matching` compiles rule bodies in textual literal
+order, which makes join cost hostage to how the rule happened to be
+written: a body whose large, unselective literal comes first turns the
+index-nested-loop join into something close to a cross product.  The
+:class:`JoinPlanner` reorders the *positive, non-built-in* literals of a
+body before compilation, using the cheap statistics kept by
+:class:`repro.facts.relation.Relation` — cardinality, distinct values per
+column, and exact posting sizes for constant probes — as the cost signal.
+
+The planner is greedy: at each step it picks the literal with the lowest
+estimated number of matching rows given the variables bound so far,
+breaking ties toward more bound arguments and then toward the original
+textual position (so well-ordered bodies keep their order and plans stay
+deterministic).  Estimates follow the classical independence assumptions:
+
+* a known relation starts at its cardinality; every bound column divides
+  by its distinct-value count (constants use the exact posting size);
+* a repeated variable inside one literal counts as a bound column (it is
+  an equality filter on the row);
+* a relation known to be empty or absent estimates **zero** — placing it
+  first short-circuits the whole rule;
+* a predicate in ``unknown`` (the IDB, whose relations are empty at plan
+  time but grow during the fixpoint) gets a small default estimate.  For
+  the semi-naive engines this is deliberately *optimistic*: the distin-
+  guished occurrence reads the (small) delta relation, so joining outward
+  from the recursive literal is the delta discipline's preferred shape,
+  and in transformed programs it keeps the goal-directed ``call``/
+  ``magic`` filters in front of the EDB scans.
+
+Ordering constraints are unchanged from the textual compiler: negative
+literals and built-ins are *tests* and are re-attached at the earliest
+point where all their variables are bound (the safety analysis guarantees
+such a point exists), so a plan can never unbind a test.
+
+For the top-down clause-resolution engines (OLDT, QSQR) the planner
+offers :meth:`JoinPlanner.order_clause_goals`, which only permutes
+*maximal runs of consecutive extensional literals*.  Tabled literals and
+tests are boundaries: the set of substitutions reaching each tabled call
+is a join of the run before it and joins are order-independent, so the
+generated call patterns and answers — the objects of Seki's
+correspondence theorem — are provably unchanged; only the enumeration
+work shrinks.
+
+Every planning decision is recorded through :mod:`repro.obs` counters
+(``planner.rules_planned``, ``planner.rules_reordered``,
+``planner.short_circuits``, plus a ``planner.rule_cost`` histogram) and
+kept on the planner as :class:`JoinPlan` records, so benchmark artifacts
+can show which rules were reordered and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datalog.atoms import Literal
+from ..datalog.builtins import is_builtin
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Variable
+from ..facts.database import Database
+from ..obs import get_metrics
+
+__all__ = [
+    "DEFAULT_UNKNOWN_SIZE",
+    "JoinPlan",
+    "JoinPlanner",
+    "resolve_planner",
+]
+
+# Estimated cardinality of a relation the planner has no statistics for —
+# in practice an IDB relation that is empty at plan time but will grow.
+# Small on purpose: see the module docstring.
+DEFAULT_UNKNOWN_SIZE = 4.0
+
+# Assumed selectivity divisor per bound column of an unknown relation.
+_UNKNOWN_FANOUT = 2.0
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The planning record for one rule (diagnostics, not execution state).
+
+    Attributes:
+        rule: the planned rule.
+        order: the positive non-built-in literals in chosen join order.
+        estimates: the estimated matching-row count of each literal at the
+            moment it was chosen (parallel to ``order``).
+        reordered: True iff ``order`` differs from textual order.
+        short_circuit: True iff some literal estimated zero rows (an
+            empty or absent relation was hoisted to the front).
+    """
+
+    rule: Rule
+    order: tuple[Literal, ...]
+    estimates: tuple[float, ...]
+    reordered: bool
+    short_circuit: bool
+
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering for bench-artifact metadata."""
+        return {
+            "rule": str(self.rule),
+            "order": [str(literal) for literal in self.order],
+            "estimates": [round(estimate, 3) for estimate in self.estimates],
+            "reordered": self.reordered,
+            "short_circuit": self.short_circuit,
+        }
+
+
+class JoinPlanner:
+    """Greedy selectivity-based ordering of positive body literals.
+
+    Args:
+        database: statistics source; literal costs read the relations'
+            cardinality/distinct/posting statistics live.
+        unknown: predicates whose relations must not be trusted even when
+            currently empty (the IDB of the program being evaluated);
+            they receive ``unknown_size`` instead of their stored size.
+        unknown_size: default cardinality estimate for ``unknown``
+            predicates (see module docstring for why it is small).
+    """
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        unknown: frozenset[str] = frozenset(),
+        unknown_size: float = DEFAULT_UNKNOWN_SIZE,
+    ):
+        self._database = database if database is not None else Database()
+        self._unknown = frozenset(unknown)
+        self._unknown_size = float(unknown_size)
+        self.plans: list[JoinPlan] = []
+
+    # --- cost model ----------------------------------------------------------
+    def estimate(self, literal: Literal, bound: frozenset[Variable]) -> float:
+        """Estimated number of rows matching *literal* given *bound* vars."""
+        if literal.predicate in self._unknown:
+            return self._estimate_unknown(literal, bound)
+        if literal.predicate not in self._database:
+            return 0.0
+        relation = self._database.relation(literal.predicate)
+        size = float(len(relation))
+        if size == 0.0:
+            return 0.0
+        estimate = size
+        seen_here: set[Variable] = set()
+        for column, arg in enumerate(literal.args):
+            if isinstance(arg, Constant):
+                postings = relation.postings_size(column, arg.value)
+                if postings == 0:
+                    return 0.0
+                estimate *= postings / size
+            elif arg in bound or arg in seen_here:
+                estimate /= max(relation.distinct_count(column), 1)
+            else:
+                seen_here.add(arg)
+        return estimate
+
+    def _estimate_unknown(
+        self, literal: Literal, bound: frozenset[Variable]
+    ) -> float:
+        estimate = self._unknown_size
+        seen_here: set[Variable] = set()
+        for arg in literal.args:
+            if isinstance(arg, Constant) or arg in bound or arg in seen_here:
+                estimate /= _UNKNOWN_FANOUT
+            elif isinstance(arg, Variable):
+                seen_here.add(arg)
+        return estimate
+
+    # --- planning ------------------------------------------------------------
+    def plan_rule(self, rule: Rule) -> JoinPlan:
+        """Greedily order the positive non-built-in literals of *rule*."""
+        positives = [
+            literal
+            for literal in rule.body
+            if literal.positive and not is_builtin(literal.predicate)
+        ]
+        remaining = list(enumerate(positives))
+        bound: frozenset[Variable] = frozenset()
+        order: list[Literal] = []
+        estimates: list[float] = []
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda item: (
+                    self.estimate(item[1], bound),
+                    sum(
+                        1
+                        for var in item[1].variable_set()
+                        if var not in bound
+                    ),
+                    item[0],
+                ),
+            )
+            remaining.remove(best)
+            index, literal = best
+            estimates.append(self.estimate(literal, bound))
+            order.append(literal)
+            bound = bound | literal.variable_set()
+        plan = JoinPlan(
+            rule=rule,
+            order=tuple(order),
+            estimates=tuple(estimates),
+            reordered=tuple(order) != tuple(positives),
+            short_circuit=any(estimate == 0.0 for estimate in estimates),
+        )
+        self.plans.append(plan)
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("planner.rules_planned")
+            if plan.reordered:
+                obs.incr("planner.rules_reordered")
+            if plan.short_circuit:
+                obs.incr("planner.short_circuits")
+            obs.observe("planner.rule_cost", sum(estimates))
+        return plan
+
+    def order_body(self, rule: Rule) -> tuple[Literal, ...]:
+        """The full planned body: planned positives, tests re-attached at
+        their earliest safe position (the matcher's standard contract)."""
+        from .matching import order_body
+
+        plan = self.plan_rule(rule)
+        return order_body(rule.body, rule, positives=plan.order)
+
+    def order_clause_goals(
+        self,
+        body: Sequence[Literal],
+        rule: Rule | None = None,
+        tabled: frozenset[str] = frozenset(),
+    ) -> tuple[Literal, ...]:
+        """Clause-goal ordering for the top-down resolution engines.
+
+        Starts from the safety-normalised textual order and then permutes
+        only maximal runs of consecutive positive *extensional* literals
+        (predicates outside ``tabled``).  Tabled literals, negatives, and
+        built-ins are immovable boundaries, which preserves the engine's
+        call patterns and answers exactly (see module docstring).
+        """
+        from .matching import order_body
+
+        ordered = list(order_body(body, rule))
+        result: list[Literal] = []
+        bound: frozenset[Variable] = frozenset()
+        run: list[Literal] = []
+
+        def flush_run() -> None:
+            nonlocal bound
+            remaining = list(enumerate(run))
+            while remaining:
+                best = min(
+                    remaining,
+                    key=lambda item: (
+                        self.estimate(item[1], bound),
+                        sum(
+                            1
+                            for var in item[1].variable_set()
+                            if var not in bound
+                        ),
+                        item[0],
+                    ),
+                )
+                remaining.remove(best)
+                result.append(best[1])
+                bound = bound | best[1].variable_set()
+            run.clear()
+
+        for literal in ordered:
+            movable = (
+                literal.positive
+                and not is_builtin(literal.predicate)
+                and literal.predicate not in tabled
+            )
+            if movable:
+                run.append(literal)
+            else:
+                flush_run()
+                result.append(literal)
+                bound = bound | literal.variable_set()
+        flush_run()
+        return tuple(result)
+
+
+def resolve_planner(
+    planner: "JoinPlanner | str | bool | None",
+    database: Database,
+    program: Program,
+) -> JoinPlanner | None:
+    """Normalise the ``planner=`` argument every engine accepts.
+
+    Args:
+        planner: ``None``/``False`` → no planning (textual order);
+            ``"greedy"``/``True`` → a fresh :class:`JoinPlanner` over
+            *database* with the program's IDB as unknown predicates; an
+            existing :class:`JoinPlanner` is returned unchanged (callers
+            may pre-configure statistics sources or inspect ``plans``
+            afterwards).
+    """
+    if planner is None or planner is False:
+        return None
+    if isinstance(planner, JoinPlanner):
+        return planner
+    if planner is True or planner == "greedy":
+        return JoinPlanner(database, unknown=program.idb_predicates)
+    raise ValueError(
+        f"unknown planner {planner!r}; use None, 'greedy', or a JoinPlanner"
+    )

@@ -33,6 +33,7 @@ from ..facts.relation import Relation
 from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
+from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["seminaive_fixpoint"]
 
@@ -80,6 +81,7 @@ def seminaive_fixpoint(
     program: Program,
     database: Database | None = None,
     stats: EvaluationStats | None = None,
+    planner: "JoinPlanner | str | None" = None,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint with the semi-naive delta discipline.
 
@@ -87,6 +89,11 @@ def seminaive_fixpoint(
         program: rules to evaluate; embedded ground facts are loaded too.
         database: extensional facts; copied, never mutated.
         stats: optional counter record to accumulate into.
+        planner: optional join planner (``"greedy"`` or a
+            :class:`repro.engine.planner.JoinPlanner`); rule bodies are
+            compiled in its cost-based order.  Delta variants are built
+            over the *planned* body positions, so the discipline's
+            exactly-once guarantee is unaffected.
 
     Returns:
         The completed database and the statistics record.
@@ -99,7 +106,10 @@ def seminaive_fixpoint(
     arities = program.arities
     for predicate in derived:
         working.relation(predicate, arities[predicate])
-    compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
+    active_planner = resolve_planner(planner, working, program)
+    compiled_rules = [
+        compile_rule(rule, active_planner) for rule in program.proper_rules
+    ]
 
     def full_view(position: int, predicate: str) -> Relation | None:
         try:

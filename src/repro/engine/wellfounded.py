@@ -31,6 +31,7 @@ from ..facts.relation import Relation
 from ..obs import get_metrics
 from .counters import EvaluationStats
 from .matching import compile_rule, match_body
+from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["WellFoundedModel", "alternating_fixpoint"]
 
@@ -76,6 +77,7 @@ def _gamma(
     base: Database,
     oracle: Database,
     stats: EvaluationStats,
+    planner: "JoinPlanner | str | None" = None,
 ) -> Database:
     """Γ(oracle): least fixpoint with negation decided against *oracle*.
 
@@ -88,7 +90,10 @@ def _gamma(
     derived = program.idb_predicates
     for predicate in derived:
         working.relation(predicate, arities[predicate])
-    compiled_rules = [compile_rule(rule) for rule in program.proper_rules]
+    active_planner = resolve_planner(planner, working, program)
+    compiled_rules = [
+        compile_rule(rule, active_planner) for rule in program.proper_rules
+    ]
 
     def make_view(compiled):
         body = compiled.body
@@ -124,9 +129,19 @@ def _gamma(
 
 
 def alternating_fixpoint(
-    program: Program, database: Database | None = None
+    program: Program,
+    database: Database | None = None,
+    planner: "str | None" = None,
 ) -> WellFoundedModel:
-    """Compute the well-founded model of *program* over *database*."""
+    """Compute the well-founded model of *program* over *database*.
+
+    Args:
+        program: the (possibly non-stratifiable) program.
+        database: extensional facts; copied, never mutated.
+        planner: optional join-planner spec (e.g. ``"greedy"``) forwarded
+            to every Γ computation; each Γ plans against its own working
+            database.
+    """
     stats = EvaluationStats()
     obs = get_metrics()
     base = database.copy() if database is not None else Database()
@@ -139,9 +154,13 @@ def alternating_fixpoint(
         while True:
             alternations += 1
             with obs.timer("gamma"):
-                overestimate = _gamma(rules_only, base, underestimate, stats)
+                overestimate = _gamma(
+                    rules_only, base, underestimate, stats, planner=planner
+                )
             with obs.timer("gamma"):
-                next_underestimate = _gamma(rules_only, base, overestimate, stats)
+                next_underestimate = _gamma(
+                    rules_only, base, overestimate, stats, planner=planner
+                )
             if next_underestimate == underestimate:
                 break
             underestimate = next_underestimate

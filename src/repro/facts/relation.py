@@ -1,10 +1,20 @@
-"""In-memory relations with per-column hash indexes.
+"""In-memory relations with per-column hash indexes and join statistics.
 
 A :class:`Relation` stores ground facts as plain Python tuples of constant
 *values* (not :class:`~repro.datalog.terms.Constant` objects); the engines
 convert at their boundary.  Indexes are built lazily on first use of a
 column and maintained incrementally afterwards, so the join machinery can
 probe any bound column in expected O(1).
+
+Relations also expose the cheap statistics the join planner
+(:mod:`repro.engine.planner`) costs literal orders with: cardinality
+(``len``), distinct values per column (:meth:`Relation.distinct_count`),
+and exact posting-list sizes for constant probes
+(:meth:`Relation.postings_size`).  Distinct-value sets are built lazily
+per column and maintained incrementally on :meth:`add`; :meth:`discard`
+invalidates them (like the indexes) so they are recomputed lazily after a
+removal.  The :attr:`version` counter bumps on every effective mutation,
+letting a cached plan detect stale statistics.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ __all__ = ["Relation"]
 class Relation:
     """A set of same-arity tuples with lazily built column indexes."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes")
+    __slots__ = ("name", "arity", "_tuples", "_indexes", "_distinct", "_version")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
         self.name = name
@@ -25,6 +35,9 @@ class Relation:
         self._tuples: set[tuple] = set()
         # column -> value -> list of tuples having that value in the column.
         self._indexes: dict[int, dict[object, list[tuple]]] = {}
+        # column -> set of distinct values (lazy, incremental on add).
+        self._distinct: dict[int, set] = {}
+        self._version = 0
         for row in tuples:
             self.add(row)
 
@@ -41,6 +54,9 @@ class Relation:
         self._tuples.add(row)
         for column, index in self._indexes.items():
             index.setdefault(row[column], []).append(row)
+        for column, values in self._distinct.items():
+            values.add(row[column])
+        self._version += 1
         return True
 
     def add_all(self, rows: Iterable[tuple]) -> int:
@@ -61,11 +77,16 @@ class Relation:
             return False
         self._tuples.discard(row)
         self._indexes.clear()
+        self._distinct.clear()
+        self._version += 1
         return True
 
     def clear(self) -> None:
+        if self._tuples:
+            self._version += 1
         self._tuples.clear()
         self._indexes.clear()
+        self._distinct.clear()
 
     # --- queries ---------------------------------------------------------------
     def __contains__(self, row: tuple) -> bool:
@@ -125,6 +146,49 @@ class Relation:
         if not bound:
             return len(self._tuples)
         return sum(1 for _ in self.lookup(bound))
+
+    # --- statistics -------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """A counter bumped on every effective mutation.
+
+        Plans and other derived artifacts cache this to detect that their
+        statistics went stale.
+        """
+        return self._version
+
+    def distinct_count(self, column: int) -> int:
+        """Number of distinct values in *column*.
+
+        The distinct-value set is materialised lazily on first use and
+        then maintained incrementally by :meth:`add`; :meth:`discard`
+        drops it, so the first call after a removal recomputes.
+        """
+        if not 0 <= column < self.arity:
+            raise IndexError(
+                f"relation {self.name}/{self.arity} has no column {column}"
+            )
+        values = self._distinct.get(column)
+        if values is None:
+            values = {row[column] for row in self._tuples}
+            self._distinct[column] = values
+        return len(values)
+
+    def postings_size(self, column: int, value: object) -> int:
+        """Exact number of tuples holding *value* in *column* (index probe)."""
+        return len(self._index_for(column).get(value, ()))
+
+    def statistics(self) -> dict:
+        """A JSON-ready snapshot: size, version, distinct count per column."""
+        return {
+            "name": self.name,
+            "arity": self.arity,
+            "size": len(self._tuples),
+            "version": self._version,
+            "distinct": {
+                column: self.distinct_count(column) for column in range(self.arity)
+            },
+        }
 
     def copy(self) -> "Relation":
         clone = Relation(self.name, self.arity)

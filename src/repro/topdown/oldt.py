@@ -95,6 +95,7 @@ class OLDTEngine:
         database: Database | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         tabling: str = "variant",
+        planner: "object | None" = None,
     ):
         """Args:
             tabling: ``"variant"`` (Tamaki–Sato's original: one table per
@@ -103,6 +104,13 @@ class OLDTEngine:
                 call is answered by any existing table whose call pattern
                 subsumes it, creating fewer tables at the cost of
                 filtering more general answers).
+            planner: optional join-planner spec (e.g. ``"greedy"`` or a
+                :class:`repro.engine.planner.JoinPlanner`).  Clause bodies
+                are ordered by
+                :meth:`~repro.engine.planner.JoinPlanner.order_clause_goals`,
+                which only permutes runs of consecutive extensional
+                literals — tabled calls and tests are boundaries, so the
+                generated call patterns and answers are unchanged.
         """
         if tabling not in ("variant", "subsumption"):
             raise ValueError(
@@ -113,6 +121,9 @@ class OLDTEngine:
         self._database.add_atoms(program.facts)
         self._max_steps = max_steps
         self._tabling = tabling
+        from ..engine.planner import resolve_planner
+
+        self._planner = resolve_planner(planner, self._database, program)
         self._tables: dict[tuple, _Table] = {}
         self._worklist: list[_Process] = []
         # Ground negation-as-failure results (stratified => stable).
@@ -210,9 +221,13 @@ class OLDTEngine:
             # Bodies are normalised so test literals (negation, built-ins)
             # come after the literals that bind them — the order the
             # adornment pass uses too, keeping call patterns aligned.
-            goals = tuple(
-                unifier.apply_literal(lit) for lit in order_body(fresh.body, fresh)
-            )
+            if self._planner is not None:
+                ordered = self._planner.order_clause_goals(
+                    fresh.body, fresh, tabled=self._program.idb_predicates
+                )
+            else:
+                ordered = order_body(fresh.body, fresh)
+            goals = tuple(unifier.apply_literal(lit) for lit in ordered)
             self._enqueue(_Process(table, template, goals))
         return table
 
@@ -344,7 +359,12 @@ class OLDTEngine:
         cache_key = (atom.predicate, atom.ground_key())
         holds = self._negation_cache.get(cache_key)
         if holds is None:
-            nested = OLDTEngine(self._program, self._database, self._max_steps)
+            nested = OLDTEngine(
+                self._program,
+                self._database,
+                self._max_steps,
+                planner=self._planner,
+            )
             holds = not nested.query(atom)
             self.stats.merge(nested.stats)
             self._negation_cache[cache_key] = holds
@@ -360,8 +380,9 @@ def oldt_query(
     goal: Atom,
     database: Database | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    planner: "object | None" = None,
 ) -> tuple[list[Atom], EvaluationStats]:
     """Convenience wrapper: run one OLDT query and return answers + stats."""
-    engine = OLDTEngine(program, database, max_steps=max_steps)
+    engine = OLDTEngine(program, database, max_steps=max_steps, planner=planner)
     answers = engine.query(goal)
     return answers, engine.stats

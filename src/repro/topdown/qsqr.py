@@ -56,10 +56,26 @@ def _adornment_of(atom: Atom, env: Mapping[Variable, object]) -> str:
 class QSQREngine:
     """Recursive Query/Subquery evaluation over a program and database."""
 
-    def __init__(self, program: Program, database: Database | None = None):
+    def __init__(
+        self,
+        program: Program,
+        database: Database | None = None,
+        planner: "object | None" = None,
+    ):
+        """Args:
+            planner: optional join-planner spec (e.g. ``"greedy"``); clause
+                bodies are ordered by
+                :meth:`~repro.engine.planner.JoinPlanner.order_clause_goals`,
+                which only permutes runs of consecutive extensional
+                literals, so the subqueries raised and answers tabled are
+                unchanged.
+        """
         self._program = program
         self._database = database.copy() if database is not None else Database()
         self._database.add_atoms(program.facts)
+        from ..engine.planner import resolve_planner
+
+        self._planner = resolve_planner(planner, self._database, program)
         arities = program.arities
         self._answers: dict[str, Relation] = {
             predicate: Relation(predicate, arities[predicate])
@@ -162,7 +178,13 @@ class QSQREngine:
         envs: list[_Env] = [head_env]
         from ..engine.matching import order_body
 
-        for literal in order_body(fresh.body, fresh):
+        if self._planner is not None:
+            ordered = self._planner.order_clause_goals(
+                fresh.body, fresh, tabled=self._program.idb_predicates
+            )
+        else:
+            ordered = order_body(fresh.body, fresh)
+        for literal in ordered:
             if not envs:
                 return
             if is_builtin(literal.predicate):
@@ -263,7 +285,7 @@ class QSQREngine:
             cached = self._negation_cache.get(cache_key)
             if cached is not None:
                 return cached
-            nested = QSQREngine(self._program, self._database)
+            nested = QSQREngine(self._program, self._database, planner=self._planner)
             ground = Atom(atom.predicate, tuple(Constant(v) for v in probe))
             result = nested.query(ground)
             self.stats.merge(nested.stats)
@@ -294,9 +316,12 @@ class QSQREngine:
 
 
 def qsqr_query(
-    program: Program, goal: Atom, database: Database | None = None
+    program: Program,
+    goal: Atom,
+    database: Database | None = None,
+    planner: "object | None" = None,
 ) -> tuple[list[Atom], EvaluationStats]:
     """Convenience wrapper: run one QSQR query and return answers + stats."""
-    engine = QSQREngine(program, database)
+    engine = QSQREngine(program, database, planner=planner)
     answers = engine.query(goal)
     return answers, engine.stats

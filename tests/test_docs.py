@@ -1,0 +1,85 @@
+"""Tests for tools/check_docs.py and the documentation it gates.
+
+The docs CI job runs ``check_docs.py`` directly; these tests pin the
+checker's own behaviour (link extraction, block extraction, failure
+reporting) and assert that the repository's documentation currently
+passes, so a broken link or a non-running tutorial example fails the
+ordinary test suite too — not just the docs job.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestLinkExtraction:
+    def test_relative_link_to_missing_file_is_reported(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "see [gone](docs/missing.md) and [here](docs/REAL.md)\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "docs" / "REAL.md").write_text("ok\n", encoding="utf-8")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems: list[str] = []
+        checked = check_docs.check_links(problems)
+        assert checked == 2
+        assert len(problems) == 1 and "docs/missing.md" in problems[0]
+
+    def test_external_and_anchor_links_skipped(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[a](https://example.org/x) [b](#section) [c](mailto:x@y.z)\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems: list[str] = []
+        assert check_docs.check_links(problems) == 0
+        assert problems == []
+
+    def test_anchor_suffix_checks_the_file_part(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "A.md").write_text("# title\n", encoding="utf-8")
+        (tmp_path / "README.md").write_text(
+            "[ok](docs/A.md#title) [bad](docs/B.md#title)\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems: list[str] = []
+        assert check_docs.check_links(problems) == 2
+        assert len(problems) == 1 and "docs/B.md#title" in problems[0]
+
+
+class TestBlockExtraction:
+    def test_python_blocks_found_with_line_numbers(self):
+        text = "intro\n```python\nx = 1\n```\n```bash\nls\n```\n```python\ny = x\n```\n"
+        blocks = check_docs.python_blocks(text)
+        assert [(start, source) for start, source in blocks] == [
+            (3, "x = 1"),
+            (9, "y = x"),
+        ]
+
+    def test_unterminated_block_is_ignored(self):
+        assert check_docs.python_blocks("```python\nx = 1\n") == []
+
+
+class TestRepositoryDocs:
+    def test_all_relative_links_resolve(self):
+        problems: list[str] = []
+        checked = check_docs.check_links(problems)
+        assert checked > 0
+        assert problems == []
+
+    def test_documentation_index_lists_every_doc(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for name in ("THEORY", "TUTORIAL", "ARCHITECTURE", "API", "OBSERVABILITY"):
+            assert f"docs/{name}.md" in readme, f"README lacks docs/{name}.md"
+
+    def test_tutorial_examples_run(self):
+        problems: list[str] = []
+        executed = check_docs.check_tutorial(problems)
+        assert executed > 0
+        assert problems == []

@@ -1,0 +1,261 @@
+"""Tests for repro.engine.planner: cost model, ordering, engine parity.
+
+The load-bearing invariant — planning changes join *work*, never the
+derived fact set — is pinned across every engine that accepts a planner;
+the unit tests cover the cost-model edge cases (constants, repeated
+variables, empty relations, safety-forced orderings, statistics going
+stale under removal).
+"""
+
+import pytest
+
+from repro.core.compare import check_correspondence
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.planner import JoinPlanner, resolve_planner
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.stratified import stratified_fixpoint
+from repro.engine.wellfounded import alternating_fixpoint
+from repro.errors import SafetyError
+from repro.facts.database import Database
+
+
+def make_database(**relations) -> Database:
+    database = Database()
+    for name, rows in relations.items():
+        for row in rows:
+            database.add(name, tuple(row))
+    return database
+
+
+def body_order(planner, rule_src):
+    rule = parse_program(rule_src).proper_rules[0]
+    return [str(lit) for lit in planner.order_body(rule)]
+
+
+class TestCostModel:
+    def test_constant_probe_uses_exact_postings(self):
+        database = make_database(e=[("a", str(i)) for i in range(9)] + [("b", "x")])
+        planner = JoinPlanner(database)
+        rule = parse_program("p(Y) :- e(b, Y).").proper_rules[0]
+        literal = rule.body[0]
+        assert planner.estimate(literal, frozenset()) == 1.0
+
+    def test_all_constant_literal_is_cheapest(self):
+        database = make_database(
+            big=[(str(i), str(i + 1)) for i in range(50)], flag=[("on",)]
+        )
+        planner = JoinPlanner(database)
+        order = body_order(planner, "p(X,Y) :- big(X,Y), flag(on).")
+        assert order == ["flag(on)", "big(X, Y)"]
+
+    def test_missing_constant_short_circuits(self):
+        database = make_database(e=[("a", "b")])
+        planner = JoinPlanner(database)
+        rule = parse_program("p(Y) :- e(zz, Y).").proper_rules[0]
+        assert planner.estimate(rule.body[0], frozenset()) == 0.0
+        assert planner.plan_rule(rule).short_circuit
+
+    def test_repeated_variable_counts_as_bound(self):
+        database = make_database(e=[(str(i), str(j)) for i in range(5) for j in range(5)])
+        planner = JoinPlanner(database)
+        rule = parse_program("p(X) :- e(X, X).").proper_rules[0]
+        # 25 rows / 5 distinct values in the filtered column.
+        assert planner.estimate(rule.body[0], frozenset()) == pytest.approx(5.0)
+
+    def test_empty_relation_hoisted_to_front(self):
+        database = make_database(big=[(str(i), str(i + 1)) for i in range(40)])
+        database.relation("empty", 1)
+        planner = JoinPlanner(database)
+        order = body_order(planner, "p(X,Y) :- big(X,Y), empty(X).")
+        assert order[0] == "empty(X)"
+        assert planner.plans[-1].short_circuit
+
+    def test_absent_relation_estimates_zero(self):
+        planner = JoinPlanner(Database())
+        rule = parse_program("p(X) :- nowhere(X).").proper_rules[0]
+        assert planner.estimate(rule.body[0], frozenset()) == 0.0
+
+    def test_unknown_predicate_gets_small_default(self):
+        database = make_database(big=[(str(i), str(i + 1)) for i in range(40)])
+        planner = JoinPlanner(database, unknown=frozenset({"anc"}))
+        order = body_order(planner, "p(X,Y) :- big(X,Y), anc(X,Y).")
+        # The IDB literal is assumed small (delta-friendly) and goes first.
+        assert order[0] == "anc(X, Y)"
+
+
+class TestOrdering:
+    def test_well_ordered_body_kept(self):
+        database = make_database(
+            small=[("a", "b")], big=[(str(i), str(i + 1)) for i in range(30)]
+        )
+        planner = JoinPlanner(database)
+        order = body_order(planner, "p(X,Z) :- small(X,Y), big(Y,Z).")
+        assert order == ["small(X, Y)", "big(Y, Z)"]
+        assert not planner.plans[-1].reordered
+
+    def test_tests_follow_their_binders(self):
+        # The planner would love to move `not bad(X)` early, but tests sit
+        # at the earliest point where their variables are bound.
+        database = make_database(
+            tiny=[("t",)],
+            huge=[(str(i),) for i in range(60)],
+            bad=[("3",)],
+        )
+        planner = JoinPlanner(database)
+        order = body_order(planner, "p(X) :- huge(X), tiny(Y), not bad(X).")
+        assert order == ["tiny(Y)", "huge(X)", "not bad(X)"]
+
+    def test_safety_error_propagates(self):
+        planner = JoinPlanner(make_database(e=[("a", "b")]))
+        rule = parse_program("p(X) :- e(X, Y), not q(Z).").proper_rules[0]
+        with pytest.raises(SafetyError):
+            planner.order_body(rule)
+
+    def test_plan_records_are_json_ready(self):
+        import json
+
+        planner = JoinPlanner(make_database(e=[("a", "b")]))
+        planner.plan_rule(parse_program("p(X) :- e(X, Y).").proper_rules[0])
+        payload = json.dumps([plan.as_dict() for plan in planner.plans])
+        assert "reordered" in payload
+
+    def test_plans_follow_statistics_after_remove(self):
+        # Statistics are read live: removing rows re-ranks the literals.
+        database = make_database(
+            a=[(str(i),) for i in range(10)], b=[(str(i),) for i in range(3)]
+        )
+        planner = JoinPlanner(database)
+        rule = parse_program("p(X,Y) :- a(X), b(Y).").proper_rules[0]
+        assert [str(lit) for lit in planner.plan_rule(rule).order] == ["b(Y)", "a(X)"]
+        relation = database.relation("b")
+        for row in list(relation):
+            relation.discard(row)
+        database.add("b", ("only",))
+        for i in range(10, 30):
+            database.add("b", (str(i),))
+        assert [str(lit) for lit in planner.plan_rule(rule).order] == ["a(X)", "b(Y)"]
+
+
+class TestResolvePlanner:
+    def test_none_and_false_disable(self):
+        program = parse_program("p(X) :- e(X).")
+        assert resolve_planner(None, Database(), program) is None
+        assert resolve_planner(False, Database(), program) is None
+
+    def test_greedy_and_true_build_planner(self):
+        program = parse_program("p(X) :- e(X).")
+        for spec in ("greedy", True):
+            planner = resolve_planner(spec, Database(), program)
+            assert isinstance(planner, JoinPlanner)
+
+    def test_instance_passes_through(self):
+        program = parse_program("p(X) :- e(X).")
+        planner = JoinPlanner(Database())
+        assert resolve_planner(planner, Database(), program) is planner
+
+    def test_unknown_spec_rejected(self):
+        program = parse_program("p(X) :- e(X).")
+        with pytest.raises(ValueError):
+            resolve_planner("fancy", Database(), program)
+
+
+ADVERSARIAL = """
+anc(X,Y) :- par(X,Y).
+anc(X,Y) :- anc(W,Y), par(X,Z), par(Z,W).
+"""
+
+
+def chain_database(n=16) -> Database:
+    database = Database()
+    for i in range(n):
+        database.add("par", (f"n{i}", f"n{i + 1}"))
+    return database
+
+
+class TestEngineParity:
+    """Planned and unplanned evaluation derive identical fact sets."""
+
+    def test_seminaive_and_naive(self):
+        program = parse_program(ADVERSARIAL)
+        database = chain_database()
+        from repro.engine.naive import naive_fixpoint
+
+        for fixpoint in (seminaive_fixpoint, naive_fixpoint):
+            off, off_stats = fixpoint(program, database)
+            on, on_stats = fixpoint(program, database, planner="greedy")
+            assert off == on
+            assert on_stats.attempts <= off_stats.attempts
+
+    def test_stratified_with_negation(self):
+        program = parse_program(
+            "anc(X,Y) :- par(X,Y).\n"
+            "anc(X,Y) :- anc(Z,Y), par(X,Z).\n"
+            "unrelated(X,Y) :- node(X), node(Y), not anc(X,Y), not anc(Y,X)."
+        )
+        database = chain_database(8)
+        for i in range(9):
+            database.add("node", (f"n{i}",))
+        off, _ = stratified_fixpoint(program, database)
+        on, _ = stratified_fixpoint(program, database, planner="greedy")
+        assert off == on
+
+    def test_wellfounded(self):
+        program = parse_program(
+            "win(X) :- move(X,Y), not win(Y).\n"
+        )
+        database = Database()
+        for a, b in (("a", "b"), ("b", "a"), ("b", "c")):
+            database.add("move", (a, b))
+        off = alternating_fixpoint(program, database)
+        on = alternating_fixpoint(program, database, planner="greedy")
+        assert off.true == on.true
+        assert off.undefined == on.undefined
+
+    def test_incremental(self):
+        program = parse_program(ADVERSARIAL)
+        off = IncrementalEngine(program, chain_database(8))
+        on = IncrementalEngine(program, chain_database(8), planner="greedy")
+        assert off.database == on.database
+        assert off.add("par(n8, n9)") == on.add("par(n8, n9)")
+        assert off.database == on.database
+        assert off.remove("par(n8, n9)") and on.remove("par(n8, n9)")
+        assert off.database == on.database
+
+    @pytest.mark.parametrize(
+        "strategy", ("seminaive", "oldt", "qsqr", "alexander", "magic")
+    )
+    def test_strategies_agree_and_never_do_more_work(self, strategy):
+        program = parse_program(ADVERSARIAL)
+        query = parse_query("anc(n0, X)?")
+        database = chain_database()
+        off = run_strategy(strategy, program, query, database)
+        on = run_strategy(strategy, program, query, database, planner="greedy")
+        assert off.answer_rows == on.answer_rows
+        assert on.stats.attempts <= off.stats.attempts
+
+    def test_correspondence_survives_planning(self):
+        program = parse_program(ADVERSARIAL)
+        query = parse_query("anc(n0, X)?")
+        correspondence = check_correspondence(
+            program, query, chain_database(), planner="greedy"
+        )
+        assert correspondence.exact, correspondence.summary()
+
+    def test_clause_goal_mode_preserves_oldt_tables(self):
+        from repro.topdown.oldt import OLDTEngine
+
+        program = parse_program(ADVERSARIAL)
+        query = parse_query("anc(n0, X)?")
+        off = OLDTEngine(program, chain_database())
+        on = OLDTEngine(program, chain_database(), planner="greedy")
+        off.query(query)
+        on.query(query)
+        # Tabled calls and per-table answers are bit-identical: the planner
+        # only permutes runs of consecutive extensional literals.
+        assert set(off.all_answers()) == set(on.all_answers())
+        for key, answers in off.all_answers().items():
+            assert {str(a) for a in answers} == {
+                str(a) for a in on.all_answers()[key]
+            }

@@ -100,6 +100,55 @@ class TestLookup:
         assert self.relation.count({0: "a"}) == 2
 
 
+class TestStatistics:
+    def test_distinct_count_per_column(self):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        assert relation.distinct_count(0) == 2
+        assert relation.distinct_count(1) == 2
+
+    def test_distinct_count_maintained_on_add(self):
+        relation = Relation("e", 2, [("a", "b")])
+        assert relation.distinct_count(0) == 1  # build the distinct set
+        relation.add(("b", "b"))
+        assert relation.distinct_count(0) == 2
+        relation.add(("b", "c"))  # duplicate column-0 value
+        assert relation.distinct_count(0) == 2
+
+    def test_distinct_count_rebuilt_after_discard(self):
+        relation = Relation("e", 2, [("a", "b"), ("b", "c")])
+        assert relation.distinct_count(0) == 2
+        relation.discard(("b", "c"))
+        assert relation.distinct_count(0) == 1
+
+    def test_distinct_count_out_of_range(self):
+        with pytest.raises(IndexError):
+            Relation("p", 1).distinct_count(1)
+
+    def test_postings_size(self):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        assert relation.postings_size(0, "a") == 2
+        assert relation.postings_size(0, "zz") == 0
+        assert relation.postings_size(1, "c") == 2
+
+    def test_version_bumps_on_mutation_only(self):
+        relation = Relation("p", 1)
+        v0 = relation.version
+        relation.add(("a",))
+        assert relation.version > v0
+        v1 = relation.version
+        relation.add(("a",))  # duplicate: no change
+        assert relation.version == v1
+        relation.discard(("a",))
+        assert relation.version > v1
+
+    def test_statistics_snapshot(self):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c")])
+        stats = relation.statistics()
+        assert stats["name"] == "e"
+        assert stats["size"] == 2
+        assert stats["distinct"] == {0: 1, 1: 2}
+
+
 # --- property-based ----------------------------------------------------------
 
 rows = st.lists(
