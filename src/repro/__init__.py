@@ -46,6 +46,7 @@ from .datalog import (
     pred,
     variables,
 )
+from .engine.budget import EvaluationBudget
 from .engine.counters import EvaluationStats
 from .engine.incremental import IncrementalEngine
 from .engine.provenance import format_proof, traced_fixpoint
@@ -87,6 +88,7 @@ __all__ = [
     "Database",
     "Relation",
     "EvaluationStats",
+    "EvaluationBudget",
     "IncrementalEngine",
     "traced_fixpoint",
     "format_proof",

@@ -74,7 +74,11 @@ class Measurement:
 
 
 def measure(
-    scenario: Scenario, strategy: str, query_index: int = 0, planner=None
+    scenario: Scenario,
+    strategy: str,
+    query_index: int = 0,
+    planner=None,
+    budget=None,
 ) -> Measurement:
     """Run one strategy on one scenario query; divergence becomes a row.
 
@@ -86,12 +90,22 @@ def measure(
         planner: optional join-planner spec forwarded to
             :func:`repro.core.strategy.run_strategy` (the A7 ablation
             flips this between ``None`` and ``"greedy"``).
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            (or a running :class:`~repro.engine.budget.Checkpoint`, which
+            lets one wall clock bound a whole sweep — the CI gate does
+            this).  Exhaustion is reported like any other divergence: a
+            DIVERGED row, never an exception.
     """
     query = scenario.query(query_index)
     start = time.perf_counter()
     try:
         result = run_strategy(
-            strategy, scenario.program, query, scenario.database, planner=planner
+            strategy,
+            scenario.program,
+            query,
+            scenario.database,
+            planner=planner,
+            budget=budget,
         )
     except BudgetExceededError:
         return Measurement(
@@ -150,6 +164,7 @@ def sweep(
     strategies: Sequence[str],
     query_index: int = 0,
     check_agreement: bool = True,
+    budget=None,
 ) -> list[Measurement]:
     """Cross product of scenarios × strategies.
 
@@ -158,11 +173,13 @@ def sweep(
             return the same answer set as the first non-divergent one
             (raises AssertionError otherwise) — benches double as
             correctness checks.
+        budget: optional per-measurement budget (see :func:`measure`).
     """
     measurements: list[Measurement] = []
     for scenario in scenarios:
         per_scenario = [
-            measure(scenario, strategy, query_index) for strategy in strategies
+            measure(scenario, strategy, query_index, budget=budget)
+            for strategy in strategies
         ]
         if check_agreement:
             assert_same_answers(per_scenario)

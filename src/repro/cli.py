@@ -29,7 +29,8 @@ from .core.engine import Engine
 from .core.strategy import available_strategies
 from .datalog.parser import parse_program, parse_query
 from .datalog.pretty import format_bindings, format_program
-from .errors import ReproError
+from .engine.budget import EvaluationBudget
+from .errors import BudgetExceededError, ReproError
 from .transform.alexander import alexander_templates
 from .transform.magic import magic_sets
 from .transform.supplementary import supplementary_magic_sets
@@ -54,6 +55,36 @@ def build_parser() -> argparse.ArgumentParser:
             default=[],
             metavar="FILE",
             help="additional facts file(s) to load (repeatable)",
+        )
+
+    def add_budget_options(subparser) -> None:
+        subparser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="abort evaluation after this much wall-clock time",
+        )
+        subparser.add_argument(
+            "--max-facts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="abort after deriving N facts",
+        )
+        subparser.add_argument(
+            "--max-iterations",
+            type=int,
+            default=None,
+            metavar="N",
+            help="abort after N fixpoint rounds",
+        )
+        subparser.add_argument(
+            "--max-attempts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="abort after N match attempts",
         )
 
     query = commands.add_parser("query", help="evaluate a query")
@@ -83,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--limit", type=int, default=None, help="print at most N answers"
     )
+    add_budget_options(query)
 
     explain = commands.add_parser(
         "explain", help="run a query under every strategy and compare counts"
@@ -90,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("file")
     explain.add_argument("goal")
     add_facts_option(explain)
+    add_budget_options(explain)
 
     check = commands.add_parser(
         "check", help="verify the Alexander/OLDT call-answer correspondence"
@@ -97,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.add_argument("goal")
     add_facts_option(check)
+    add_budget_options(check)
 
     transform = commands.add_parser(
         "transform", help="print the rewritten program for a query"
@@ -127,6 +161,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _budget_from_args(args) -> EvaluationBudget | None:
+    """Build an :class:`EvaluationBudget` from the CLI flags, or None when
+    no limit was requested (the zero-overhead fast path)."""
+    limits = {
+        "wall_clock_seconds": getattr(args, "timeout", None),
+        "max_facts": getattr(args, "max_facts", None),
+        "max_iterations": getattr(args, "max_iterations", None),
+        "max_attempts": getattr(args, "max_attempts", None),
+    }
+    if all(value is None for value in limits.values()):
+        return None
+    return EvaluationBudget(**limits)
+
+
 def _load(path: str, fact_files: list[str] | None = None) -> Engine:
     engine = Engine.from_file(path, check_safety=False)
     from .facts.io import load_facts
@@ -140,7 +188,11 @@ def _cmd_query(args) -> int:
     engine = _load(args.file, args.facts)
     goal = parse_query(args.goal)
     result = engine.query(
-        goal, strategy=args.strategy, sips=args.sips, planner=args.planner
+        goal,
+        strategy=args.strategy,
+        sips=args.sips,
+        planner=args.planner,
+        budget=_budget_from_args(args),
     )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:
@@ -151,7 +203,7 @@ def _cmd_query(args) -> int:
 def _cmd_explain(args) -> int:
     engine = _load(args.file, args.facts)
     goal = parse_query(args.goal)
-    results = engine.explain(goal)
+    results = engine.explain(goal, budget=_budget_from_args(args))
     width = max(len(name) for name in results)
     header = (
         f"{'strategy':<{width}}  answers  inferences  attempts  facts  calls"
@@ -172,7 +224,7 @@ def _cmd_check(args) -> int:
     engine = _load(args.file, args.facts)
     goal = parse_query(args.goal)
     correspondence = check_correspondence(
-        engine.program, goal, engine.database
+        engine.program, goal, engine.database, budget=_budget_from_args(args)
     )
     print(correspondence.summary())
     return 0 if correspondence.exact else 1
@@ -248,6 +300,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except BudgetExceededError as error:
+        # Distinct exit code: the program was fine, the resource budget
+        # ran out.  Report which limit tripped and how far the run got.
+        print(f"budget exceeded: {error}", file=sys.stderr)
+        if error.stats is not None:
+            print(f"progress: {error.stats}", file=sys.stderr)
+        if error.partial is not None:
+            print(
+                f"partial result: a sound database of "
+                f"{error.partial.total_facts()} facts (base + derived) "
+                "was computed before the limit",
+                file=sys.stderr,
+            )
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -103,6 +103,7 @@ def check_correspondence(
     query: Atom,
     database: Database | None = None,
     planner=None,
+    budget=None,
 ) -> Correspondence:
     """Run Alexander (bottom-up) and OLDT on the same query and compare.
 
@@ -113,9 +114,18 @@ def check_correspondence(
             it only permutes runs of extensional literals, so the
             call/answer sets are provably unchanged — running the checker
             with a planner pins exactly that.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`,
+            applied to *each side independently* — every run gets the
+            budget's full allowance, so all four limits stay meaningful
+            (a shared clock would leave the counter limits watching the
+            wrong side's statistics).
     """
-    alexander = run_strategy("alexander", program, query, database, planner=planner)
-    oldt = run_strategy("oldt", program, query, database, planner=planner)
+    alexander = run_strategy(
+        "alexander", program, query, database, planner=planner, budget=budget
+    )
+    oldt = run_strategy(
+        "oldt", program, query, database, planner=planner, budget=budget
+    )
 
     alexander_calls = alexander.calls
     oldt_calls = oldt.calls

@@ -95,6 +95,7 @@ class Engine:
         strategy: str = DEFAULT_STRATEGY,
         sips: "Sips | str | None" = None,
         planner: "str | None" = None,
+        budget=None,
     ) -> QueryResult:
         """Evaluate *goal* under *strategy*.
 
@@ -106,18 +107,33 @@ class Engine:
             planner: optional join-planner spec (``"greedy"``) enabling
                 cost-based body ordering; answers are identical, only
                 the join work changes (see ``docs/ARCHITECTURE.md``).
+            budget: optional :class:`repro.engine.budget.EvaluationBudget`
+                bounding the evaluation; exhaustion raises
+                :class:`repro.errors.BudgetExceededError` carrying the
+                partial result computed so far.
         """
         if isinstance(goal, str):
             goal = parse_query(goal)
         if isinstance(sips, str):
             sips = named_sips(sips)
         return run_strategy(
-            strategy, self._program, goal, self._database, sips, planner=planner
+            strategy,
+            self._program,
+            goal,
+            self._database,
+            sips,
+            planner=planner,
+            budget=budget,
         )
 
-    def ask(self, goal: Atom | str, strategy: str = DEFAULT_STRATEGY) -> bool:
+    def ask(
+        self,
+        goal: Atom | str,
+        strategy: str = DEFAULT_STRATEGY,
+        budget=None,
+    ) -> bool:
         """True iff *goal* has at least one answer."""
-        return bool(self.query(goal, strategy).answers)
+        return bool(self.query(goal, strategy, budget=budget).answers)
 
     def why(self, goal: Atom | str) -> str:
         """A proof tree for a ground goal, rendered as indented ASCII.
@@ -139,12 +155,16 @@ class Engine:
         return format_proof(proof)
 
     def explain(
-        self, goal: Atom | str, strategies: Iterable[str] | None = None
+        self,
+        goal: Atom | str,
+        strategies: Iterable[str] | None = None,
+        budget=None,
     ) -> Mapping[str, QueryResult]:
         """Run *goal* under several strategies and return all results.
 
         The results are keyed by strategy name; callers typically compare
         ``stats.inferences`` across them (the library's whole point).
+        A *budget* applies to each strategy run independently.
         """
         chosen = tuple(strategies) if strategies is not None else (
             "seminaive",
@@ -154,7 +174,7 @@ class Engine:
             "oldt",
             "qsqr",
         )
-        return {name: self.query(goal, name) for name in chosen}
+        return {name: self.query(goal, name, budget=budget) for name in chosen}
 
     @staticmethod
     def strategies() -> tuple[str, ...]:

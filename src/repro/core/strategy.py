@@ -28,6 +28,7 @@ from ..analysis.stratify import stratify
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..datalog.unify import match_atom
+from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..engine.counters import EvaluationStats
 from ..engine.seminaive import seminaive_fixpoint
 from ..engine.stratified import stratified_fixpoint
@@ -94,10 +95,11 @@ def _bottom_up(engine: str):
         query: Atom,
         database: Database | None,
         planner=None,
+        budget=None,
     ) -> QueryResult:
         stats = EvaluationStats()
         completed, _ = stratified_fixpoint(
-            program, database, stats, engine=engine, planner=planner
+            program, database, stats, engine=engine, planner=planner, budget=budget
         )
         matching = (
             atom
@@ -114,11 +116,15 @@ def _bottom_up(engine: str):
 
 
 def _sld(
-    program: Program, query: Atom, database: Database | None, planner=None
+    program: Program,
+    query: Atom,
+    database: Database | None,
+    planner=None,
+    budget=None,
 ) -> QueryResult:
     # Plain SLD resolves one tuple at a time in clause-text order; there is
     # no set-oriented join to plan, so `planner` is accepted and ignored.
-    engine = SLDEngine(program, database)
+    engine = SLDEngine(program, database, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
         strategy="sld", query=query, answers=answers, stats=engine.stats
@@ -126,9 +132,13 @@ def _sld(
 
 
 def _oldt(
-    program: Program, query: Atom, database: Database | None, planner=None
+    program: Program,
+    query: Atom,
+    database: Database | None,
+    planner=None,
+    budget=None,
 ) -> QueryResult:
-    engine = OLDTEngine(program, database, planner=planner)
+    engine = OLDTEngine(program, database, planner=planner, budget=budget)
     raw = engine.query(query)
     answers = _sorted_answers(query, raw)
     calls, answer_facts = _oldt_call_summary(engine)
@@ -166,9 +176,13 @@ def _oldt_call_summary(engine: OLDTEngine):
 
 
 def _qsqr(
-    program: Program, query: Atom, database: Database | None, planner=None
+    program: Program,
+    query: Atom,
+    database: Database | None,
+    planner=None,
+    budget=None,
 ) -> QueryResult:
-    engine = QSQREngine(program, database, planner=planner)
+    engine = QSQREngine(program, database, planner=planner, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
         strategy="qsqr", query=query, answers=answers, stats=engine.stats
@@ -181,8 +195,14 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         query: Atom,
         database: Database | None,
         planner=None,
+        budget=None,
     ) -> QueryResult:
         stats = EvaluationStats()
+        # One checkpoint spans the whole pipeline (lower-strata
+        # materialisation plus the rewritten stratum's fixpoint), so a
+        # wall-clock budget covers the run end to end rather than being
+        # restarted per phase.
+        checkpoint = ensure_checkpoint(budget, stats)
         working = database.copy() if database is not None else Database()
         working.add_atoms(program.facts)
         rules_only = program.without_facts()
@@ -220,14 +240,18 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
             )
         )
         if lower.proper_rules:
-            working, _ = stratified_fixpoint(lower, working, stats, planner=planner)
+            working, _ = stratified_fixpoint(
+                lower, working, stats, planner=planner, budget=checkpoint
+            )
         target = stratification.strata[query_stratum]
         edb = frozenset(
             (program.predicates | working.predicates()) - target.idb_predicates
         )
         transformed = transform(target, query, sips, edb)
         evaluation = transformed.evaluation_program()
-        completed, _ = seminaive_fixpoint(evaluation, working, stats, planner=planner)
+        completed, _ = seminaive_fixpoint(
+            evaluation, working, stats, planner=planner, budget=checkpoint
+        )
 
         goal = transformed.goal
         matching = (
@@ -268,7 +292,8 @@ def _transform_call_summary(
 
 
 _STRATEGIES: dict[
-    str, Callable[[Program, Atom, "Database | None", object], QueryResult]
+    str,
+    Callable[[Program, Atom, "Database | None", object, object], QueryResult],
 ] = {
     "naive": _bottom_up("naive"),
     "seminaive": _bottom_up("seminaive"),
@@ -293,6 +318,7 @@ def run_strategy(
     database: Database | None = None,
     sips: Sips | None = None,
     planner=None,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
 ) -> QueryResult:
     """Evaluate *query* on *program* + *database* under strategy *name*.
 
@@ -302,6 +328,11 @@ def run_strategy(
         planner: optional join-planner spec (e.g. ``"greedy"``) enabling
             cost-based body ordering (:mod:`repro.engine.planner`); the
             ``sld`` strategy accepts and ignores it.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            bounding the evaluation; every strategy honours it.  Passing a
+            running :class:`~repro.engine.budget.Checkpoint` instead makes
+            several strategy runs share one wall clock (the CI bench gate
+            does this to bound its whole check suite).
     """
     if name not in _STRATEGIES:
         raise ReproError(
@@ -314,6 +345,6 @@ def run_strategy(
             "alexander": alexander_templates,
         }[name]
         return _transform_strategy(name, transform, sips)(
-            program, query, database, planner
+            program, query, database, planner, budget
         )
-    return _STRATEGIES[name](program, query, database, planner)
+    return _STRATEGIES[name](program, query, database, planner, budget)

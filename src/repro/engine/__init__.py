@@ -1,5 +1,6 @@
 """Bottom-up evaluation engines: naive, semi-naive, stratified, traced."""
 
+from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .incremental import IncrementalEngine
 from .naive import naive_fixpoint
@@ -16,6 +17,9 @@ from .wellfounded import WellFoundedModel, alternating_fixpoint
 from .stratified import stratified_fixpoint
 
 __all__ = [
+    "EvaluationBudget",
+    "Checkpoint",
+    "ensure_checkpoint",
     "EvaluationStats",
     "naive_fixpoint",
     "seminaive_fixpoint",

@@ -24,6 +24,7 @@ from ..datalog.unify import match_atom
 from ..errors import ProgramError
 from ..facts.database import Database
 from ..facts.relation import Relation
+from .budget import EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
 from .planner import JoinPlanner
@@ -44,6 +45,14 @@ class IncrementalEngine:
             initial materialisation plans as usual; the delta-continuation
             rules are then compiled against the *materialised* database,
             so IDB statistics are real sizes rather than unknowns.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            applied *per operation*: the initial materialisation and each
+            subsequent :meth:`add` / :meth:`remove` gets a fresh
+            checkpoint (a long-lived engine should not die because its
+            lifetime clock ran out).  On a trip mid-``add`` the engine's
+            materialisation may be incomplete — the error carries the
+            partial database; callers who continue using the engine
+            should treat it as a fresh-build candidate.
     """
 
     def __init__(
@@ -51,6 +60,7 @@ class IncrementalEngine:
         program: Program,
         database: Database | None = None,
         planner: "JoinPlanner | str | None" = None,
+        budget: "EvaluationBudget | None" = None,
     ):
         for rule in program.proper_rules:
             for literal in rule.body:
@@ -61,11 +71,12 @@ class IncrementalEngine:
                     )
         self._program = program.without_facts()
         self._planner_spec = planner
+        self._budget = budget
         self.stats = EvaluationStats()
         initial = database.copy() if database is not None else Database()
         initial.add_atoms(program.facts)
         self._working, _ = seminaive_fixpoint(
-            self._program, initial, self.stats, planner=planner
+            self._program, initial, self.stats, planner=planner, budget=budget
         )
         self._compiled: list[CompiledRule] = self._compile_rules()
 
@@ -118,6 +129,14 @@ class IncrementalEngine:
         row = atom.ground_key()
         if not self._working.add(atom.predicate, row):
             return frozenset()
+        # Per-operation governance: the checkpoint monitors a fresh counter
+        # record (merged into the lifetime stats afterwards, trip or not),
+        # so each add() gets the budget's full allowance rather than dying
+        # on work a previous operation already spent.
+        op_stats = EvaluationStats()
+        checkpoint = ensure_checkpoint(self._budget, op_stats)
+        if checkpoint is not None:
+            checkpoint.bind(self._working)
         new_facts: set[Fact] = {(atom.predicate, row)}
         arities = dict(self._program.arities)
         arities.setdefault(atom.predicate, atom.arity)
@@ -125,56 +144,63 @@ class IncrementalEngine:
         delta: dict[str, Relation] = {
             atom.predicate: Relation(atom.predicate, atom.arity, [row])
         }
-        while delta:
-            self.stats.iterations += 1
-            # old = working minus current delta, per delta predicate.
-            old: dict[str, Relation] = {}
-            for predicate, delta_relation in delta.items():
-                snapshot = Relation(predicate, delta_relation.arity)
-                delta_rows = delta_relation.rows()
-                for existing in self._working.relation(predicate):
-                    if existing not in delta_rows:
-                        snapshot.add(existing)
-                old[predicate] = snapshot
-            new_delta: dict[str, Relation] = {}
-            for compiled in self._compiled:
-                positions = [
-                    index
-                    for index, literal in enumerate(compiled.body)
-                    if literal.positive and literal.predicate in delta
-                ]
-                for position in positions:
-                    delta_relation = delta[compiled.body[position].predicate]
+        try:
+            while delta:
+                if checkpoint is not None:
+                    checkpoint.check_round()
+                op_stats.iterations += 1
+                # old = working minus current delta, per delta predicate.
+                old: dict[str, Relation] = {}
+                for predicate, delta_relation in delta.items():
+                    snapshot = Relation(predicate, delta_relation.arity)
+                    delta_rows = delta_relation.rows()
+                    for existing in self._working.relation(predicate):
+                        if existing not in delta_rows:
+                            snapshot.add(existing)
+                    old[predicate] = snapshot
+                new_delta: dict[str, Relation] = {}
+                for compiled in self._compiled:
+                    positions = [
+                        index
+                        for index, literal in enumerate(compiled.body)
+                        if literal.positive and literal.predicate in delta
+                    ]
+                    for position in positions:
+                        delta_relation = delta[compiled.body[position].predicate]
 
-                    def view(pos: int, predicate: str) -> Relation | None:
-                        if pos == position:
-                            return delta_relation
-                        if pos > position and predicate in old:
-                            return old[predicate]
-                        try:
-                            return self._working.relation(predicate)
-                        except KeyError:
-                            return None
+                        def view(pos: int, predicate: str) -> Relation | None:
+                            if pos == position:
+                                return delta_relation
+                            if pos > position and predicate in old:
+                                return old[predicate]
+                            try:
+                                return self._working.relation(predicate)
+                            except KeyError:
+                                return None
 
-                    for binding in match_body(compiled, view, self.stats):
-                        self.stats.inferences += 1
-                        head_row = compiled.head_tuple(binding)
-                        head_pred = compiled.head_predicate
-                        relation = self._working.relation(
-                            head_pred, arities.get(head_pred)
-                        )
-                        if head_row in relation:
-                            continue
-                        bucket = new_delta.setdefault(
-                            head_pred, Relation(head_pred, len(head_row))
-                        )
-                        bucket.add(head_row)
-            for predicate, bucket in new_delta.items():
-                for new_row in bucket:
-                    if self._working.add(predicate, new_row):
-                        self.stats.facts_derived += 1
-                        new_facts.add((predicate, new_row))
-            delta = {p: r for p, r in new_delta.items() if r}
+                        for binding in match_body(
+                            compiled, view, op_stats, checkpoint=checkpoint
+                        ):
+                            op_stats.inferences += 1
+                            head_row = compiled.head_tuple(binding)
+                            head_pred = compiled.head_predicate
+                            relation = self._working.relation(
+                                head_pred, arities.get(head_pred)
+                            )
+                            if head_row in relation:
+                                continue
+                            bucket = new_delta.setdefault(
+                                head_pred, Relation(head_pred, len(head_row))
+                            )
+                            bucket.add(head_row)
+                for predicate, bucket in new_delta.items():
+                    for new_row in bucket:
+                        if self._working.add(predicate, new_row):
+                            op_stats.facts_derived += 1
+                            new_facts.add((predicate, new_row))
+                delta = {p: r for p, r in new_delta.items() if r}
+        finally:
+            self.stats.merge(op_stats)
         return frozenset(new_facts)
 
     def add_many(self, atoms: Iterable[Atom | str]) -> frozenset[Fact]:
@@ -203,12 +229,21 @@ class IncrementalEngine:
         relation = self._working.relation(atom.predicate)
         if not relation.discard(atom.ground_key()):
             return False
-        # Rebuild from the remaining base facts.
+        # Rebuild from the remaining base facts (fresh per-operation
+        # counters, same reasoning as in add()).
         base = self._working.restrict(
             self._working.predicates() - self._program.idb_predicates
         )
-        self._working, _ = seminaive_fixpoint(
-            self._program, base, self.stats, planner=self._planner_spec
-        )
+        op_stats = EvaluationStats()
+        try:
+            self._working, _ = seminaive_fixpoint(
+                self._program,
+                base,
+                op_stats,
+                planner=self._planner_spec,
+                budget=self._budget,
+            )
+        finally:
+            self.stats.merge(op_stats)
         self._compiled = self._compile_rules()
         return True

@@ -239,6 +239,7 @@ def _match_positive(
     relation: Relation,
     binding: dict[Variable, object],
     stats: EvaluationStats,
+    checkpoint=None,
 ) -> Iterator[dict[Variable, object]]:
     bound_columns: dict[int, object] = dict(literal.constants)
     unbound: list[tuple[int, Variable]] = []
@@ -249,6 +250,8 @@ def _match_positive(
             unbound.append((column, var))
     for row in relation.lookup(bound_columns):
         stats.attempts += 1
+        if checkpoint is not None:
+            checkpoint.poll()
         # Repeated variables within the literal: binders extend, filters
         # check equality against the value bound earlier in this same row.
         extended = dict(binding)
@@ -304,6 +307,7 @@ def match_body(
     stats: EvaluationStats,
     binding: dict[Variable, object] | None = None,
     from_literal: int = 0,
+    checkpoint=None,
 ) -> Iterator[dict[Variable, object]]:
     """Enumerate bindings satisfying the body from *from_literal* on.
 
@@ -314,6 +318,9 @@ def match_body(
         stats: attempt counters are charged here.
         binding: the binding accumulated so far (empty at the top call).
         from_literal: index into ``compiled.body`` to start from.
+        checkpoint: optional :class:`repro.engine.budget.Checkpoint`
+            polled once per probed row, so a single huge join respects
+            the wall-clock/attempt budget mid-round.
     """
     if binding is None:
         binding = {}
@@ -337,5 +344,7 @@ def match_body(
     relation = view(position, literal.predicate)
     if relation is None:
         return
-    for extended in _match_positive(literal, relation, binding, stats):
-        yield from match_body(compiled, view, stats, extended, position + 1)
+    for extended in _match_positive(literal, relation, binding, stats, checkpoint):
+        yield from match_body(
+            compiled, view, stats, extended, position + 1, checkpoint
+        )

@@ -19,6 +19,7 @@ from ..datalog.rules import Program
 from ..facts.database import Database
 from ..facts.relation import Relation
 from ..obs import get_metrics
+from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
 from .planner import JoinPlanner, resolve_planner
@@ -42,6 +43,7 @@ def apply_rules_once(
     compiled_rules: Sequence[CompiledRule],
     database: Database,
     stats: EvaluationStats,
+    checkpoint: Checkpoint | None = None,
 ) -> list[tuple[str, tuple]]:
     """One T_P application: all head tuples derivable in a single step.
 
@@ -52,7 +54,7 @@ def apply_rules_once(
     view = _full_view(database)
     produced: list[tuple[str, tuple]] = []
     for compiled in compiled_rules:
-        for binding in match_body(compiled, view, stats):
+        for binding in match_body(compiled, view, stats, checkpoint=checkpoint):
             stats.inferences += 1
             produced.append((compiled.head_predicate, compiled.head_tuple(binding)))
     return produced
@@ -63,6 +65,7 @@ def naive_fixpoint(
     database: Database | None = None,
     stats: EvaluationStats | None = None,
     planner: "JoinPlanner | str | None" = None,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint naively.
 
@@ -73,6 +76,11 @@ def naive_fixpoint(
         planner: optional join planner (``"greedy"`` or a
             :class:`repro.engine.planner.JoinPlanner`); rule bodies are
             compiled in its cost-based order instead of textual order.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            (or an already-running checkpoint, for nested evaluation);
+            exhaustion raises
+            :class:`repro.errors.BudgetExceededError` carrying the
+            partial database.
 
     Returns:
         The completed database (EDB plus all derived IDB facts) and the
@@ -90,15 +98,22 @@ def naive_fixpoint(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
+    checkpoint = ensure_checkpoint(budget, stats)
+    if checkpoint is not None:
+        checkpoint.bind(working)
     obs = get_metrics()
     with obs.timer("naive"):
         changed = True
         while changed:
+            if checkpoint is not None:
+                checkpoint.check_round()
             stats.iterations += 1
             changed = False
             new_rows = 0
             with obs.timer("round"):
-                for predicate, row in apply_rules_once(compiled_rules, working, stats):
+                for predicate, row in apply_rules_once(
+                    compiled_rules, working, stats, checkpoint
+                ):
                     if working.add(predicate, row):
                         stats.facts_derived += 1
                         new_rows += 1

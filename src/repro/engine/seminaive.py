@@ -31,6 +31,7 @@ from ..datalog.rules import Program
 from ..facts.database import Database
 from ..facts.relation import Relation
 from ..obs import get_metrics
+from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .matching import CompiledRule, compile_rule, match_body
 from .planner import JoinPlanner, resolve_planner
@@ -82,6 +83,7 @@ def seminaive_fixpoint(
     database: Database | None = None,
     stats: EvaluationStats | None = None,
     planner: "JoinPlanner | str | None" = None,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint with the semi-naive delta discipline.
 
@@ -94,6 +96,13 @@ def seminaive_fixpoint(
             compiled in its cost-based order.  Delta variants are built
             over the *planned* body positions, so the discipline's
             exactly-once guarantee is unaffected.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            (or an already-running checkpoint, for nested evaluation);
+            checked at every round boundary and inside match loops.
+            Exhaustion raises
+            :class:`repro.errors.BudgetExceededError` carrying the
+            partial database, whose facts are a sound prefix of the full
+            model (the iteration is inflationary).
 
     Returns:
         The completed database and the statistics record.
@@ -110,6 +119,9 @@ def seminaive_fixpoint(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
+    checkpoint = ensure_checkpoint(budget, stats)
+    if checkpoint is not None:
+        checkpoint.bind(working)
 
     def full_view(position: int, predicate: str) -> Relation | None:
         try:
@@ -122,13 +134,17 @@ def seminaive_fixpoint(
         # Facts are merged only at the round boundary; merging mid-round
         # would let later rules consume this round's facts and then
         # recompute the same instantiation from the delta in round 1.
+        if checkpoint is not None:
+            checkpoint.check_round()
         stats.iterations += 1
         delta: dict[str, Relation] = {
             predicate: Relation(predicate, arities[predicate]) for predicate in derived
         }
         with obs.timer("round"):
             for compiled in compiled_rules:
-                for binding in match_body(compiled, full_view, stats):
+                for binding in match_body(
+                    compiled, full_view, stats, checkpoint=checkpoint
+                ):
                     stats.inferences += 1
                     row = compiled.head_tuple(binding)
                     if row not in working.relation(compiled.head_predicate):
@@ -145,6 +161,8 @@ def seminaive_fixpoint(
 
         # --- delta rounds ---------------------------------------------------
         while any(delta[predicate] for predicate in derived):
+            if checkpoint is not None:
+                checkpoint.check_round()
             stats.iterations += 1
             with obs.timer("round"):
                 # old = full minus current delta (the state before the last
@@ -168,7 +186,9 @@ def seminaive_fixpoint(
                         if not delta_relation:
                             continue
                         view = _RoundView(working, position, delta_relation, old, derived)
-                        for binding in match_body(compiled, view, stats):
+                        for binding in match_body(
+                            compiled, view, stats, checkpoint=checkpoint
+                        ):
                             stats.inferences += 1
                             row = compiled.head_tuple(binding)
                             if row not in working.relation(compiled.head_predicate):

@@ -15,6 +15,7 @@ from typing import Callable
 from ..datalog.rules import Program
 from ..facts.database import Database
 from ..obs import get_metrics
+from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .naive import naive_fixpoint
 from .seminaive import seminaive_fixpoint
@@ -33,6 +34,7 @@ def stratified_fixpoint(
     stats: EvaluationStats | None = None,
     engine: str = "seminaive",
     planner: "str | None" = None,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate a stratifiable program, stratum by stratum.
 
@@ -47,6 +49,10 @@ def stratified_fixpoint(
             stratum plans against the database completed by the strata
             below it — lower-stratum IDB relations are then materialised
             and their real statistics inform the plan.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            (or an already-running checkpoint).  One checkpoint spans all
+            strata — the clock and counters accumulate across the whole
+            stratified run, not per stratum.
 
     Returns:
         The completed database and statistics.
@@ -62,10 +68,13 @@ def stratified_fixpoint(
     working = database.copy() if database is not None else Database()
     working.add_atoms(program.facts)
     stratification = stratify(program)
+    checkpoint = ensure_checkpoint(budget, stats)
     with obs.timer("stratified"):
         for index, stratum in enumerate(stratification.strata):
             with obs.timer(f"stratum{index}"):
-                working, _ = fixpoint(stratum, working, stats, planner=planner)
+                working, _ = fixpoint(
+                    stratum, working, stats, planner=planner, budget=checkpoint
+                )
     if obs.enabled:
         obs.observe("stratified.strata", len(stratification.strata))
     return working, stats

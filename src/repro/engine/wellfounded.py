@@ -29,6 +29,7 @@ from ..datalog.terms import Constant
 from ..facts.database import Database
 from ..facts.relation import Relation
 from ..obs import get_metrics
+from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .matching import compile_rule, match_body
 from .planner import JoinPlanner, resolve_planner
@@ -78,6 +79,7 @@ def _gamma(
     oracle: Database,
     stats: EvaluationStats,
     planner: "JoinPlanner | str | None" = None,
+    checkpoint: Checkpoint | None = None,
 ) -> Database:
     """Γ(oracle): least fixpoint with negation decided against *oracle*.
 
@@ -113,13 +115,19 @@ def _gamma(
 
     # Plain inflationary rounds (naive); adequate because Γ is called a
     # bounded number of times and each round is cheap at these scales.
+    # (The checkpoint is polled but NOT bound to this working copy: an
+    # intermediate Γ overestimate may hold facts that are not
+    # well-founded-true, so the caller binds its underestimate instead —
+    # the partial result it can stand behind.)
     changed = True
     while changed:
+        if checkpoint is not None:
+            checkpoint.check_round()
         stats.iterations += 1
         changed = False
         for compiled in compiled_rules:
             view = make_view(compiled)
-            for binding in match_body(compiled, view, stats):
+            for binding in match_body(compiled, view, stats, checkpoint=checkpoint):
                 stats.inferences += 1
                 row = compiled.head_tuple(binding)
                 if working.add(compiled.head_predicate, row):
@@ -132,6 +140,7 @@ def alternating_fixpoint(
     program: Program,
     database: Database | None = None,
     planner: "str | None" = None,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
 ) -> WellFoundedModel:
     """Compute the well-founded model of *program* over *database*.
 
@@ -141,6 +150,12 @@ def alternating_fixpoint(
         planner: optional join-planner spec (e.g. ``"greedy"``) forwarded
             to every Γ computation; each Γ plans against its own working
             database.
+        budget: optional :class:`repro.engine.budget.EvaluationBudget`
+            (or a running checkpoint) spanning the whole alternation.  On
+            a trip the partial database attached to the error is the
+            latest *underestimate* — every fact in it is well-founded
+            true (the underestimates increase monotonically toward the
+            true set), so the partial result is sound.
     """
     stats = EvaluationStats()
     obs = get_metrics()
@@ -149,17 +164,30 @@ def alternating_fixpoint(
     rules_only = program.without_facts()
 
     underestimate = base.copy()
+    checkpoint = ensure_checkpoint(budget, stats)
     alternations = 0
     with obs.timer("wellfounded"):
         while True:
             alternations += 1
+            if checkpoint is not None:
+                checkpoint.bind(underestimate)
             with obs.timer("gamma"):
                 overestimate = _gamma(
-                    rules_only, base, underestimate, stats, planner=planner
+                    rules_only,
+                    base,
+                    underestimate,
+                    stats,
+                    planner=planner,
+                    checkpoint=checkpoint,
                 )
             with obs.timer("gamma"):
                 next_underestimate = _gamma(
-                    rules_only, base, overestimate, stats, planner=planner
+                    rules_only,
+                    base,
+                    overestimate,
+                    stats,
+                    planner=planner,
+                    checkpoint=checkpoint,
                 )
             if next_underestimate == underestimate:
                 break

@@ -56,18 +56,33 @@ class EvaluationError(ReproError):
 
 
 class BudgetExceededError(EvaluationError):
-    """Raised by bounded engines (plain SLD) when the configured step or
-    depth budget is exhausted before the query completes.
+    """Raised when a resource budget is exhausted before evaluation
+    completes — by the governed engines polling an
+    :class:`repro.engine.budget.Checkpoint`, and by plain SLD's built-in
+    step/depth bounds.
 
-    The partially accumulated statistics are attached so benchmark code can
-    still report "exceeded N steps" rows, which is itself a result the
-    paper's comparison cares about (plain top-down evaluation diverges on
-    cyclic data).
+    The error carries everything a caller needs for graceful degradation:
+
+    Attributes:
+        limit: which limit tripped — ``"wall_clock"``, ``"iterations"``,
+            ``"facts"``, ``"attempts"`` (checkpoint limits), or
+            ``"steps"`` / ``"depth"`` / ``"recursion"`` (SLD's own
+            bounds).  ``None`` for legacy raisers that did not say.
+        partial: the partial :class:`repro.facts.database.Database`
+            computed before the trip (a sound prefix of the full model),
+            when the engine had one to report; ``None`` otherwise.
+        stats: the :class:`repro.engine.counters.EvaluationStats`
+            accumulated so far, so benchmark code can still report
+            "exceeded N steps" rows — itself a result the paper's
+            comparison cares about (plain top-down evaluation diverges on
+            cyclic data).
     """
 
-    def __init__(self, message: str, stats=None):
+    def __init__(self, message: str, stats=None, limit: str | None = None, partial=None):
         super().__init__(message)
         self.stats = stats
+        self.limit = limit
+        self.partial = partial
 
 
 class TransformError(ReproError):

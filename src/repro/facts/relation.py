@@ -126,7 +126,11 @@ class Relation:
         is the classical index-nested-loop strategy.
         """
         if not bound:
-            yield from self._tuples
+            # Snapshot before yielding: callers routinely add derived
+            # facts while a scan is suspended (delta loops do exactly
+            # this), and iterating a live set raises RuntimeError the
+            # moment it grows.
+            yield from tuple(self._tuples)
             return
         best_column = None
         best_posting: list[tuple] | None = None
@@ -179,20 +183,31 @@ class Relation:
         return len(self._index_for(column).get(value, ()))
 
     def statistics(self) -> dict:
-        """A JSON-ready snapshot: size, version, distinct count per column."""
+        """A JSON-ready snapshot: size, version, distinct count per column.
+
+        ``distinct`` keys are strings — JSON objects cannot have integer
+        keys, so emitting them as ints made the snapshot change shape
+        under a ``json.dumps``/``loads`` round-trip.
+        """
         return {
             "name": self.name,
             "arity": self.arity,
             "size": len(self._tuples),
             "version": self._version,
             "distinct": {
-                column: self.distinct_count(column) for column in range(self.arity)
+                str(column): self.distinct_count(column)
+                for column in range(self.arity)
             },
         }
 
     def copy(self) -> "Relation":
         clone = Relation(self.name, self.arity)
         clone._tuples = set(self._tuples)
+        # Carry the version over: a copy holds the same tuples, so callers
+        # caching (version, statistics) pairs must not see it reset to 0 —
+        # a fresher copy reporting an *older* version defeats staleness
+        # detection in the planner.
+        clone._version = self._version
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -40,6 +40,7 @@ from ..datalog.builtins import evaluate_builtin, is_builtin
 from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..datalog.unify import subsumes, unify_atoms, variant_key
+from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..engine.counters import EvaluationStats
 from ..errors import EvaluationError
 from ..facts.database import Database
@@ -96,6 +97,7 @@ class OLDTEngine:
         max_steps: int = DEFAULT_MAX_STEPS,
         tabling: str = "variant",
         planner: "object | None" = None,
+        budget: "EvaluationBudget | Checkpoint | None" = None,
     ):
         """Args:
             tabling: ``"variant"`` (Tamaki–Sato's original: one table per
@@ -111,6 +113,12 @@ class OLDTEngine:
                 which only permutes runs of consecutive extensional
                 literals — tabled calls and tests are boundaries, so the
                 generated call patterns and answers are unchanged.
+            budget: optional :class:`repro.engine.budget.EvaluationBudget`
+                (or a running checkpoint, shared with nested negation
+                evaluations).  ``max_iterations`` bounds scheduler steps,
+                ``max_facts`` table answers; a trip's partial database
+                holds every (ground) answer tabled so far — all genuinely
+                derivable, so the prefix is sound.
         """
         if tabling not in ("variant", "subsumption"):
             raise ValueError(
@@ -129,10 +137,21 @@ class OLDTEngine:
         # Ground negation-as-failure results (stratified => stable).
         self._negation_cache: dict[tuple, bool] = {}
         self.stats = EvaluationStats()
+        self._budget = budget
+        self._checkpoint: Checkpoint | None = None
 
     # --- public API -----------------------------------------------------------
     def query(self, goal: Atom) -> list[Atom]:
         """All answers to *goal* (instances of the goal atom)."""
+        if self._checkpoint is None:
+            self._checkpoint = ensure_checkpoint(self._budget, self.stats)
+            # A nested negation evaluation shares its parent's checkpoint;
+            # only the outermost engine (which created it) points the
+            # partial result at its own tables.
+            if self._checkpoint is not None and not isinstance(
+                self._budget, Checkpoint
+            ):
+                self._checkpoint.bind(self._partial_database)
         obs = get_metrics()
         with obs.timer("oldt"):
             table = self._get_or_create_table(goal)
@@ -162,6 +181,15 @@ class OLDTEngine:
                     answers.append(instance)
         self.stats.answers = len(answers)
         return answers
+
+    def _partial_database(self) -> Database:
+        """Every ground answer tabled so far, as a database (trip payload)."""
+        partial = Database()
+        for table in self._tables.values():
+            for answer in table.answers:
+                if answer.is_ground():
+                    partial.add_atom(answer)
+        return partial
 
     @property
     def tables(self) -> dict[tuple, "_Table"]:
@@ -243,7 +271,10 @@ class OLDTEngine:
 
     # --- scheduler --------------------------------------------------------------
     def _run(self) -> None:
+        checkpoint = self._checkpoint
         while self._worklist:
+            if checkpoint is not None:
+                checkpoint.check_round()
             self.stats.iterations += 1
             process = self._worklist.pop()
             self._step(process)
@@ -294,6 +325,8 @@ class OLDTEngine:
             answer = answers[consumer.replayed]
             consumer.replayed += 1
             self.stats.attempts += 1
+            if self._checkpoint is not None:
+                self._checkpoint.poll()
             unifier = unify_atoms(call, answer)
             if unifier is None:
                 continue
@@ -319,6 +352,8 @@ class OLDTEngine:
         }
         for row in relation.lookup(bound):
             self.stats.attempts += 1
+            if self._checkpoint is not None:
+                self._checkpoint.poll()
             fact = Atom(atom.predicate, tuple(Constant(value) for value in row))
             unifier = unify_atoms(atom, fact)
             if unifier is None:
@@ -364,6 +399,7 @@ class OLDTEngine:
                 self._database,
                 self._max_steps,
                 planner=self._planner,
+                budget=self._checkpoint,
             )
             holds = not nested.query(atom)
             self.stats.merge(nested.stats)
@@ -381,8 +417,11 @@ def oldt_query(
     database: Database | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     planner: "object | None" = None,
+    budget: "EvaluationBudget | None" = None,
 ) -> tuple[list[Atom], EvaluationStats]:
     """Convenience wrapper: run one OLDT query and return answers + stats."""
-    engine = OLDTEngine(program, database, max_steps=max_steps, planner=planner)
+    engine = OLDTEngine(
+        program, database, max_steps=max_steps, planner=planner, budget=budget
+    )
     answers = engine.query(goal)
     return answers, engine.stats

@@ -31,6 +31,7 @@ from ..datalog.atoms import Atom
 from ..datalog.builtins import evaluate_builtin, is_builtin
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Variable
+from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..engine.counters import EvaluationStats
 from ..errors import EvaluationError
 from ..facts.database import Database
@@ -61,6 +62,7 @@ class QSQREngine:
         program: Program,
         database: Database | None = None,
         planner: "object | None" = None,
+        budget: "EvaluationBudget | Checkpoint | None" = None,
     ):
         """Args:
             planner: optional join-planner spec (e.g. ``"greedy"``); clause
@@ -69,6 +71,13 @@ class QSQREngine:
                 which only permutes runs of consecutive extensional
                 literals, so the subqueries raised and answers tabled are
                 unchanged.
+            budget: optional :class:`repro.engine.budget.EvaluationBudget`
+                (or a running checkpoint, shared with nested negation
+                evaluations).  ``max_iterations`` bounds outer QSQR
+                rounds, ``max_facts`` tabled answers; a trip's partial
+                database holds every answer tabled so far (all genuinely
+                derivable — the tables only ever accumulate sound
+                answers).
         """
         self._program = program
         self._database = database.copy() if database is not None else Database()
@@ -88,6 +97,16 @@ class QSQREngine:
         # Ground negation-as-failure results (stratified => stable).
         self._negation_cache: dict[tuple, bool] = {}
         self.stats = EvaluationStats()
+        self._budget = budget
+        self._checkpoint: Checkpoint | None = None
+
+    def _partial_database(self) -> Database:
+        """Every answer tabled so far, as a database (trip payload)."""
+        partial = Database()
+        for relation in self._answers.values():
+            target = partial.relation(relation.name, relation.arity)
+            target.add_all(relation.rows())
+        return partial
 
     def _table_size(self) -> int:
         """Total answers across tables — the outer loop's progress measure.
@@ -103,10 +122,21 @@ class QSQREngine:
         """All answers to *goal*, as ground instances of the goal atom."""
         if goal.predicate not in self._program.idb_predicates:
             return self._edb_answers(goal)
+        if self._checkpoint is None:
+            self._checkpoint = ensure_checkpoint(self._budget, self.stats)
+            # A nested negation evaluation shares its parent's checkpoint;
+            # only the outermost engine (which created it) points the
+            # partial result at its own tables.
+            if self._checkpoint is not None and not isinstance(
+                self._budget, Checkpoint
+            ):
+                self._checkpoint.bind(self._partial_database)
         obs = get_metrics()
         before = -1
         with obs.timer("qsqr"):
             while before != self._table_size():
+                if self._checkpoint is not None:
+                    self._checkpoint.check_round()
                 before = self._table_size()
                 self.stats.iterations += 1
                 self._round_seen.clear()
@@ -220,6 +250,8 @@ class QSQREngine:
         for row in rows:
             if charge:
                 self.stats.attempts += 1
+                if self._checkpoint is not None:
+                    self._checkpoint.poll()
             extended = dict(env)
             consistent = True
             for arg, value in zip(atom.args, row):
@@ -285,7 +317,12 @@ class QSQREngine:
             cached = self._negation_cache.get(cache_key)
             if cached is not None:
                 return cached
-            nested = QSQREngine(self._program, self._database, planner=self._planner)
+            nested = QSQREngine(
+                self._program,
+                self._database,
+                planner=self._planner,
+                budget=self._checkpoint,
+            )
             ground = Atom(atom.predicate, tuple(Constant(v) for v in probe))
             result = nested.query(ground)
             self.stats.merge(nested.stats)
@@ -320,8 +357,9 @@ def qsqr_query(
     goal: Atom,
     database: Database | None = None,
     planner: "object | None" = None,
+    budget: "EvaluationBudget | None" = None,
 ) -> tuple[list[Atom], EvaluationStats]:
     """Convenience wrapper: run one QSQR query and return answers + stats."""
-    engine = QSQREngine(program, database, planner=planner)
+    engine = QSQREngine(program, database, planner=planner, budget=budget)
     answers = engine.query(goal)
     return answers, engine.stats

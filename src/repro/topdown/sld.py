@@ -25,6 +25,7 @@ from ..datalog.atoms import Atom, Literal
 from ..datalog.builtins import evaluate_builtin, is_builtin
 from ..datalog.rules import Program
 from ..datalog.unify import Substitution, unify_atoms, variant_key
+from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..errors import BudgetExceededError, EvaluationError
 from ..facts.database import Database
 from ..engine.counters import EvaluationStats
@@ -46,13 +47,22 @@ class SLDEngine:
         database: Database | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         max_depth: int = DEFAULT_MAX_DEPTH,
+        budget: "EvaluationBudget | Checkpoint | None" = None,
     ):
+        """Args:
+            budget: optional :class:`repro.engine.budget.EvaluationBudget`
+                layered on top of the engine's built-in step/depth bounds
+                — its wall-clock and attempt limits are polled at every
+                resolution step.  SLD materialises no database, so a trip
+                carries no partial result (``partial=None``).
+        """
         self._program = program
         self._database = database.copy() if database is not None else Database()
         self._database.add_atoms(program.facts)
         self._max_steps = max_steps
         self._max_depth = max_depth
         self.stats = EvaluationStats()
+        self._checkpoint = ensure_checkpoint(budget, self.stats)
 
     # --- public API ---------------------------------------------------------
     def query(self, goal: Atom) -> list[Atom]:
@@ -72,7 +82,9 @@ class SLDEngine:
                     answers.append(answer)
         except RecursionError as error:
             raise BudgetExceededError(
-                "SLD exhausted the Python recursion limit", self.stats
+                "SLD exhausted the Python recursion limit",
+                self.stats,
+                limit="recursion",
             ) from error
         self.stats.answers = len(answers)
         return answers
@@ -88,8 +100,12 @@ class SLDEngine:
         self.stats.inferences += 1
         if self.stats.inferences > self._max_steps:
             raise BudgetExceededError(
-                f"SLD exceeded {self._max_steps} resolution steps", self.stats
+                f"SLD exceeded {self._max_steps} resolution steps",
+                self.stats,
+                limit="steps",
             )
+        if self._checkpoint is not None:
+            self._checkpoint.poll()
 
     def _solve(
         self, goals: tuple[Literal, ...], binding: Substitution, depth: int
@@ -100,7 +116,7 @@ class SLDEngine:
             return
         if depth > self._max_depth:
             raise BudgetExceededError(
-                f"SLD exceeded depth {self._max_depth}", self.stats
+                f"SLD exceeded depth {self._max_depth}", self.stats, limit="depth"
             )
         selected, rest = goals[0], goals[1:]
         literal = binding.apply_literal(selected)
@@ -200,8 +216,11 @@ def sld_query(
     database: Database | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     max_depth: int = DEFAULT_MAX_DEPTH,
+    budget: "EvaluationBudget | None" = None,
 ) -> tuple[list[Atom], EvaluationStats]:
     """Convenience wrapper: run one SLD query and return answers + stats."""
-    engine = SLDEngine(program, database, max_steps=max_steps, max_depth=max_depth)
+    engine = SLDEngine(
+        program, database, max_steps=max_steps, max_depth=max_depth, budget=budget
+    )
     answers = engine.query(goal)
     return answers, engine.stats

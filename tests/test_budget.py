@@ -1,0 +1,448 @@
+"""Tests for the resource-governance subsystem (repro.engine.budget).
+
+Three properties are pinned here:
+
+1. every limit actually trips, on every engine, on adversarial
+   workloads, and the error says which limit it was;
+2. the partial database carried by a trip is a *sound prefix* of the
+   full model — nothing in it is wrong, it is merely incomplete;
+3. an ungoverned run (no budget, or an unlimited one) is identical to
+   the pre-governance behaviour: same facts, same counters.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import Engine, EvaluationBudget, run_strategy
+from repro.core.compare import check_correspondence
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.budget import POLL_STRIDE, Checkpoint, ensure_checkpoint
+from repro.engine.counters import EvaluationStats
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.naive import naive_fixpoint
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.stratified import stratified_fixpoint
+from repro.engine.wellfounded import alternating_fixpoint
+from repro.errors import BudgetExceededError
+from repro.facts.database import Database
+from repro.obs import collect
+from repro.topdown.oldt import oldt_query
+from repro.topdown.qsqr import qsqr_query
+from repro.topdown.sld import sld_query
+
+
+def chain_program(n: int):
+    """Transitive closure over an n-edge chain: n*(n+1)/2 derived facts,
+    n fixpoint rounds — adversarial for every limit."""
+    facts = " ".join(f"par(n{i},n{i+1})." for i in range(n))
+    rules = "anc(X,Y) :- par(X,Y). anc(X,Y) :- par(X,Z), anc(Z,Y)."
+    return parse_program(f"{facts} {rules}")
+
+
+def assert_sound_prefix(partial: Database, full: Database) -> None:
+    """Every fact in *partial* must be present in *full*."""
+    assert isinstance(partial, Database)
+    for predicate in partial.predicates():
+        missing = partial.rows(predicate) - full.rows(predicate)
+        assert not missing, f"unsound partial facts for {predicate}: {missing}"
+
+
+GENEROUS = EvaluationBudget(
+    wall_clock_seconds=3600.0,
+    max_iterations=10**9,
+    max_facts=10**9,
+    max_attempts=10**9,
+)
+
+
+class TestEvaluationBudget:
+    def test_rejects_non_positive_limits(self):
+        for field in (
+            "wall_clock_seconds",
+            "max_iterations",
+            "max_facts",
+            "max_attempts",
+        ):
+            with pytest.raises(ValueError):
+                EvaluationBudget(**{field: 0})
+            with pytest.raises(ValueError):
+                EvaluationBudget(**{field: -1})
+
+    def test_unlimited(self):
+        assert EvaluationBudget().unlimited
+        assert not EvaluationBudget(max_facts=1).unlimited
+
+    def test_ensure_checkpoint_contract(self):
+        stats = EvaluationStats()
+        assert ensure_checkpoint(None, stats) is None
+        assert ensure_checkpoint(EvaluationBudget(), stats) is None
+        fresh = ensure_checkpoint(EvaluationBudget(max_facts=1), stats)
+        assert isinstance(fresh, Checkpoint)
+        assert fresh.stats is stats
+        # A running checkpoint passes through so nested evaluations share
+        # the ancestor's clock and counters.
+        other = EvaluationStats()
+        assert ensure_checkpoint(fresh, other) is fresh
+
+
+class TestCheckpoint:
+    def test_check_round_trips_iterations(self):
+        stats = EvaluationStats()
+        stats.iterations = 3
+        checkpoint = EvaluationBudget(max_iterations=3).start(stats)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.check_round()
+        assert excinfo.value.limit == "iterations"
+
+    def test_check_round_trips_facts(self):
+        stats = EvaluationStats()
+        stats.facts_derived = 10
+        checkpoint = EvaluationBudget(max_facts=5).start(stats)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.check_round()
+        assert excinfo.value.limit == "facts"
+
+    def test_poll_is_strided(self):
+        stats = EvaluationStats()
+        stats.attempts = 100
+        checkpoint = EvaluationBudget(max_attempts=1).start(stats)
+        for _ in range(POLL_STRIDE - 1):
+            checkpoint.poll()  # off-stride polls never check
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.poll()  # the POLL_STRIDE-th does
+        assert excinfo.value.limit == "attempts"
+
+    def test_wall_clock_trips(self):
+        checkpoint = EvaluationBudget(wall_clock_seconds=1e-9).start(
+            EvaluationStats()
+        )
+        time.sleep(0.001)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.check_round()
+        assert excinfo.value.limit == "wall_clock"
+
+    def test_trip_carries_bound_partial(self):
+        database = Database()
+        database.add("p", ("a",))
+        stats = EvaluationStats()
+        stats.facts_derived = 2
+        checkpoint = EvaluationBudget(max_facts=1).start(stats)
+        checkpoint.bind(database)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.check_round()
+        assert excinfo.value.partial is database
+        assert excinfo.value.stats is stats
+
+    def test_trip_calls_partial_thunk(self):
+        database = Database()
+        stats = EvaluationStats()
+        stats.facts_derived = 2
+        checkpoint = EvaluationBudget(max_facts=1).start(stats)
+        checkpoint.bind(lambda: database)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            checkpoint.check_round()
+        assert excinfo.value.partial is database
+
+    def test_trip_emits_metrics(self):
+        stats = EvaluationStats()
+        stats.facts_derived = 2
+        with collect() as metrics:
+            checkpoint = EvaluationBudget(max_facts=1).start(stats)
+            with pytest.raises(BudgetExceededError):
+                checkpoint.check_round()
+            snapshot = metrics.snapshot()
+        assert snapshot["counters"]["budget.exceeded"] == 1
+        assert snapshot["counters"]["budget.exceeded.facts"] == 1
+
+
+BOTTOM_UP = [naive_fixpoint, seminaive_fixpoint, stratified_fixpoint]
+
+
+@pytest.mark.parametrize("fixpoint", BOTTOM_UP, ids=lambda f: f.__name__)
+class TestBottomUpTrips:
+    def test_max_facts_trips_with_sound_partial(self, fixpoint):
+        program = chain_program(12)
+        full, _ = fixpoint(program)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fixpoint(program, budget=EvaluationBudget(max_facts=3))
+        error = excinfo.value
+        assert error.limit == "facts"
+        assert error.stats.facts_derived >= 3
+        assert_sound_prefix(error.partial, full)
+        # The prefix is a real prefix: work happened before the trip.
+        assert error.partial.rows("anc")
+
+    def test_max_iterations_trips(self, fixpoint):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fixpoint(chain_program(12), budget=EvaluationBudget(max_iterations=2))
+        assert excinfo.value.limit == "iterations"
+        assert excinfo.value.stats.iterations >= 2
+
+    def test_max_attempts_trips(self, fixpoint):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fixpoint(chain_program(12), budget=EvaluationBudget(max_attempts=1))
+        assert excinfo.value.limit == "attempts"
+
+    def test_wall_clock_trips(self, fixpoint):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fixpoint(
+                chain_program(12),
+                budget=EvaluationBudget(wall_clock_seconds=1e-9),
+            )
+        assert excinfo.value.limit == "wall_clock"
+
+    def test_no_budget_identical_to_generous_budget(self, fixpoint):
+        program = chain_program(16)
+        bare_db, bare_stats = fixpoint(program)
+        governed_db, governed_stats = fixpoint(program, budget=GENEROUS)
+        assert bare_db == governed_db
+        assert bare_stats.inferences == governed_stats.inferences
+        assert bare_stats.attempts == governed_stats.attempts
+        assert bare_stats.facts_derived == governed_stats.facts_derived
+        assert bare_stats.iterations == governed_stats.iterations
+
+
+WIN_PROGRAM = """
+move(a,b). move(b,a). move(b,c). move(c,d).
+win(X) :- move(X,Y), not win(Y).
+"""
+
+
+class TestWellFounded:
+    def test_budget_trips_and_partial_is_wf_true(self):
+        program = parse_program(WIN_PROGRAM)
+        full = alternating_fixpoint(program)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            alternating_fixpoint(
+                program, budget=EvaluationBudget(max_attempts=1)
+            )
+        error = excinfo.value
+        assert error.limit == "attempts"
+        # The bound partial is the latest underestimate: everything in it
+        # must be well-founded TRUE, never a Γ overestimate.
+        if error.partial is not None:
+            assert_sound_prefix(error.partial, full.true)
+
+    def test_no_budget_identical(self):
+        program = parse_program(WIN_PROGRAM)
+        bare = alternating_fixpoint(program)
+        governed = alternating_fixpoint(program, budget=GENEROUS)
+        assert bare.true == governed.true
+        assert bare.undefined == governed.undefined
+        assert bare.stats.inferences == governed.stats.inferences
+
+
+class TestIncremental:
+    def test_initial_materialisation_trips(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            IncrementalEngine(
+                chain_program(12), budget=EvaluationBudget(max_facts=3)
+            )
+        assert excinfo.value.limit == "facts"
+
+    def test_add_gets_fresh_allowance_per_operation(self):
+        # chain(6) derives 21 anc facts; a 30-fact budget admits the
+        # initial build, and because the allowance is per operation the
+        # small adds afterwards must all succeed even though lifetime
+        # totals exceed the limit many times over.
+        engine = IncrementalEngine(
+            chain_program(6), budget=EvaluationBudget(max_facts=30)
+        )
+        for i in range(6, 12):
+            engine.add(f"par(n{i},n{i+1})")
+        assert engine.stats.facts_derived > 30
+
+    def test_add_trips_and_merges_stats(self):
+        # max_attempts=2 would trip the initial build; construct
+        # ungoverned, then install the budget for the operation.
+        engine = IncrementalEngine(chain_program(10))
+        engine._budget = EvaluationBudget(max_attempts=2)
+        before = engine.stats.attempts
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.add("par(n10,n11)")
+        assert excinfo.value.limit == "attempts"
+        # The failed operation's counters were still merged.
+        assert engine.stats.attempts > before
+
+
+class TestTopDown:
+    def test_oldt_trips_with_sound_partial(self):
+        # The tabled partial holds answers to memoised *subgoals* as well
+        # as the root call, so soundness is membership in the full model.
+        program = chain_program(16)
+        full_model, _ = seminaive_fixpoint(program)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            oldt_query(
+                program,
+                parse_query("anc(n0, X)?"),
+                budget=EvaluationBudget(max_iterations=2),
+            )
+        error = excinfo.value
+        assert error.limit == "iterations"
+        assert error.partial is not None
+        assert_sound_prefix(error.partial, full_model)
+
+    def test_qsqr_trips_with_sound_partial(self):
+        program = chain_program(16)
+        full_model, _ = seminaive_fixpoint(program)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            qsqr_query(
+                program,
+                parse_query("anc(n0, X)?"),
+                budget=EvaluationBudget(max_iterations=1),
+            )
+        error = excinfo.value
+        assert error.limit == "iterations"
+        assert error.partial is not None
+        assert_sound_prefix(error.partial, full_model)
+
+    def test_sld_wall_clock_trips(self):
+        # SLD polls the checkpoint once per resolution step; a long chain
+        # guarantees enough steps to cross the poll stride.
+        program = chain_program(60)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sld_query(
+                program,
+                parse_query("anc(X, Y)?"),
+                budget=EvaluationBudget(wall_clock_seconds=1e-9),
+            )
+        assert excinfo.value.limit == "wall_clock"
+
+    def test_sld_native_limits_are_tagged(self):
+        program = chain_program(30)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sld_query(program, parse_query("anc(X, Y)?"), max_steps=10)
+        assert excinfo.value.limit == "steps"
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sld_query(program, parse_query("anc(X, Y)?"), max_depth=3)
+        assert excinfo.value.limit == "depth"
+
+    def test_topdown_no_budget_identical(self):
+        program = chain_program(12)
+        goal = parse_query("anc(n0, X)?")
+        for query_fn in (oldt_query, qsqr_query):
+            bare_answers, bare_stats = query_fn(program, goal)
+            governed_answers, governed_stats = query_fn(
+                program, goal, budget=GENEROUS
+            )
+            assert bare_answers == governed_answers
+            assert bare_stats.inferences == governed_stats.inferences
+            assert bare_stats.attempts == governed_stats.attempts
+
+
+NON_SLD_STRATEGIES = (
+    "naive",
+    "seminaive",
+    "oldt",
+    "qsqr",
+    "magic",
+    "supplementary",
+    "alexander",
+)
+
+
+class TestStrategySurface:
+    @pytest.mark.parametrize("name", NON_SLD_STRATEGIES)
+    def test_every_strategy_honours_wall_clock(self, name):
+        program = chain_program(16)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_strategy(
+                name,
+                program,
+                parse_query("anc(n0, X)?"),
+                budget=EvaluationBudget(wall_clock_seconds=1e-9),
+            )
+        assert excinfo.value.limit == "wall_clock"
+
+    @pytest.mark.parametrize(
+        "name", NON_SLD_STRATEGIES + ("sld",)
+    )
+    def test_every_strategy_unchanged_without_budget(self, name):
+        program = chain_program(10)
+        goal = parse_query("anc(n0, X)?")
+        bare = run_strategy(name, program, goal)
+        governed = run_strategy(name, program, goal, budget=GENEROUS)
+        assert bare.answer_rows == governed.answer_rows
+        assert bare.stats.inferences == governed.stats.inferences
+        assert bare.stats.attempts == governed.stats.attempts
+
+    def test_engine_facade_accepts_budget(self):
+        engine = Engine(chain_program(16))
+        with pytest.raises(BudgetExceededError):
+            engine.query(
+                "anc(n0, X)?",
+                strategy="seminaive",
+                budget=EvaluationBudget(max_facts=2),
+            )
+        result = engine.query("anc(n0, X)?", budget=GENEROUS)
+        assert len(result.answers) == 16
+
+    def test_check_correspondence_accepts_budget(self):
+        program = chain_program(12)
+        goal = parse_query("anc(n0, X)?")
+        with pytest.raises(BudgetExceededError):
+            check_correspondence(
+                program, goal, budget=EvaluationBudget(wall_clock_seconds=1e-9)
+            )
+        correspondence = check_correspondence(program, goal, budget=GENEROUS)
+        assert correspondence.exact
+
+
+class TestCli:
+    def _write_program(self, tmp_path):
+        source = tmp_path / "chain.dl"
+        facts = "\n".join(f"par(n{i},n{i+1})." for i in range(12))
+        source.write_text(
+            facts
+            + "\nanc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).\n"
+        )
+        return str(source)
+
+    def test_budget_trip_exits_3(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_program(tmp_path)
+        code = main(
+            ["query", path, "anc(n0, X)?", "--strategy", "seminaive",
+             "--max-facts", "2"]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "budget exceeded" in captured.err
+        assert "partial result" in captured.err
+
+    def test_generous_flags_exit_0(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_program(tmp_path)
+        code = main(
+            ["query", path, "anc(n0, X)?", "--timeout", "60",
+             "--max-facts", "100000", "--max-iterations", "100000"]
+        )
+        assert code == 0
+        assert "X = n12" in capsys.readouterr().out
+
+
+class TestOverhead:
+    def test_governed_run_is_not_materially_slower(self):
+        # The acceptance criterion is <2% on the A2 micro-bench; a strict
+        # 2% gate would flake on shared CI machines, so this pins the
+        # property loosely (median of repeats, generous ceiling) while
+        # the hooks' structure — `checkpoint is None` tests only, no new
+        # counter charges — is what actually guarantees the 2% figure.
+        program = chain_program(64)
+        seminaive_fixpoint(program)  # warm-up
+
+        def timed(budget):
+            samples = []
+            for _ in range(5):
+                start = time.perf_counter()
+                seminaive_fixpoint(program, budget=budget)
+                samples.append(time.perf_counter() - start)
+            return statistics.median(samples)
+
+        bare = timed(None)
+        governed = timed(GENEROUS)
+        assert governed <= bare * 1.5 + 0.01

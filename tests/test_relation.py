@@ -61,6 +61,19 @@ class TestRelationBasics:
         clone.add(("b",))
         assert len(relation) == 1 and len(clone) == 2
 
+    def test_copy_preserves_version(self):
+        # A copy holds the same tuples, so statistics cached against the
+        # source's version must stay valid; a reset to 0 made fresh
+        # copies look *older* than any cached plan.
+        relation = Relation("p", 1)
+        relation.add(("a",))
+        relation.add(("b",))
+        assert relation.version > 0
+        clone = relation.copy()
+        assert clone.version == relation.version
+        clone.add(("c",))
+        assert clone.version > relation.version
+
     def test_equality(self):
         assert Relation("p", 1, [("a",)]) == Relation("p", 1, [("a",)])
         assert Relation("p", 1, [("a",)]) != Relation("p", 1, [("b",)])
@@ -98,6 +111,17 @@ class TestLookup:
     def test_count(self):
         assert self.relation.count() == 4
         assert self.relation.count({0: "a"}) == 2
+
+    def test_unbound_scan_tolerates_concurrent_insert(self):
+        # Delta loops suspend a full scan and add derived facts to the
+        # same relation; yielding from the live set raised
+        # "Set changed size during iteration".
+        seen = []
+        for row in self.relation.lookup({}):
+            seen.append(row)
+            self.relation.add((row[1], row[0]))
+        assert len(seen) == 4
+        assert set(seen) <= self.relation.rows()
 
 
 class TestStatistics:
@@ -146,7 +170,16 @@ class TestStatistics:
         stats = relation.statistics()
         assert stats["name"] == "e"
         assert stats["size"] == 2
-        assert stats["distinct"] == {0: 1, 1: 2}
+        assert stats["distinct"] == {"0": 1, "1": 2}
+
+    def test_statistics_survive_json_round_trip(self):
+        # "JSON-ready" means json.dumps/loads must not change the shape;
+        # integer distinct keys used to come back as strings.
+        import json
+
+        relation = Relation("e", 2, [("a", "b"), ("a", "c")])
+        stats = relation.statistics()
+        assert json.loads(json.dumps(stats)) == stats
 
 
 # --- property-based ----------------------------------------------------------

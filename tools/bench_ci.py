@@ -43,6 +43,9 @@ if str(_SRC) not in sys.path:
 
 from repro.bench.harness import assert_same_answers, measure, measurement_record  # noqa: E402
 from repro.core.compare import check_correspondence  # noqa: E402
+from repro.engine.budget import EvaluationBudget, ensure_checkpoint  # noqa: E402
+from repro.engine.counters import EvaluationStats  # noqa: E402
+from repro.errors import BudgetExceededError  # noqa: E402
 from repro.obs import BenchArtifact, collect  # noqa: E402
 from repro.workloads import ancestor, same_generation  # noqa: E402
 
@@ -53,7 +56,7 @@ DEFAULT_TOLERANCE = 0.0
 
 
 # --- check groups (each returns entries and appends failures) ------------------
-def _run_t1(failures: list[str]) -> list[dict]:
+def _run_t1(failures: list[str], budget=None) -> list[dict]:
     """Correspondence smoke: Alexander vs OLDT must match exactly."""
     scenarios = [
         ("chain16-bf", ancestor(graph="chain", n=16)),
@@ -64,7 +67,9 @@ def _run_t1(failures: list[str]) -> list[dict]:
     for label, scenario in scenarios:
         query = scenario.query(0)
         start = time.perf_counter()
-        corr = check_correspondence(scenario.program, query, scenario.database)
+        corr = check_correspondence(
+            scenario.program, query, scenario.database, budget=budget
+        )
         elapsed = time.perf_counter() - start
         if not corr.exact:
             failures.append(f"t1/{label}: Alexander/OLDT correspondence is not exact")
@@ -83,7 +88,7 @@ def _run_t1(failures: list[str]) -> list[dict]:
     return entries
 
 
-def _run_t3(failures: list[str]) -> list[dict]:
+def _run_t3(failures: list[str], budget=None) -> list[dict]:
     """Magic-family smoke: same answers; Alexander == supplementary."""
     scenarios = [
         ("chain32", ancestor(graph="chain", n=32)),
@@ -92,7 +97,7 @@ def _run_t3(failures: list[str]) -> list[dict]:
     entries = []
     for label, scenario in scenarios:
         measurements = {
-            name: measure(scenario, name)
+            name: measure(scenario, name, budget=budget)
             for name in ("alexander", "supplementary", "magic")
         }
         try:
@@ -112,13 +117,13 @@ def _run_t3(failures: list[str]) -> list[dict]:
     return entries
 
 
-def _run_f1(failures: list[str]) -> list[dict]:
+def _run_f1(failures: list[str], budget=None) -> list[dict]:
     """Chain-scaling smoke across the strategy spectrum."""
     entries = []
     for n in (8, 16, 32):
         scenario = ancestor(graph="chain", n=n)
         per_size = [
-            measure(scenario, strategy)
+            measure(scenario, strategy, budget=budget)
             for strategy in ("seminaive", "alexander", "oldt", "qsqr")
         ]
         try:
@@ -132,7 +137,7 @@ def _run_f1(failures: list[str]) -> list[dict]:
     return entries
 
 
-def _run_a2(failures: list[str]) -> list[dict]:
+def _run_a2(failures: list[str], budget=None) -> list[dict]:
     """Naive-vs-seminaive smoke: identical models, fewer inferences."""
     from repro.engine.naive import naive_fixpoint
     from repro.engine.seminaive import seminaive_fixpoint
@@ -143,7 +148,7 @@ def _run_a2(failures: list[str]) -> list[dict]:
         results = {}
         for engine, fixpoint in (("naive", naive_fixpoint), ("seminaive", seminaive_fixpoint)):
             start = time.perf_counter()
-            _, stats = fixpoint(scenario.program, scenario.database)
+            _, stats = fixpoint(scenario.program, scenario.database, budget=budget)
             results[engine] = (stats, time.perf_counter() - start)
         naive_stats, seminaive_stats = results["naive"][0], results["seminaive"][0]
         if naive_stats.facts_derived != seminaive_stats.facts_derived:
@@ -170,7 +175,7 @@ def _run_a2(failures: list[str]) -> list[dict]:
     return entries
 
 
-def _run_a7(failures: list[str]) -> list[dict]:
+def _run_a7(failures: list[str], budget=None) -> list[dict]:
     """Join-planning smoke: identical models, never more attempts, and a
     >=2x attempt reduction on the cross-product-shaped adversarial body."""
     from repro.datalog.parser import parse_program
@@ -198,7 +203,9 @@ def _run_a7(failures: list[str]) -> list[dict]:
                 else None
             )
             start = time.perf_counter()
-            completed, stats = seminaive_fixpoint(program, database, planner=planner)
+            completed, stats = seminaive_fixpoint(
+                program, database, planner=planner, budget=budget
+            )
             elapsed = time.perf_counter() - start
             stats_by_mode[mode] = stats
             completed_by_mode[mode] = completed
@@ -238,18 +245,43 @@ CHECK_GROUPS = {
 }
 
 
-def run_checks(only: list[str] | None = None) -> tuple[list[dict], list[str], dict]:
-    """Run the curated groups; returns (entries, failures, metrics snapshot)."""
+def run_checks(
+    only: list[str] | None = None, budget_seconds: float | None = None
+) -> tuple[list[dict], list[str], dict]:
+    """Run the curated groups; returns (entries, failures, metrics snapshot).
+
+    With *budget_seconds*, one wall clock spans the whole suite: every
+    group shares a single checkpoint, and exhaustion (whether raised
+    directly or reported between groups) becomes an ordinary failure line
+    — CI never hangs on a runaway evaluation.
+    """
     groups = list(CHECK_GROUPS) if not only else list(only)
     unknown = [name for name in groups if name not in CHECK_GROUPS]
     if unknown:
         raise ValueError(f"unknown check group(s) {unknown}; choose from {list(CHECK_GROUPS)}")
+    checkpoint = None
+    if budget_seconds is not None:
+        checkpoint = ensure_checkpoint(
+            EvaluationBudget(wall_clock_seconds=budget_seconds), EvaluationStats()
+        )
     entries: list[dict] = []
     failures: list[str] = []
     with collect() as metrics:
         for name in groups:
-            with metrics.timer(f"bench_ci.{name}"):
-                entries.extend(CHECK_GROUPS[name](failures))
+            try:
+                if checkpoint is not None:
+                    # A measurement that tripped is reported as DIVERGED by
+                    # the harness; this re-check turns the stale clock into
+                    # an explicit failure before the next group starts.
+                    checkpoint.check_round()
+                with metrics.timer(f"bench_ci.{name}"):
+                    entries.extend(CHECK_GROUPS[name](failures, checkpoint))
+            except BudgetExceededError:
+                failures.append(
+                    f"{name}: bench wall-clock budget "
+                    f"({budget_seconds}s) exhausted"
+                )
+                break
     return entries, failures, metrics.snapshot()
 
 
@@ -351,11 +383,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of gating",
     )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole check suite; exhaustion "
+        "fails the gate instead of hanging CI",
+    )
     args = parser.parse_args(argv)
 
     started = time.time()
     start = time.perf_counter()
-    entries, failures, metrics_snapshot = run_checks(args.only)
+    entries, failures, metrics_snapshot = run_checks(
+        args.only, budget_seconds=args.budget_seconds
+    )
     total_seconds = time.perf_counter() - start
     counts = baseline_counts(entries)
 
@@ -392,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
             "groups": args.only or sorted(CHECK_GROUPS),
             "tolerance": tolerance,
+            "budget_seconds": args.budget_seconds,
             "total_seconds": total_seconds,
             "failures": failures,
             "deviations": deviations,
