@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..core.strategy import QueryResult, run_strategy
+from ..engine.kernel import DEFAULT_EXECUTOR
 from ..errors import BudgetExceededError
 from ..workloads.programs import Scenario
 
@@ -79,6 +80,7 @@ def measure(
     query_index: int = 0,
     planner=None,
     budget=None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> Measurement:
     """Run one strategy on one scenario query; divergence becomes a row.
 
@@ -95,6 +97,9 @@ def measure(
             lets one wall clock bound a whole sweep — the CI gate does
             this).  Exhaustion is reported like any other divergence: a
             DIVERGED row, never an exception.
+        executor: rule-body executor for the bottom-up fixpoints (the A8
+            ablation flips this between ``"kernel"`` and
+            ``"interpreted"``).
     """
     query = scenario.query(query_index)
     start = time.perf_counter()
@@ -106,6 +111,7 @@ def measure(
             scenario.database,
             planner=planner,
             budget=budget,
+            executor=executor,
         )
     except BudgetExceededError:
         return Measurement(

@@ -30,6 +30,7 @@ from .core.strategy import available_strategies
 from .datalog.parser import parse_program, parse_query
 from .datalog.pretty import format_bindings, format_program
 from .engine.budget import EvaluationBudget
+from .engine.kernel import DEFAULT_EXECUTOR, EXECUTORS
 from .errors import BudgetExceededError, ReproError
 from .transform.alexander import alexander_templates
 from .transform.magic import magic_sets
@@ -109,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         const="greedy",
         default=None,
         help="enable cost-based join planning (same answers, fewer joins)",
+    )
+    query.add_argument(
+        "--executor",
+        default=DEFAULT_EXECUTOR,
+        choices=EXECUTORS,
+        help=(
+            "rule-body executor for bottom-up fixpoints: compiled slot "
+            "kernels (default) or the interpreted matcher; identical "
+            "answers and counters"
+        ),
     )
     query.add_argument("--stats", action="store_true", help="print counters")
     query.add_argument(
@@ -193,6 +204,7 @@ def _cmd_query(args) -> int:
         sips=args.sips,
         planner=args.planner,
         budget=_budget_from_args(args),
+        executor=args.executor,
     )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..engine.counters import EvaluationStats
+from ..engine.kernel import DEFAULT_EXECUTOR
 from ..facts.database import Database
 from .strategy import QueryResult, run_strategy
 
@@ -104,6 +105,7 @@ def check_correspondence(
     database: Database | None = None,
     planner=None,
     budget=None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> Correspondence:
     """Run Alexander (bottom-up) and OLDT on the same query and compare.
 
@@ -119,9 +121,20 @@ def check_correspondence(
             budget's full allowance, so all four limits stay meaningful
             (a shared clock would leave the counter limits watching the
             wrong side's statistics).
+        executor: rule-body executor for the Alexander side's bottom-up
+            fixpoints (OLDT ignores it).  The kernel/interpreted choice
+            must not disturb the correspondence either — both enumerate
+            the same matches — and running the checker with
+            ``executor="kernel"`` pins that.
     """
     alexander = run_strategy(
-        "alexander", program, query, database, planner=planner, budget=budget
+        "alexander",
+        program,
+        query,
+        database,
+        planner=planner,
+        budget=budget,
+        executor=executor,
     )
     oldt = run_strategy(
         "oldt", program, query, database, planner=planner, budget=budget

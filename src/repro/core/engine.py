@@ -25,6 +25,7 @@ from ..analysis.safety import require_safe
 from ..datalog.atoms import Atom
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.rules import Program
+from ..engine.kernel import DEFAULT_EXECUTOR
 from ..facts.database import Database
 from ..transform.sips import Sips, named_sips
 from .strategy import QueryResult, available_strategies, run_strategy
@@ -96,6 +97,7 @@ class Engine:
         sips: "Sips | str | None" = None,
         planner: "str | None" = None,
         budget=None,
+        executor: str = DEFAULT_EXECUTOR,
     ) -> QueryResult:
         """Evaluate *goal* under *strategy*.
 
@@ -111,6 +113,9 @@ class Engine:
                 bounding the evaluation; exhaustion raises
                 :class:`repro.errors.BudgetExceededError` carrying the
                 partial result computed so far.
+            executor: ``"kernel"`` (default) or ``"interpreted"``, the
+                rule-body executor of the bottom-up fixpoints involved;
+                answers and counters are identical either way.
         """
         if isinstance(goal, str):
             goal = parse_query(goal)
@@ -124,6 +129,7 @@ class Engine:
             sips,
             planner=planner,
             budget=budget,
+            executor=executor,
         )
 
     def ask(

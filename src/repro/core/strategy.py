@@ -30,6 +30,7 @@ from ..datalog.rules import Program
 from ..datalog.unify import match_atom
 from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..engine.counters import EvaluationStats
+from ..engine.kernel import DEFAULT_EXECUTOR
 from ..engine.seminaive import seminaive_fixpoint
 from ..engine.stratified import stratified_fixpoint
 from ..errors import ReproError, TransformError
@@ -96,10 +97,17 @@ def _bottom_up(engine: str):
         database: Database | None,
         planner=None,
         budget=None,
+        executor=DEFAULT_EXECUTOR,
     ) -> QueryResult:
         stats = EvaluationStats()
         completed, _ = stratified_fixpoint(
-            program, database, stats, engine=engine, planner=planner, budget=budget
+            program,
+            database,
+            stats,
+            engine=engine,
+            planner=planner,
+            budget=budget,
+            executor=executor,
         )
         matching = (
             atom
@@ -121,9 +129,11 @@ def _sld(
     database: Database | None,
     planner=None,
     budget=None,
+    executor=DEFAULT_EXECUTOR,
 ) -> QueryResult:
     # Plain SLD resolves one tuple at a time in clause-text order; there is
-    # no set-oriented join to plan, so `planner` is accepted and ignored.
+    # no set-oriented join to plan, so `planner` (and `executor` — slot
+    # kernels are a bottom-up concept) is accepted and ignored.
     engine = SLDEngine(program, database, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
@@ -137,6 +147,7 @@ def _oldt(
     database: Database | None,
     planner=None,
     budget=None,
+    executor=DEFAULT_EXECUTOR,
 ) -> QueryResult:
     engine = OLDTEngine(program, database, planner=planner, budget=budget)
     raw = engine.query(query)
@@ -181,6 +192,7 @@ def _qsqr(
     database: Database | None,
     planner=None,
     budget=None,
+    executor=DEFAULT_EXECUTOR,
 ) -> QueryResult:
     engine = QSQREngine(program, database, planner=planner, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
@@ -196,6 +208,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         database: Database | None,
         planner=None,
         budget=None,
+        executor=DEFAULT_EXECUTOR,
     ) -> QueryResult:
         stats = EvaluationStats()
         # One checkpoint spans the whole pipeline (lower-strata
@@ -241,7 +254,12 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         )
         if lower.proper_rules:
             working, _ = stratified_fixpoint(
-                lower, working, stats, planner=planner, budget=checkpoint
+                lower,
+                working,
+                stats,
+                planner=planner,
+                budget=checkpoint,
+                executor=executor,
             )
         target = stratification.strata[query_stratum]
         edb = frozenset(
@@ -250,7 +268,12 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         transformed = transform(target, query, sips, edb)
         evaluation = transformed.evaluation_program()
         completed, _ = seminaive_fixpoint(
-            evaluation, working, stats, planner=planner, budget=checkpoint
+            evaluation,
+            working,
+            stats,
+            planner=planner,
+            budget=checkpoint,
+            executor=executor,
         )
 
         goal = transformed.goal
@@ -293,7 +316,9 @@ def _transform_call_summary(
 
 _STRATEGIES: dict[
     str,
-    Callable[[Program, Atom, "Database | None", object, object], QueryResult],
+    Callable[
+        [Program, Atom, "Database | None", object, object, str], QueryResult
+    ],
 ] = {
     "naive": _bottom_up("naive"),
     "seminaive": _bottom_up("seminaive"),
@@ -319,6 +344,7 @@ def run_strategy(
     sips: Sips | None = None,
     planner=None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> QueryResult:
     """Evaluate *query* on *program* + *database* under strategy *name*.
 
@@ -333,6 +359,10 @@ def run_strategy(
             running :class:`~repro.engine.budget.Checkpoint` instead makes
             several strategy runs share one wall clock (the CI bench gate
             does this to bound its whole check suite).
+        executor: ``"kernel"`` (default) or ``"interpreted"``, selecting
+            the rule-body executor of every bottom-up fixpoint involved
+            (:mod:`repro.engine.kernel`); the top-down strategies accept
+            and ignore it.  Answers and counters are identical either way.
     """
     if name not in _STRATEGIES:
         raise ReproError(
@@ -345,6 +375,6 @@ def run_strategy(
             "alexander": alexander_templates,
         }[name]
         return _transform_strategy(name, transform, sips)(
-            program, query, database, planner, budget
+            program, query, database, planner, budget, executor
         )
-    return _STRATEGIES[name](program, query, database, planner, budget)
+    return _STRATEGIES[name](program, query, database, planner, budget, executor)

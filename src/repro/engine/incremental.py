@@ -23,10 +23,11 @@ from ..datalog.rules import Program
 from ..datalog.unify import match_atom
 from ..errors import ProgramError
 from ..facts.database import Database
-from ..facts.relation import Relation
+from ..facts.relation import Relation, StampedView
 from .budget import EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
-from .matching import CompiledRule, compile_rule, match_body
+from .kernel import DEFAULT_EXECUTOR, RuleKernel, compile_executors, head_rows
+from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner
 from .seminaive import seminaive_fixpoint
 
@@ -53,6 +54,9 @@ class IncrementalEngine:
             materialisation may be incomplete — the error carries the
             partial database; callers who continue using the engine
             should treat it as a fresh-build candidate.
+        executor: ``"kernel"`` (default) or ``"interpreted"``; applies to
+            the initial materialisation, every delta continuation, and
+            rebuilds after :meth:`remove`.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class IncrementalEngine:
         database: Database | None = None,
         planner: "JoinPlanner | str | None" = None,
         budget: "EvaluationBudget | None" = None,
+        executor: str = DEFAULT_EXECUTOR,
     ):
         for rule in program.proper_rules:
             for literal in rule.body:
@@ -72,15 +77,23 @@ class IncrementalEngine:
         self._program = program.without_facts()
         self._planner_spec = planner
         self._budget = budget
+        self._executor = executor
         self.stats = EvaluationStats()
         initial = database.copy() if database is not None else Database()
         initial.add_atoms(program.facts)
         self._working, _ = seminaive_fixpoint(
-            self._program, initial, self.stats, planner=planner, budget=budget
+            self._program,
+            initial,
+            self.stats,
+            planner=planner,
+            budget=budget,
+            executor=executor,
         )
-        self._compiled: list[CompiledRule] = self._compile_rules()
+        self._executors: list[tuple[CompiledRule, RuleKernel | None]] = (
+            self._compile_rules()
+        )
 
-    def _compile_rules(self) -> list[CompiledRule]:
+    def _compile_rules(self) -> list[tuple[CompiledRule, RuleKernel | None]]:
         spec = self._planner_spec
         if isinstance(spec, JoinPlanner):
             active: JoinPlanner | None = spec
@@ -90,9 +103,10 @@ class IncrementalEngine:
             # No ``unknown`` set: after materialisation every IDB relation
             # has its real cardinality, so the statistics are trustworthy.
             active = JoinPlanner(self._working)
-        return [
+        compiled = [
             compile_rule(rule, active) for rule in self._program.proper_rules
         ]
+        return compile_executors(compiled, self._executor)
 
     # --- read access ------------------------------------------------------------
     @property
@@ -127,6 +141,16 @@ class IncrementalEngine:
         if isinstance(atom, str):
             atom = parse_query(atom)
         row = atom.ground_key()
+        # Stamp this operation past everything already materialised (the
+        # initial seminaive run and earlier add()s left their own round
+        # marks behind), so rows_before(stamp) sees exactly the pre-add
+        # state.  The inserted row itself is stamped, excluding it from
+        # round 1's old views.
+        stamp = 1 + max(
+            (relation.round for relation in self._working.relations()),
+            default=0,
+        )
+        self._working.relation(atom.predicate, atom.arity).mark_round(stamp)
         if not self._working.add(atom.predicate, row):
             return frozenset()
         # Per-operation governance: the checkpoint monitors a fresh counter
@@ -149,17 +173,15 @@ class IncrementalEngine:
                 if checkpoint is not None:
                     checkpoint.check_round()
                 op_stats.iterations += 1
-                # old = working minus current delta, per delta predicate.
-                old: dict[str, Relation] = {}
-                for predicate, delta_relation in delta.items():
-                    snapshot = Relation(predicate, delta_relation.arity)
-                    delta_rows = delta_relation.rows()
-                    for existing in self._working.relation(predicate):
-                        if existing not in delta_rows:
-                            snapshot.add(existing)
-                    old[predicate] = snapshot
+                # old = working minus current delta, per delta predicate: a
+                # zero-copy stamped view (the current delta is exactly the
+                # rows merged at the current stamp).
+                old: dict[str, StampedView] = {
+                    predicate: self._working.relation(predicate).rows_before(stamp)
+                    for predicate in delta
+                }
                 new_delta: dict[str, Relation] = {}
-                for compiled in self._compiled:
+                for compiled, kernel in self._executors:
                     positions = [
                         index
                         for index, literal in enumerate(compiled.body)
@@ -178,11 +200,10 @@ class IncrementalEngine:
                             except KeyError:
                                 return None
 
-                        for binding in match_body(
-                            compiled, view, op_stats, checkpoint=checkpoint
+                        for head_row in head_rows(
+                            compiled, kernel, view, op_stats, checkpoint
                         ):
                             op_stats.inferences += 1
-                            head_row = compiled.head_tuple(binding)
                             head_pred = compiled.head_predicate
                             relation = self._working.relation(
                                 head_pred, arities.get(head_pred)
@@ -193,7 +214,10 @@ class IncrementalEngine:
                                 head_pred, Relation(head_pred, len(head_row))
                             )
                             bucket.add(head_row)
+                stamp += 1
                 for predicate, bucket in new_delta.items():
+                    target = self._working.relation(predicate, arities.get(predicate))
+                    target.mark_round(stamp)
                     for new_row in bucket:
                         if self._working.add(predicate, new_row):
                             op_stats.facts_derived += 1
@@ -242,8 +266,9 @@ class IncrementalEngine:
                 op_stats,
                 planner=self._planner_spec,
                 budget=self._budget,
+                executor=self._executor,
             )
         finally:
             self.stats.merge(op_stats)
-        self._compiled = self._compile_rules()
+        self._executors = self._compile_rules()
         return True

@@ -1,0 +1,433 @@
+"""Compiled rule kernels: slot-based, non-recursive body execution.
+
+:func:`repro.engine.matching.match_body` enumerates rule-body matches with
+recursive generators over ``dict[Variable, value]`` bindings, copying the
+binding dict for every probed row.  That copy is pure overhead: once the
+body order is fixed (by :func:`~repro.engine.matching.compile_rule`, with
+or without a planner), which variables are bound at each position is known
+*statically*.  This module lowers a :class:`~repro.engine.matching.CompiledRule`
+into a :class:`RuleKernel`:
+
+* bindings become one fixed-size **slot array** (a plain list indexed by a
+  per-rule variable numbering computed at compile time);
+* each positive literal becomes a :class:`SlotScan` — a precomputed probe
+  program of ``(column, value)`` constants and ``(column, slot)`` reads,
+  plus the slot writes and within-row equality checks to run per row;
+* each test literal (negative or built-in) becomes a :class:`SlotTest` —
+  an inline argument template evaluated against the slots;
+* the head becomes a template that builds the derived tuple straight from
+  the slots, so no binding dict ever exists.
+
+:func:`execute_kernel` then runs the body as a flat iterator stack — no
+recursion, no per-row allocation beyond the probe dict — and yields head
+tuples directly.
+
+The kernel is an *executor*, not a new semantics: it enumerates exactly
+the rows :func:`match_body` enumerates, in the same order, charging
+``stats.attempts`` and polling the budget checkpoint at exactly the same
+points.  The interpreted matcher is kept as the differential-testing
+oracle (``tests/test_kernel_differential.py`` pins bit-identical fact
+sets, counters, and budget-trip behaviour), and every engine accepts
+``executor="interpreted"`` to fall back to it.  See
+``docs/ARCHITECTURE.md``, "The rule-kernel compiler".
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from ..datalog.builtins import evaluate_builtin
+from ..errors import SafetyError
+from ..facts.relation import Relation
+from ..obs import get_metrics
+from .counters import EvaluationStats
+from .matching import CompiledLiteral, CompiledRule, RelationView, match_body
+
+__all__ = [
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
+    "SlotScan",
+    "SlotTest",
+    "RuleKernel",
+    "compile_kernel",
+    "execute_kernel",
+    "compile_executors",
+    "head_rows",
+    "resolve_executor",
+]
+
+EXECUTORS = ("kernel", "interpreted")
+DEFAULT_EXECUTOR = "kernel"
+
+# Sentinel distinguishing "iterator exhausted" from any row value.
+_DONE = object()
+
+
+@dataclass(frozen=True, slots=True)
+class SlotScan:
+    """One positive body literal as a slot-probe program.
+
+    Attributes:
+        position: body position (for the :data:`RelationView` protocol).
+        predicate: relation to probe.
+        const_probe: (column, value) pairs bound to constants.
+        bound_probe: (column, slot) pairs bound by earlier literals.
+        writes: (column, slot) pairs this literal binds (first global
+            occurrence of the variable).
+        checks: (column, slot) within-row equality checks (the variable
+            occurred earlier in this same literal).
+    """
+
+    position: int
+    predicate: str
+    const_probe: tuple[tuple[int, object], ...]
+    bound_probe: tuple[tuple[int, int], ...]
+    writes: tuple[tuple[int, int], ...]
+    checks: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotTest:
+    """One test literal (negative or built-in) as an inline slot check.
+
+    ``values`` holds one ``(is_const, payload)`` entry per argument
+    column: a constant value, or the slot index carrying the argument.
+    """
+
+    position: int
+    predicate: str
+    positive: bool
+    builtin: bool
+    values: tuple[tuple[bool, object], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class RuleKernel:
+    """A rule lowered to slot form, ready for flat execution.
+
+    Attributes:
+        compiled: the source compiled rule (diagnostics, oracle runs).
+        head_predicate: relation the head tuples belong to.
+        slot_count: size of the slot array (distinct body variables).
+        prelude: tests placed before the first scan (ground negatives or
+            constant built-ins) — checked once per execution.
+        levels: one ``(scan, trailing tests)`` pair per positive literal,
+            in body order.
+        head: ``(is_const, payload)`` template building the head tuple.
+        head_builder: the template compiled to a ``slots -> tuple``
+            callable (an ``itemgetter`` for all-variable heads).
+    """
+
+    compiled: CompiledRule
+    head_predicate: str
+    slot_count: int
+    prelude: tuple[SlotTest, ...]
+    levels: tuple[tuple[SlotScan, tuple[SlotTest, ...]], ...]
+    head: tuple[tuple[bool, object], ...]
+    head_builder: Callable[[list], tuple]
+
+
+def _compile_test(
+    position: int, literal: CompiledLiteral, slots: dict
+) -> SlotTest:
+    arity = len(literal.source.args)
+    values: list[tuple[bool, object] | None] = [None] * arity
+    for column, value in literal.constants:
+        values[column] = (True, value)
+    for column, var in literal.binders + literal.filters:
+        slot = slots.get(var)
+        if slot is None:
+            raise SafetyError(
+                f"test literal {literal.source} reached the kernel compiler "
+                f"with unbound variable {var.name}"
+            )
+        values[column] = (False, slot)
+    return SlotTest(
+        position=position,
+        predicate=literal.predicate,
+        positive=literal.positive,
+        builtin=literal.builtin,
+        values=tuple(values),  # type: ignore[arg-type]
+    )
+
+
+def _compile_scan(
+    position: int, literal: CompiledLiteral, slots: dict
+) -> SlotScan:
+    bound_probe: list[tuple[int, int]] = []
+    writes: list[tuple[int, int]] = []
+    for column, var in literal.binders:
+        slot = slots.get(var)
+        if slot is None:
+            slots[var] = slot = len(slots)
+            writes.append((column, slot))
+        else:
+            bound_probe.append((column, slot))
+    checks = tuple((column, slots[var]) for column, var in literal.filters)
+    return SlotScan(
+        position=position,
+        predicate=literal.predicate,
+        const_probe=literal.constants,
+        bound_probe=tuple(bound_probe),
+        writes=tuple(writes),
+        checks=checks,
+    )
+
+
+def _head_builder(
+    head: tuple[tuple[bool, object], ...]
+) -> Callable[[list], tuple]:
+    """Compile the head template to one callable per shape.
+
+    All-variable heads — the overwhelmingly common case — become a bare
+    ``operator.itemgetter`` over the slot array (C-speed, no generator
+    frame per derived tuple); constant-only heads a preallocated tuple;
+    mixed heads keep the generic comprehension.
+    """
+    if not head:
+        empty = ()
+        return lambda slots: empty
+    if all(not is_const for is_const, _ in head):
+        indices = tuple(payload for _, payload in head)
+        if len(indices) == 1:
+            index = indices[0]
+            return lambda slots: (slots[index],)
+        return operator.itemgetter(*indices)
+    if all(is_const for is_const, _ in head):
+        row = tuple(payload for _, payload in head)
+        return lambda slots: row
+    return lambda slots: tuple(
+        payload if is_const else slots[payload] for is_const, payload in head
+    )
+
+
+def compile_kernel(compiled: CompiledRule) -> RuleKernel:
+    """Lower *compiled* to slot form.
+
+    The body order is taken as-is (the planner already ran, if any), so
+    which variables are bound at each position — the information
+    :func:`~repro.engine.matching.match_body` rediscovers per row with
+    ``var in binding`` — is resolved here, once.
+    """
+    slots: dict = {}
+    prelude: list[SlotTest] = []
+    levels: list[tuple[SlotScan, list[SlotTest]]] = []
+    for position, literal in enumerate(compiled.body):
+        if literal.is_test:
+            test = _compile_test(position, literal, slots)
+            if levels:
+                levels[-1][1].append(test)
+            else:
+                prelude.append(test)
+        else:
+            levels.append((_compile_scan(position, literal, slots), []))
+    head: list[tuple[bool, object]] = []
+    for kind, payload in compiled.head_pattern:
+        if kind == "c":
+            head.append((True, payload))
+        else:
+            head.append((False, slots[payload]))
+    head_pattern = tuple(head)
+    kernel = RuleKernel(
+        compiled=compiled,
+        head_predicate=compiled.head_predicate,
+        slot_count=len(slots),
+        prelude=tuple(prelude),
+        levels=tuple((scan, tuple(tests)) for scan, tests in levels),
+        head=head_pattern,
+        head_builder=_head_builder(head_pattern),
+    )
+    obs = get_metrics()
+    if obs.enabled:
+        obs.incr("kernel.rules_compiled")
+        obs.observe("kernel.slots", kernel.slot_count)
+    return kernel
+
+
+def _check_test(test: SlotTest, slots: list, view: RelationView) -> bool:
+    """Evaluate one test against the slots; True iff the branch survives."""
+    values = tuple(
+        payload if is_const else slots[payload]
+        for is_const, payload in test.values
+    )
+    if test.builtin:
+        holds = evaluate_builtin(test.predicate, values)
+        return holds if test.positive else not holds
+    relation = view(test.position, test.predicate)
+    if relation is None:
+        return True
+    return values not in relation
+
+
+def _scan_rows(scan: SlotScan, slots: list, view: RelationView):
+    """The row iterator of one scan level under the current slots."""
+    relation = view(scan.position, scan.predicate)
+    if relation is None:
+        return iter(())
+    const_probe = scan.const_probe
+    bound_probe = scan.bound_probe
+    if type(relation) is Relation:
+        # Concrete relations expose snapshot tuples for the two probe
+        # shapes that dominate rule bodies (full scan, single column);
+        # the shape is static per scan, so no probe dict is built at all.
+        # Contents and order match lookup() exactly (pinned by the
+        # differential tests), so attempts charging is unchanged.
+        if not const_probe:
+            if not bound_probe:
+                return iter(relation.scan())
+            if len(bound_probe) == 1:
+                column, slot = bound_probe[0]
+                return iter(relation.probe(column, slots[slot]))
+        elif not bound_probe and len(const_probe) == 1:
+            column, value = const_probe[0]
+            return iter(relation.probe(column, value))
+    # Probe construction mirrors the interpreted matcher exactly —
+    # constants first, then bound variables in binder order — so the
+    # lookup's cheapest-posting tie-breaking (and with it the enumeration
+    # order and attempt count) is identical under both executors.
+    probe: dict[int, object] = dict(const_probe)
+    for column, slot in bound_probe:
+        probe[column] = slots[slot]
+    return relation.lookup(probe)
+
+
+def execute_kernel(
+    kernel: RuleKernel,
+    view: RelationView,
+    stats: EvaluationStats,
+    checkpoint=None,
+) -> Iterator[tuple]:
+    """Enumerate the head tuples *kernel* derives under *view*.
+
+    Charging contract (identical to :func:`match_body` +
+    ``CompiledRule.head_tuple``): one ``stats.attempts`` per probed row
+    and per test evaluation, one ``checkpoint.poll()`` per probed row.
+    The caller charges ``stats.inferences`` per yielded head tuple, as it
+    did per yielded binding.
+    """
+    slots: list = [None] * kernel.slot_count
+    for test in kernel.prelude:
+        stats.attempts += 1
+        if not _check_test(test, slots, view):
+            return
+    levels = kernel.levels
+    build = kernel.head_builder
+    if not levels:
+        yield build(slots)
+        return
+    poll = checkpoint.poll if checkpoint is not None else None
+    if len(levels) == 1:
+        # Single-literal bodies (the common delta-variant shape) run as a
+        # flat loop: no iterator stack, no next() indirection per row.
+        scan, tests = levels[0]
+        writes = scan.writes
+        checks = scan.checks
+        for row in _scan_rows(scan, slots, view):
+            stats.attempts += 1
+            if poll is not None:
+                poll()
+            for column, slot in writes:
+                slots[slot] = row[column]
+            ok = True
+            for column, slot in checks:
+                if slots[slot] != row[column]:
+                    ok = False
+                    break
+            if ok:
+                for test in tests:
+                    stats.attempts += 1
+                    if not _check_test(test, slots, view):
+                        ok = False
+                        break
+            if ok:
+                yield build(slots)
+        return
+    last = len(levels) - 1
+    iters: list = [None] * len(levels)
+    iters[0] = _scan_rows(levels[0][0], slots, view)
+    depth = 0
+    while depth >= 0:
+        row = next(iters[depth], _DONE)
+        if row is _DONE:
+            iters[depth] = None
+            depth -= 1
+            continue
+        scan, tests = levels[depth]
+        stats.attempts += 1
+        if poll is not None:
+            poll()
+        for column, slot in scan.writes:
+            slots[slot] = row[column]
+        ok = True
+        for column, slot in scan.checks:
+            if slots[slot] != row[column]:
+                ok = False
+                break
+        if ok:
+            for test in tests:
+                stats.attempts += 1
+                if not _check_test(test, slots, view):
+                    ok = False
+                    break
+        if not ok:
+            continue
+        if depth == last:
+            yield build(slots)
+        else:
+            depth += 1
+            iters[depth] = _scan_rows(levels[depth][0], slots, view)
+
+
+def resolve_executor(executor: str) -> str:
+    """Validate an ``executor=`` argument (every engine accepts one)."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    return executor
+
+
+def compile_executors(
+    compiled_rules: Sequence[CompiledRule], executor: str
+) -> list[tuple[CompiledRule, RuleKernel | None]]:
+    """Pair each compiled rule with its kernel (or ``None``, interpreted).
+
+    The pair list is what the bottom-up engines iterate: the compiled
+    rule keeps serving the structural queries (delta-variant positions,
+    head predicate), the kernel — when present — does the enumeration.
+    """
+    resolve_executor(executor)
+    if executor == "interpreted":
+        return [(compiled, None) for compiled in compiled_rules]
+    return [(compiled, compile_kernel(compiled)) for compiled in compiled_rules]
+
+
+def head_rows(
+    compiled: CompiledRule,
+    kernel: RuleKernel | None,
+    view: RelationView,
+    stats: EvaluationStats,
+    checkpoint=None,
+) -> Iterator[tuple]:
+    """Head tuples of one rule under either executor.
+
+    The single place the executor knob is dispatched: engines call this
+    in their match loops and stay executor-agnostic.  Returns the
+    executor's iterator directly (no wrapper generator frame).
+    """
+    if kernel is not None:
+        return execute_kernel(kernel, view, stats, checkpoint)
+    return _interpreted_rows(compiled, view, stats, checkpoint)
+
+
+def _interpreted_rows(
+    compiled: CompiledRule,
+    view: RelationView,
+    stats: EvaluationStats,
+    checkpoint=None,
+) -> Iterator[tuple]:
+    head_tuple = compiled.head_tuple
+    for binding in match_body(compiled, view, stats, checkpoint=checkpoint):
+        yield head_tuple(binding)

@@ -21,7 +21,8 @@ from ..facts.relation import Relation
 from ..obs import get_metrics
 from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
-from .matching import CompiledRule, compile_rule, match_body
+from .kernel import DEFAULT_EXECUTOR, RuleKernel, compile_executors, head_rows
+from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["naive_fixpoint", "apply_rules_once"]
@@ -44,19 +45,26 @@ def apply_rules_once(
     database: Database,
     stats: EvaluationStats,
     checkpoint: Checkpoint | None = None,
+    kernels: Sequence[RuleKernel | None] | None = None,
 ) -> list[tuple[str, tuple]]:
     """One T_P application: all head tuples derivable in a single step.
 
     Facts are *collected*, not inserted, so the caller controls whether the
     application is inflationary (naive engine) or not (tests that check the
     operator itself).
+
+    Args:
+        kernels: optional pre-compiled rule kernels parallel to
+            *compiled_rules* (see :mod:`repro.engine.kernel`); positions
+            holding ``None`` fall back to the interpreted matcher.
     """
     view = _full_view(database)
     produced: list[tuple[str, tuple]] = []
-    for compiled in compiled_rules:
-        for binding in match_body(compiled, view, stats, checkpoint=checkpoint):
+    for index, compiled in enumerate(compiled_rules):
+        kernel = kernels[index] if kernels is not None else None
+        for row in head_rows(compiled, kernel, view, stats, checkpoint):
             stats.inferences += 1
-            produced.append((compiled.head_predicate, compiled.head_tuple(binding)))
+            produced.append((compiled.head_predicate, row))
     return produced
 
 
@@ -66,6 +74,7 @@ def naive_fixpoint(
     stats: EvaluationStats | None = None,
     planner: "JoinPlanner | str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint naively.
 
@@ -81,6 +90,10 @@ def naive_fixpoint(
             exhaustion raises
             :class:`repro.errors.BudgetExceededError` carrying the
             partial database.
+        executor: ``"kernel"`` (default) runs rule bodies as compiled
+            slot kernels (:mod:`repro.engine.kernel`); ``"interpreted"``
+            uses the recursive matcher.  The derived fact set and every
+            counter are identical either way.
 
     Returns:
         The completed database (EDB plus all derived IDB facts) and the
@@ -98,6 +111,8 @@ def naive_fixpoint(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
+    executors = compile_executors(compiled_rules, executor)
+    kernels = [kernel for _, kernel in executors]
     checkpoint = ensure_checkpoint(budget, stats)
     if checkpoint is not None:
         checkpoint.bind(working)
@@ -112,7 +127,7 @@ def naive_fixpoint(
             new_rows = 0
             with obs.timer("round"):
                 for predicate, row in apply_rules_once(
-                    compiled_rules, working, stats, checkpoint
+                    compiled_rules, working, stats, checkpoint, kernels
                 ):
                     if working.add(predicate, row):
                         stats.facts_derived += 1

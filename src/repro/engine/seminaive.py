@@ -18,6 +18,14 @@ of derived literals is produced at exactly one variant (the one whose
 delta position is the *first* literal instantiated by a previous-round
 fact).
 
+The "old" view is **zero-copy**: every merged row carries an insertion
+stamp (:meth:`repro.facts.relation.Relation.mark_round`), and old reads
+are :meth:`~repro.facts.relation.Relation.rows_before` views that filter
+probes by stamp.  Earlier versions rebuilt an ``old`` snapshot relation
+per IDB predicate per round — O(|full|) work that grew with the model,
+not the delta, undercutting the "no recomputation" property the delta
+discipline exists for.  Per-round overhead is now O(|delta|).
+
 Negative literals read the full view: within a stratum they only mention
 relations completed by earlier strata, so their contents never change
 during the fixpoint (enforced by :mod:`repro.engine.stratified`).
@@ -29,11 +37,12 @@ from typing import Mapping
 
 from ..datalog.rules import Program
 from ..facts.database import Database
-from ..facts.relation import Relation
+from ..facts.relation import Relation, StampedView
 from ..obs import get_metrics
 from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
-from .matching import CompiledRule, compile_rule, match_body
+from .kernel import DEFAULT_EXECUTOR, compile_executors, head_rows
+from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["seminaive_fixpoint"]
@@ -58,7 +67,7 @@ class _RoundView:
         database: Database,
         delta_position: int,
         delta_relation: Relation,
-        old: Mapping[str, Relation],
+        old: Mapping[str, StampedView],
         derived: frozenset[str],
     ):
         self.database = database
@@ -67,7 +76,7 @@ class _RoundView:
         self.old = old
         self.derived = derived
 
-    def __call__(self, position: int, predicate: str) -> Relation | None:
+    def __call__(self, position: int, predicate: str):
         if position == self.delta_position:
             return self.delta_relation
         if position > self.delta_position and predicate in self.derived:
@@ -84,6 +93,7 @@ def seminaive_fixpoint(
     stats: EvaluationStats | None = None,
     planner: "JoinPlanner | str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint with the semi-naive delta discipline.
 
@@ -103,6 +113,10 @@ def seminaive_fixpoint(
             :class:`repro.errors.BudgetExceededError` carrying the
             partial database, whose facts are a sound prefix of the full
             model (the iteration is inflationary).
+        executor: ``"kernel"`` (default) runs rule bodies as compiled
+            slot kernels (:mod:`repro.engine.kernel`); ``"interpreted"``
+            uses the recursive matcher.  Fact sets and counters are
+            identical either way.
 
     Returns:
         The completed database and the statistics record.
@@ -119,6 +133,7 @@ def seminaive_fixpoint(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
+    executors = compile_executors(compiled_rules, executor)
     checkpoint = ensure_checkpoint(budget, stats)
     if checkpoint is not None:
         checkpoint.bind(working)
@@ -140,16 +155,21 @@ def seminaive_fixpoint(
         delta: dict[str, Relation] = {
             predicate: Relation(predicate, arities[predicate]) for predicate in derived
         }
+        # Rows merged at the end of round k carry stamp k+1; the "old"
+        # view of round k+1 is then exactly the rows stamped <= k, read
+        # through a zero-copy rows_before() filter.
+        stamp = 1
         with obs.timer("round"):
-            for compiled in compiled_rules:
-                for binding in match_body(
-                    compiled, full_view, stats, checkpoint=checkpoint
+            for compiled, kernel in executors:
+                target = working.relation(compiled.head_predicate)
+                for row in head_rows(
+                    compiled, kernel, full_view, stats, checkpoint
                 ):
                     stats.inferences += 1
-                    row = compiled.head_tuple(binding)
-                    if row not in working.relation(compiled.head_predicate):
+                    if row not in target:
                         delta[compiled.head_predicate].add(row)
             for predicate in derived:
+                working.relation(predicate).mark_round(stamp)
                 for row in delta[predicate]:
                     if working.add(predicate, row):
                         stats.facts_derived += 1
@@ -166,40 +186,39 @@ def seminaive_fixpoint(
             stats.iterations += 1
             with obs.timer("round"):
                 # old = full minus current delta (the state before the last
-                # merge).
-                old: dict[str, Relation] = {}
-                for predicate in derived:
-                    snapshot = Relation(predicate, arities[predicate])
-                    delta_rows = delta[predicate].rows()
-                    for row in working.relation(predicate):
-                        if row not in delta_rows:
-                            snapshot.add(row)
-                    old[predicate] = snapshot
+                # merge): a stamped view per IDB predicate, O(1) to build.
+                old: dict[str, StampedView] = {
+                    predicate: working.relation(predicate).rows_before(stamp)
+                    for predicate in derived
+                }
                 new_delta: dict[str, Relation] = {
                     predicate: Relation(predicate, arities[predicate])
                     for predicate in derived
                 }
-                for compiled in compiled_rules:
+                for compiled, kernel in executors:
                     for position in _variant_positions(compiled, derived):
                         literal = compiled.body[position]
                         delta_relation = delta[literal.predicate]
                         if not delta_relation:
                             continue
                         view = _RoundView(working, position, delta_relation, old, derived)
-                        for binding in match_body(
-                            compiled, view, stats, checkpoint=checkpoint
+                        target = working.relation(compiled.head_predicate)
+                        for row in head_rows(
+                            compiled, kernel, view, stats, checkpoint
                         ):
                             stats.inferences += 1
-                            row = compiled.head_tuple(binding)
-                            if row not in working.relation(compiled.head_predicate):
+                            if row not in target:
                                 new_delta[compiled.head_predicate].add(row)
                 # Merge after the round so all variants of the round read a
                 # consistent full view.
+                stamp += 1
                 for predicate in derived:
+                    working.relation(predicate).mark_round(stamp)
                     for row in new_delta[predicate]:
                         if working.add(predicate, row):
                             stats.facts_derived += 1
             if obs.enabled:
+                obs.incr("seminaive.stamped_rounds")
                 obs.observe(
                     "seminaive.delta_rows",
                     sum(len(new_delta[predicate]) for predicate in derived),

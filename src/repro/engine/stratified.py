@@ -17,6 +17,7 @@ from ..facts.database import Database
 from ..obs import get_metrics
 from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
+from .kernel import DEFAULT_EXECUTOR
 from .naive import naive_fixpoint
 from .seminaive import seminaive_fixpoint
 
@@ -35,6 +36,7 @@ def stratified_fixpoint(
     engine: str = "seminaive",
     planner: "str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate a stratifiable program, stratum by stratum.
 
@@ -53,6 +55,8 @@ def stratified_fixpoint(
             (or an already-running checkpoint).  One checkpoint spans all
             strata — the clock and counters accumulate across the whole
             stratified run, not per stratum.
+        executor: forwarded to every per-stratum fixpoint (``"kernel"``
+            default, ``"interpreted"`` for the oracle matcher).
 
     Returns:
         The completed database and statistics.
@@ -73,7 +77,12 @@ def stratified_fixpoint(
         for index, stratum in enumerate(stratification.strata):
             with obs.timer(f"stratum{index}"):
                 working, _ = fixpoint(
-                    stratum, working, stats, planner=planner, budget=checkpoint
+                    stratum,
+                    working,
+                    stats,
+                    planner=planner,
+                    budget=checkpoint,
+                    executor=executor,
                 )
     if obs.enabled:
         obs.observe("stratified.strata", len(stratification.strata))

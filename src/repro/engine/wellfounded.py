@@ -31,7 +31,8 @@ from ..facts.relation import Relation
 from ..obs import get_metrics
 from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
-from .matching import compile_rule, match_body
+from .kernel import DEFAULT_EXECUTOR, compile_executors, head_rows
+from .matching import compile_rule
 from .planner import JoinPlanner, resolve_planner
 
 __all__ = ["WellFoundedModel", "alternating_fixpoint"]
@@ -80,6 +81,7 @@ def _gamma(
     stats: EvaluationStats,
     planner: "JoinPlanner | str | None" = None,
     checkpoint: Checkpoint | None = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> Database:
     """Γ(oracle): least fixpoint with negation decided against *oracle*.
 
@@ -96,6 +98,7 @@ def _gamma(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
+    executors = compile_executors(compiled_rules, executor)
 
     def make_view(compiled):
         body = compiled.body
@@ -125,11 +128,10 @@ def _gamma(
             checkpoint.check_round()
         stats.iterations += 1
         changed = False
-        for compiled in compiled_rules:
+        for compiled, kernel in executors:
             view = make_view(compiled)
-            for binding in match_body(compiled, view, stats, checkpoint=checkpoint):
+            for row in head_rows(compiled, kernel, view, stats, checkpoint):
                 stats.inferences += 1
-                row = compiled.head_tuple(binding)
                 if working.add(compiled.head_predicate, row):
                     stats.facts_derived += 1
                     changed = True
@@ -141,6 +143,7 @@ def alternating_fixpoint(
     database: Database | None = None,
     planner: "str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> WellFoundedModel:
     """Compute the well-founded model of *program* over *database*.
 
@@ -156,6 +159,8 @@ def alternating_fixpoint(
             latest *underestimate* — every fact in it is well-founded
             true (the underestimates increase monotonically toward the
             true set), so the partial result is sound.
+        executor: forwarded to every Γ computation (``"kernel"`` default,
+            ``"interpreted"`` for the oracle matcher).
     """
     stats = EvaluationStats()
     obs = get_metrics()
@@ -179,6 +184,7 @@ def alternating_fixpoint(
                     stats,
                     planner=planner,
                     checkpoint=checkpoint,
+                    executor=executor,
                 )
             with obs.timer("gamma"):
                 next_underestimate = _gamma(
@@ -188,6 +194,7 @@ def alternating_fixpoint(
                     stats,
                     planner=planner,
                     checkpoint=checkpoint,
+                    executor=executor,
                 )
             if next_underestimate == underestimate:
                 break

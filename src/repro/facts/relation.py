@@ -3,31 +3,54 @@
 A :class:`Relation` stores ground facts as plain Python tuples of constant
 *values* (not :class:`~repro.datalog.terms.Constant` objects); the engines
 convert at their boundary.  Indexes are built lazily on first use of a
-column and maintained incrementally afterwards, so the join machinery can
-probe any bound column in expected O(1).
+column and maintained incrementally afterwards — on :meth:`add` *and* on
+:meth:`discard` — so the join machinery can probe any bound column in
+expected O(1) and bulk deletion stays linear in the rows removed.
 
 Relations also expose the cheap statistics the join planner
 (:mod:`repro.engine.planner`) costs literal orders with: cardinality
 (``len``), distinct values per column (:meth:`Relation.distinct_count`),
 and exact posting-list sizes for constant probes
 (:meth:`Relation.postings_size`).  Distinct-value sets are built lazily
-per column and maintained incrementally on :meth:`add`; :meth:`discard`
-invalidates them (like the indexes) so they are recomputed lazily after a
-removal.  The :attr:`version` counter bumps on every effective mutation,
-letting a cached plan detect stale statistics.
+per column and maintained incrementally on both mutations (a column whose
+index is not materialised cannot prove a value vanished, so only that
+column's distinct set is dropped on removal).  The :attr:`version`
+counter bumps on every effective mutation, letting a cached plan detect
+stale statistics.
+
+For the semi-naive engines every row also carries an **insertion stamp**:
+the *round* the relation was marked with when the row arrived
+(:meth:`Relation.mark_round`).  :meth:`Relation.rows_before` wraps the
+live relation in a :class:`StampedView` that filters probes down to rows
+stamped strictly before a cutoff — the zero-copy replacement for the
+per-round "old = full minus delta" snapshot rebuild (see
+``docs/ARCHITECTURE.md``, "Round-stamped relations").  Rows added while
+the relation is still in round 0 (the initial load) carry no explicit
+stamp and default to 0, so plain EDB use pays nothing.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "StampedView"]
 
 
 class Relation:
     """A set of same-arity tuples with lazily built column indexes."""
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "_distinct", "_version")
+    __slots__ = (
+        "name",
+        "arity",
+        "_tuples",
+        "_indexes",
+        "_distinct",
+        "_version",
+        "_stamps",
+        "_round",
+        "_scan_cache",
+        "_scan_version",
+    )
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
         self.name = name
@@ -38,6 +61,12 @@ class Relation:
         # column -> set of distinct values (lazy, incremental on add).
         self._distinct: dict[int, set] = {}
         self._version = 0
+        # row -> insertion round; rows from round 0 are omitted (stamp 0).
+        self._stamps: dict[tuple, int] = {}
+        self._round = 0
+        # Cached lookup({}) snapshot, valid while _scan_version == _version.
+        self._scan_cache: tuple | None = None
+        self._scan_version = -1
         for row in tuples:
             self.add(row)
 
@@ -56,6 +85,8 @@ class Relation:
             index.setdefault(row[column], []).append(row)
         for column, values in self._distinct.items():
             values.add(row[column])
+        if self._round:
+            self._stamps[row] = self._round
         self._version += 1
         return True
 
@@ -70,14 +101,36 @@ class Relation:
     def discard(self, row: tuple) -> bool:
         """Remove *row* if present; returns True iff it was present.
 
-        Removal invalidates the lazy indexes (they are rebuilt on demand);
-        deletion is rare in this library (only the harness resets state).
+        Live posting lists and distinct sets are maintained *in place*:
+        the row is removed from each materialised column index, and a
+        distinct value disappears only when its posting list empties.  A
+        distinct set for a column with no live index cannot tell whether
+        the value survives elsewhere, so only that set is dropped (it is
+        rebuilt lazily).  Bulk deletion — the incremental engine removes
+        many facts in a row — is therefore linear in the rows removed
+        instead of rebuilding every index per deletion.
         """
         if row not in self._tuples:
             return False
         self._tuples.discard(row)
-        self._indexes.clear()
-        self._distinct.clear()
+        self._stamps.pop(row, None)
+        for column, index in self._indexes.items():
+            value = row[column]
+            posting = index.get(value)
+            if posting is None:
+                continue
+            try:
+                posting.remove(row)
+            except ValueError:  # pragma: no cover - indexes track adds exactly
+                pass
+            if not posting:
+                del index[value]
+                distinct = self._distinct.get(column)
+                if distinct is not None:
+                    distinct.discard(value)
+        for column in list(self._distinct):
+            if column not in self._indexes:
+                del self._distinct[column]
         self._version += 1
         return True
 
@@ -87,6 +140,36 @@ class Relation:
         self._tuples.clear()
         self._indexes.clear()
         self._distinct.clear()
+        self._stamps.clear()
+        self._round = 0
+        self._scan_cache = None
+        self._scan_version = -1
+
+    # --- round stamping ---------------------------------------------------------
+    @property
+    def round(self) -> int:
+        """The round newly added rows are stamped with (0 = initial load)."""
+        return self._round
+
+    def mark_round(self, round: int) -> None:
+        """Stamp subsequent :meth:`add` calls with *round*.
+
+        The semi-naive engines call this at every merge boundary, so the
+        rows of round *k*'s delta are exactly the rows stamped *k* and the
+        "old" view of round *k* is :meth:`rows_before` with cutoff *k*.
+        Rounds must not decrease within one evaluation; a fresh evaluation
+        starts from a :meth:`copy`, whose rows all read as round 0.
+        """
+        self._round = round
+
+    def stamp_of(self, row: tuple) -> int:
+        """The insertion round of *row* (0 when unstamped or absent)."""
+        return self._stamps.get(row, 0)
+
+    def rows_before(self, cutoff: int) -> "StampedView":
+        """A zero-copy read view of the rows stamped strictly before
+        *cutoff* — the semi-naive "old" relation, without the snapshot."""
+        return StampedView(self, cutoff)
 
     # --- queries ---------------------------------------------------------------
     def __contains__(self, row: tuple) -> bool:
@@ -114,6 +197,36 @@ class Relation:
             self._indexes[column] = index
         return index
 
+    def _scan_snapshot(self) -> tuple:
+        """The full-tuple snapshot, cached per :attr:`version`.
+
+        Full scans are the hottest unselective probe the engines issue
+        (every unbound first literal of a rule); within one fixpoint round
+        the relation does not change, so repeated scans reuse one copy
+        instead of re-materialising the whole tuple set each time.
+        """
+        if self._scan_version != self._version:
+            self._scan_cache = tuple(self._tuples)
+            self._scan_version = self._version
+        return self._scan_cache  # type: ignore[return-value]
+
+    def scan(self) -> tuple:
+        """All rows as a snapshot tuple (cached per :attr:`version`).
+
+        Identical contents and order to ``lookup({})`` — the rule kernels
+        use this to iterate a plain tuple instead of a generator.
+        """
+        return self._scan_snapshot()
+
+    def probe(self, column: int, value: object) -> tuple:
+        """Rows holding *value* in *column*, as a snapshot tuple.
+
+        Identical contents and order to ``lookup({column: value})`` (a
+        single-column lookup yields its posting list unfiltered), again
+        for generator-free iteration in the kernels.
+        """
+        return tuple(self._index_for(column).get(value, ()))
+
     def lookup(self, bound: Mapping[int, object]) -> Iterator[tuple]:
         """Yield tuples matching the bound columns.
 
@@ -123,14 +236,14 @@ class Relation:
 
         The probe uses the single bound column with the smallest posting
         list (cheapest first) and filters on the remaining columns, which
-        is the classical index-nested-loop strategy.
+        is the classical index-nested-loop strategy.  Rows are yielded
+        from a snapshot taken at probe time: callers routinely mutate the
+        relation while a scan is suspended (delta loops add facts, the
+        incremental engine deletes), and the iteration must neither raise
+        nor skip rows that were present when the probe started.
         """
         if not bound:
-            # Snapshot before yielding: callers routinely add derived
-            # facts while a scan is suspended (delta loops do exactly
-            # this), and iterating a live set raises RuntimeError the
-            # moment it grows.
-            yield from tuple(self._tuples)
+            yield from self._scan_snapshot()
             return
         best_column = None
         best_posting: list[tuple] | None = None
@@ -141,14 +254,24 @@ class Relation:
                 if not posting:
                     return
         remaining = [(c, v) for c, v in bound.items() if c != best_column]
-        for row in best_posting:
+        if not remaining:
+            yield from tuple(best_posting)
+            return
+        for row in tuple(best_posting):
             if all(row[column] == value for column, value in remaining):
                 yield row
 
     def count(self, bound: Mapping[int, object] | None = None) -> int:
-        """Number of tuples matching *bound* (all tuples when omitted)."""
+        """Number of tuples matching *bound* (all tuples when omitted).
+
+        A single bound column is answered from the posting-list size
+        directly — no iterator is materialised.
+        """
         if not bound:
             return len(self._tuples)
+        if len(bound) == 1:
+            ((column, value),) = bound.items()
+            return self.postings_size(column, value)
         return sum(1 for _ in self.lookup(bound))
 
     # --- statistics -------------------------------------------------------------
@@ -165,8 +288,9 @@ class Relation:
         """Number of distinct values in *column*.
 
         The distinct-value set is materialised lazily on first use and
-        then maintained incrementally by :meth:`add`; :meth:`discard`
-        drops it, so the first call after a removal recomputes.
+        then maintained incrementally by :meth:`add` and (for indexed
+        columns) :meth:`discard`; removal from an unindexed column drops
+        the set, so the first call after such a removal recomputes.
         """
         if not 0 <= column < self.arity:
             raise IndexError(
@@ -208,6 +332,9 @@ class Relation:
         # a fresher copy reporting an *older* version defeats staleness
         # detection in the planner.
         clone._version = self._version
+        # Stamps are deliberately NOT copied: they are evaluation-local
+        # (a copy is the fresh starting state of the next evaluation, so
+        # every row it holds is "old", i.e. round 0).
         return clone
 
     def __eq__(self, other: object) -> bool:
@@ -221,3 +348,65 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name}/{self.arity}, {len(self._tuples)} tuples)"
+
+
+class StampedView:
+    """A read-only view of a :class:`Relation` restricted by insertion round.
+
+    The view holds the live relation and filters every probe down to rows
+    whose stamp is strictly below ``cutoff`` — O(rows probed) work, never
+    O(|relation|).  It quacks like a relation for everything the matcher
+    and the rule kernels need (``lookup``, membership, iteration, length),
+    and is intentionally *not* mutable.
+
+    Note the probe-order caveat: :meth:`lookup` delegates posting-list
+    selection to the underlying relation, so the cheapest-column choice is
+    made on unfiltered posting sizes.  That only affects constant factors;
+    the yielded row set is exact.
+    """
+
+    __slots__ = ("_relation", "_cutoff")
+
+    def __init__(self, relation: Relation, cutoff: int):
+        self._relation = relation
+        self._cutoff = cutoff
+
+    @property
+    def name(self) -> str:
+        return self._relation.name
+
+    @property
+    def arity(self) -> int:
+        return self._relation.arity
+
+    @property
+    def cutoff(self) -> int:
+        return self._cutoff
+
+    def lookup(self, bound: Mapping[int, object]) -> Iterator[tuple]:
+        stamps = self._relation._stamps
+        cutoff = self._cutoff
+        for row in self._relation.lookup(bound):
+            if stamps.get(row, 0) < cutoff:
+                yield row
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self._relation and self._relation.stamp_of(row) < self._cutoff
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.lookup({})
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __bool__(self) -> bool:
+        return any(True for _ in self)
+
+    def rows(self) -> frozenset[tuple]:
+        return frozenset(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"StampedView({self._relation.name}/{self._relation.arity}, "
+            f"stamp<{self._cutoff})"
+        )

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.facts.relation import Relation
+from repro.facts.relation import Relation, StampedView
 
 
 class TestRelationBasics:
@@ -180,6 +180,145 @@ class TestStatistics:
         relation = Relation("e", 2, [("a", "b"), ("a", "c")])
         stats = relation.statistics()
         assert json.loads(json.dumps(stats)) == stats
+
+
+class TestDiscardIncrementalMaintenance:
+    def test_posting_lists_shrink_in_place(self):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        assert relation.postings_size(0, "a") == 2  # materialise the index
+        relation.discard(("a", "b"))
+        assert relation.postings_size(0, "a") == 1
+        assert sorted(relation.lookup({0: "a"})) == [("a", "c")]
+
+    def test_empty_posting_removes_distinct_value(self):
+        relation = Relation("e", 2, [("a", "b"), ("b", "c")])
+        assert relation.postings_size(0, "a") == 1
+        assert relation.distinct_count(0) == 2
+        relation.discard(("a", "b"))
+        assert relation.distinct_count(0) == 1
+        assert relation.postings_size(0, "a") == 0
+
+    def test_unindexed_column_distinct_set_dropped(self):
+        relation = Relation("e", 2, [("a", "b"), ("b", "b")])
+        assert relation.distinct_count(1) == 1  # distinct set, no index
+        relation.discard(("a", "b"))
+        # The set cannot prove "b" vanished without column 1's index; it
+        # must be rebuilt, not guessed.
+        assert relation.distinct_count(1) == 1
+
+    def test_indexed_lookup_tolerates_mid_iteration_delete(self):
+        # The incremental engine deletes while a probe is suspended; the
+        # iteration must neither raise nor skip rows present at probe time.
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("a", "d")])
+        seen = []
+        for row in relation.lookup({0: "a"}):
+            seen.append(row)
+            relation.discard(("a", "d"))
+        assert len(seen) == 3
+        assert ("a", "d") not in relation
+
+
+class TestScanCache:
+    def test_snapshot_reused_while_unchanged(self):
+        relation = Relation("e", 1, [("a",), ("b",)])
+        first = relation._scan_snapshot()
+        assert relation._scan_snapshot() is first
+
+    def test_snapshot_invalidated_by_add_and_discard(self):
+        relation = Relation("e", 1, [("a",)])
+        first = relation._scan_snapshot()
+        relation.add(("b",))
+        second = relation._scan_snapshot()
+        assert second is not first and set(second) == {("a",), ("b",)}
+        relation.discard(("a",))
+        assert set(relation._scan_snapshot()) == {("b",)}
+
+    def test_duplicate_add_keeps_cache(self):
+        relation = Relation("e", 1, [("a",)])
+        first = relation._scan_snapshot()
+        relation.add(("a",))  # no effective mutation
+        assert relation._scan_snapshot() is first
+
+
+class TestCountFastPath:
+    def test_single_bound_column_answers_from_postings(self, monkeypatch):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        monkeypatch.setattr(
+            Relation,
+            "lookup",
+            lambda self, bound: pytest.fail("count must not materialise rows"),
+        )
+        assert relation.count({0: "a"}) == 2
+        assert relation.count({1: "zz"}) == 0
+
+    def test_multi_bound_count_still_filters(self):
+        relation = Relation("e", 2, [("a", "b"), ("a", "c"), ("b", "c")])
+        assert relation.count({0: "a", 1: "c"}) == 1
+
+
+class TestRoundStamps:
+    def test_rows_default_to_round_zero(self):
+        relation = Relation("p", 1, [("a",)])
+        assert relation.round == 0
+        assert relation.stamp_of(("a",)) == 0
+
+    def test_mark_round_stamps_subsequent_adds(self):
+        relation = Relation("p", 1, [("a",)])
+        relation.mark_round(2)
+        relation.add(("b",))
+        assert relation.stamp_of(("a",)) == 0
+        assert relation.stamp_of(("b",)) == 2
+
+    def test_rows_before_filters_all_probe_shapes(self):
+        relation = Relation("e", 2, [("a", "b")])
+        relation.mark_round(1)
+        relation.add(("a", "c"))
+        view = relation.rows_before(1)
+        assert isinstance(view, StampedView)
+        assert view.rows() == frozenset({("a", "b")})
+        assert sorted(view.lookup({0: "a"})) == [("a", "b")]
+        assert ("a", "b") in view and ("a", "c") not in view
+        assert len(view) == 1 and bool(view)
+        assert not relation.rows_before(0)
+
+    def test_view_is_live(self):
+        # The view reads the live relation: rows added later under an
+        # older round become visible, rows discarded disappear.
+        relation = Relation("p", 1, [("a",)])
+        view = relation.rows_before(1)
+        relation.add(("b",))  # still round 0
+        assert ("b",) in view
+        relation.discard(("a",))
+        assert ("a",) not in view
+
+    def test_discard_forgets_stamp(self):
+        relation = Relation("p", 1)
+        relation.mark_round(3)
+        relation.add(("a",))
+        relation.discard(("a",))
+        relation.mark_round(0)
+        relation.add(("a",))
+        assert relation.stamp_of(("a",)) == 0
+
+    def test_copy_resets_stamps(self):
+        # Stamps are evaluation-local: a copy is the fresh starting state
+        # of the next evaluation, so every row must read as round 0.
+        relation = Relation("p", 1)
+        relation.mark_round(2)
+        relation.add(("a",))
+        clone = relation.copy()
+        assert clone.stamp_of(("a",)) == 0
+        assert clone.round == 0
+        assert relation.stamp_of(("a",)) == 2
+
+    def test_clear_resets_rounds(self):
+        relation = Relation("p", 1)
+        relation.mark_round(2)
+        relation.add(("a",))
+        relation.clear()
+        assert relation.round == 0
+        relation.add(("b",))
+        assert relation.stamp_of(("b",)) == 0
 
 
 # --- property-based ----------------------------------------------------------

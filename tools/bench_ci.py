@@ -3,9 +3,9 @@
 
 Runs a curated, fast subset of the experiment suite (T1 correspondence,
 T3 magic family, F1 chain scaling, A2 naive-vs-seminaive, A7
-planner-vs-textual join order), cross-checks
-answers exactly as the full benches do, and compares the deterministic
-inference counts against the committed baseline
+planner-vs-textual join order, A8 kernel-vs-interpreted executor),
+cross-checks answers exactly as the full benches do, and compares the
+deterministic inference counts against the committed baseline
 (``benchmarks/baselines/bench_ci_baseline.json``).  Every run writes a
 schema-versioned JSON artifact (``BENCH_ci.json``) with wall-clock
 timings, counter totals, and a metrics snapshot, so CI can archive a
@@ -236,12 +236,88 @@ def _run_a7(failures: list[str], budget=None) -> list[dict]:
     return entries
 
 
+def _run_a8(failures: list[str], budget=None) -> list[dict]:
+    """Executor smoke: the kernel must derive the same model with the same
+    inference count as the interpreted matcher on every gated workload
+    (attempt drift is reported separately, as a baseline-style deviation)."""
+    from repro.engine.seminaive import seminaive_fixpoint
+
+    scenarios = [
+        ("chain32", ancestor(graph="chain", n=32)),
+        ("nltc16", ancestor(graph="chain", variant="nonlinear", n=16)),
+        ("sg-d4", same_generation(depth=4, branching=2)),
+    ]
+    entries = []
+    for label, scenario in scenarios:
+        results = {}
+        for executor in ("kernel", "interpreted"):
+            start = time.perf_counter()
+            completed, stats = seminaive_fixpoint(
+                scenario.program,
+                scenario.database,
+                budget=budget,
+                executor=executor,
+            )
+            elapsed = time.perf_counter() - start
+            results[executor] = (completed, stats)
+            entries.append(
+                {
+                    "id": f"a8/{label}/{executor}",
+                    "executor": executor,
+                    "inferences": stats.inferences,
+                    "attempts": stats.attempts,
+                    "facts": stats.facts_derived,
+                    "iterations": stats.iterations,
+                    "seconds": elapsed,
+                }
+            )
+        kernel_db, kernel_stats = results["kernel"]
+        interp_db, interp_stats = results["interpreted"]
+        if kernel_db != interp_db:
+            failures.append(f"a8/{label}: kernel derived a different model")
+        if kernel_stats.inferences != interp_stats.inferences:
+            failures.append(
+                f"a8/{label}: kernel inference count diverged "
+                f"({kernel_stats.inferences} != {interp_stats.inferences})"
+            )
+    return entries
+
+
+def kernel_attempt_drift(entries: list[dict]) -> list[dict]:
+    """A8 deviations: the kernel attempting *more* rows than the
+    interpreted oracle on any workload means its probe construction no
+    longer mirrors the matcher — a perf/parity regression gated at exit 2
+    like any baseline deviation."""
+    attempts = {
+        entry["id"]: entry["attempts"]
+        for entry in entries
+        if entry["id"].startswith("a8/") and isinstance(entry.get("attempts"), int)
+    }
+    deviations = []
+    for entry_id, kernel_attempts in sorted(attempts.items()):
+        _, label, executor = entry_id.split("/")
+        if executor != "kernel":
+            continue
+        oracle = attempts.get(f"a8/{label}/interpreted")
+        if oracle is not None and kernel_attempts > oracle:
+            deviations.append(
+                {
+                    "id": f"a8/{label}",
+                    "kind": "kernel-attempt-drift",
+                    "kernel_attempts": kernel_attempts,
+                    "interpreted_attempts": oracle,
+                }
+            )
+    return deviations
+
+
 CHECK_GROUPS = {
     "t1": _run_t1,
     "t3": _run_t3,
     "f1": _run_f1,
     "a2": _run_a2,
     "a7": _run_a7,
+    "a8": _run_a8,
 }
 
 
@@ -424,6 +500,9 @@ def main(argv: list[str] | None = None) -> int:
             if key.split("/", 1)[0] in (args.only or CHECK_GROUPS)
         }
         deviations = compare_to_baseline(counts, expected, tolerance)
+    # Executor-parity drift needs no committed baseline — the interpreted
+    # run of the same workload is the reference.
+    deviations.extend(kernel_attempt_drift(entries))
 
     artifact = BenchArtifact(
         bench_id="ci",
