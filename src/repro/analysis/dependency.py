@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from ..datalog.rules import Program
 
@@ -110,7 +110,9 @@ class DependencyGraph:
         for root in sorted(self._nodes):
             if root in indexes:
                 continue
-            work: list[tuple[str, iter]] = [(root, iter(sorted(successors[root])))]
+            work: list[tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(successors[root])))
+            ]
             indexes[root] = lowlinks[root] = index_counter
             index_counter += 1
             stack.append(root)

@@ -15,6 +15,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..core.strategy import QueryResult, run_strategy
 from ..engine.kernel import DEFAULT_EXECUTOR
+from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..errors import BudgetExceededError
 from ..workloads.programs import Scenario
 
@@ -81,6 +82,7 @@ def measure(
     planner=None,
     budget=None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> Measurement:
     """Run one strategy on one scenario query; divergence becomes a row.
 
@@ -100,6 +102,8 @@ def measure(
         executor: rule-body executor for the bottom-up fixpoints (the A8
             ablation flips this between ``"kernel"`` and
             ``"interpreted"``).
+        scheduler: fixpoint scheduling for the bottom-up fixpoints (the
+            A9 ablation flips this between ``"scc"`` and ``"global"``).
     """
     query = scenario.query(query_index)
     start = time.perf_counter()
@@ -112,6 +116,7 @@ def measure(
             planner=planner,
             budget=budget,
             executor=executor,
+            scheduler=scheduler,
         )
     except BudgetExceededError:
         return Measurement(

@@ -31,6 +31,7 @@ from .datalog.parser import parse_program, parse_query
 from .datalog.pretty import format_bindings, format_program
 from .engine.budget import EvaluationBudget
 from .engine.kernel import DEFAULT_EXECUTOR, EXECUTORS
+from .engine.scheduler import DEFAULT_SCHEDULER, SCHEDULERS
 from .errors import BudgetExceededError, ReproError
 from .transform.alexander import alexander_templates
 from .transform.magic import magic_sets
@@ -121,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
             "answers and counters"
         ),
     )
+    query.add_argument(
+        "--scheduler",
+        default=DEFAULT_SCHEDULER,
+        choices=SCHEDULERS,
+        help=(
+            "fixpoint scheduling for bottom-up evaluation: component-wise "
+            "SCC order (default) or one global loop; identical answers"
+        ),
+    )
     query.add_argument("--stats", action="store_true", help="print counters")
     query.add_argument(
         "--limit", type=int, default=None, help="print at most N answers"
@@ -205,6 +215,7 @@ def _cmd_query(args) -> int:
         planner=args.planner,
         budget=_budget_from_args(args),
         executor=args.executor,
+        scheduler=args.scheduler,
     )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:

@@ -25,6 +25,7 @@ from ..datalog.atoms import Atom
 from ..datalog.rules import Program
 from ..engine.counters import EvaluationStats
 from ..engine.kernel import DEFAULT_EXECUTOR
+from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..facts.database import Database
 from .strategy import QueryResult, run_strategy
 
@@ -106,6 +107,7 @@ def check_correspondence(
     planner=None,
     budget=None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> Correspondence:
     """Run Alexander (bottom-up) and OLDT on the same query and compare.
 
@@ -126,6 +128,11 @@ def check_correspondence(
             must not disturb the correspondence either — both enumerate
             the same matches — and running the checker with
             ``executor="kernel"`` pins that.
+        scheduler: fixpoint scheduling for the Alexander side's
+            bottom-up evaluations (OLDT accepts and ignores it).
+            Scheduling changes *when* facts are derived, never *which*,
+            so the call/answer sets are unchanged — running the checker
+            with ``scheduler="scc"`` (the default) pins that.
     """
     alexander = run_strategy(
         "alexander",
@@ -135,9 +142,16 @@ def check_correspondence(
         planner=planner,
         budget=budget,
         executor=executor,
+        scheduler=scheduler,
     )
     oldt = run_strategy(
-        "oldt", program, query, database, planner=planner, budget=budget
+        "oldt",
+        program,
+        query,
+        database,
+        planner=planner,
+        budget=budget,
+        scheduler=scheduler,
     )
 
     alexander_calls = alexander.calls

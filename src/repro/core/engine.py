@@ -26,6 +26,7 @@ from ..datalog.atoms import Atom
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.rules import Program
 from ..engine.kernel import DEFAULT_EXECUTOR
+from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..facts.database import Database
 from ..transform.sips import Sips, named_sips
 from .strategy import QueryResult, available_strategies, run_strategy
@@ -98,6 +99,7 @@ class Engine:
         planner: "str | None" = None,
         budget=None,
         executor: str = DEFAULT_EXECUTOR,
+        scheduler: str = DEFAULT_SCHEDULER,
     ) -> QueryResult:
         """Evaluate *goal* under *strategy*.
 
@@ -116,6 +118,10 @@ class Engine:
             executor: ``"kernel"`` (default) or ``"interpreted"``, the
                 rule-body executor of the bottom-up fixpoints involved;
                 answers and counters are identical either way.
+            scheduler: ``"scc"`` (default) or ``"global"``, the fixpoint
+                scheduling of the bottom-up evaluations involved
+                (:mod:`repro.engine.scheduler`); answers are identical
+                either way.
         """
         if isinstance(goal, str):
             goal = parse_query(goal)
@@ -130,6 +136,7 @@ class Engine:
             planner=planner,
             budget=budget,
             executor=executor,
+            scheduler=scheduler,
         )
 
     def ask(

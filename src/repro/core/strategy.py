@@ -31,6 +31,7 @@ from ..datalog.unify import match_atom
 from ..engine.budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from ..engine.counters import EvaluationStats
 from ..engine.kernel import DEFAULT_EXECUTOR
+from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..engine.seminaive import seminaive_fixpoint
 from ..engine.stratified import stratified_fixpoint
 from ..errors import ReproError, TransformError
@@ -98,6 +99,7 @@ def _bottom_up(engine: str):
         planner=None,
         budget=None,
         executor=DEFAULT_EXECUTOR,
+        scheduler=DEFAULT_SCHEDULER,
     ) -> QueryResult:
         stats = EvaluationStats()
         completed, _ = stratified_fixpoint(
@@ -108,6 +110,7 @@ def _bottom_up(engine: str):
             planner=planner,
             budget=budget,
             executor=executor,
+            scheduler=scheduler,
         )
         matching = (
             atom
@@ -130,10 +133,11 @@ def _sld(
     planner=None,
     budget=None,
     executor=DEFAULT_EXECUTOR,
+    scheduler=DEFAULT_SCHEDULER,
 ) -> QueryResult:
     # Plain SLD resolves one tuple at a time in clause-text order; there is
-    # no set-oriented join to plan, so `planner` (and `executor` — slot
-    # kernels are a bottom-up concept) is accepted and ignored.
+    # no set-oriented join to plan, so `planner` (and `executor`/`scheduler`
+    # — bottom-up concepts) is accepted and ignored.
     engine = SLDEngine(program, database, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
     return QueryResult(
@@ -148,6 +152,7 @@ def _oldt(
     planner=None,
     budget=None,
     executor=DEFAULT_EXECUTOR,
+    scheduler=DEFAULT_SCHEDULER,
 ) -> QueryResult:
     engine = OLDTEngine(program, database, planner=planner, budget=budget)
     raw = engine.query(query)
@@ -193,6 +198,7 @@ def _qsqr(
     planner=None,
     budget=None,
     executor=DEFAULT_EXECUTOR,
+    scheduler=DEFAULT_SCHEDULER,
 ) -> QueryResult:
     engine = QSQREngine(program, database, planner=planner, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
@@ -209,6 +215,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         planner=None,
         budget=None,
         executor=DEFAULT_EXECUTOR,
+        scheduler=DEFAULT_SCHEDULER,
     ) -> QueryResult:
         stats = EvaluationStats()
         # One checkpoint spans the whole pipeline (lower-strata
@@ -260,6 +267,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
                 planner=planner,
                 budget=checkpoint,
                 executor=executor,
+                scheduler=scheduler,
             )
         target = stratification.strata[query_stratum]
         edb = frozenset(
@@ -274,6 +282,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
             planner=planner,
             budget=checkpoint,
             executor=executor,
+            scheduler=scheduler,
         )
 
         goal = transformed.goal
@@ -345,6 +354,7 @@ def run_strategy(
     planner=None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> QueryResult:
     """Evaluate *query* on *program* + *database* under strategy *name*.
 
@@ -363,6 +373,11 @@ def run_strategy(
             the rule-body executor of every bottom-up fixpoint involved
             (:mod:`repro.engine.kernel`); the top-down strategies accept
             and ignore it.  Answers and counters are identical either way.
+        scheduler: ``"scc"`` (default) or ``"global"``, selecting
+            component-wise vs monolithic fixpoint scheduling
+            (:mod:`repro.engine.scheduler`) in every bottom-up fixpoint
+            involved; the top-down strategies accept and ignore it.
+            Answers are identical either way.
     """
     if name not in _STRATEGIES:
         raise ReproError(
@@ -375,6 +390,8 @@ def run_strategy(
             "alexander": alexander_templates,
         }[name]
         return _transform_strategy(name, transform, sips)(
-            program, query, database, planner, budget, executor
+            program, query, database, planner, budget, executor, scheduler
         )
-    return _STRATEGIES[name](program, query, database, planner, budget, executor)
+    return _STRATEGIES[name](
+        program, query, database, planner, budget, executor, scheduler
+    )

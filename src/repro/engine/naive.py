@@ -24,6 +24,7 @@ from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR, RuleKernel, compile_executors, head_rows
 from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner, resolve_planner
+from .scheduler import DEFAULT_SCHEDULER, resolve_scheduler
 
 __all__ = ["naive_fixpoint", "apply_rules_once"]
 
@@ -75,6 +76,7 @@ def naive_fixpoint(
     planner: "JoinPlanner | str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint naively.
 
@@ -94,11 +96,26 @@ def naive_fixpoint(
             slot kernels (:mod:`repro.engine.kernel`); ``"interpreted"``
             uses the recursive matcher.  The derived fact set and every
             counter are identical either way.
+        scheduler: ``"scc"`` (default) evaluates dependency components
+            in order, iterating only recursive components to a local
+            fixpoint (:mod:`repro.engine.scheduler`); ``"global"`` runs
+            the monolithic loop below.  The derived fact set is
+            identical either way, but naive evaluation re-enumerates
+            the whole database each round, so ``inferences``/
+            ``attempts``/``iterations`` legitimately differ between
+            schedulers (unlike semi-naive, where they match).
 
     Returns:
         The completed database (EDB plus all derived IDB facts) and the
         statistics record.
     """
+    if resolve_scheduler(scheduler) == "scc":
+        from .scheduler import scc_naive_fixpoint
+
+        return scc_naive_fixpoint(
+            program, database, stats, planner=planner, budget=budget,
+            executor=executor,
+        )
     stats = stats if stats is not None else EvaluationStats()
     working = database.copy() if database is not None else Database()
     working.add_atoms(program.facts)

@@ -44,6 +44,7 @@ from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR, compile_executors, head_rows
 from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner, resolve_planner
+from .scheduler import DEFAULT_SCHEDULER, resolve_scheduler
 
 __all__ = ["seminaive_fixpoint"]
 
@@ -94,6 +95,7 @@ def seminaive_fixpoint(
     planner: "JoinPlanner | str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint with the semi-naive delta discipline.
 
@@ -117,10 +119,26 @@ def seminaive_fixpoint(
             slot kernels (:mod:`repro.engine.kernel`); ``"interpreted"``
             uses the recursive matcher.  Fact sets and counters are
             identical either way.
+        scheduler: ``"scc"`` (default) evaluates the program
+            component-by-component in dependency order with local
+            fixpoints and a delta agenda
+            (:mod:`repro.engine.scheduler`); ``"global"`` runs the
+            single monolithic loop below, kept as the differential
+            oracle.  Fact sets, ``facts_derived``, and ``inferences``
+            are identical either way; ``iterations`` counts local
+            component passes under scc and global rounds otherwise, so
+            the two are not comparable 1:1.
 
     Returns:
         The completed database and the statistics record.
     """
+    if resolve_scheduler(scheduler) == "scc":
+        from .scheduler import scc_seminaive_fixpoint
+
+        return scc_seminaive_fixpoint(
+            program, database, stats, planner=planner, budget=budget,
+            executor=executor,
+        )
     stats = stats if stats is not None else EvaluationStats()
     obs = get_metrics()
     working = database.copy() if database is not None else Database()
@@ -134,6 +152,12 @@ def seminaive_fixpoint(
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
     executors = compile_executors(compiled_rules, executor)
+    # Variant positions are a static property of the compiled body;
+    # compute them once rather than per rule per round.
+    variants = [
+        (compiled, kernel, _variant_positions(compiled, derived))
+        for compiled, kernel in executors
+    ]
     checkpoint = ensure_checkpoint(budget, stats)
     if checkpoint is not None:
         checkpoint.bind(working)
@@ -195,8 +219,8 @@ def seminaive_fixpoint(
                     predicate: Relation(predicate, arities[predicate])
                     for predicate in derived
                 }
-                for compiled, kernel in executors:
-                    for position in _variant_positions(compiled, derived):
+                for compiled, kernel, positions in variants:
+                    for position in positions:
                         literal = compiled.body[position]
                         delta_relation = delta[literal.predicate]
                         if not delta_relation:

@@ -19,6 +19,7 @@ from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
 from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR
 from .naive import naive_fixpoint
+from .scheduler import DEFAULT_SCHEDULER
 from .seminaive import seminaive_fixpoint
 
 __all__ = ["stratified_fixpoint"]
@@ -37,6 +38,7 @@ def stratified_fixpoint(
     planner: "str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate a stratifiable program, stratum by stratum.
 
@@ -57,6 +59,9 @@ def stratified_fixpoint(
             stratified run, not per stratum.
         executor: forwarded to every per-stratum fixpoint (``"kernel"``
             default, ``"interpreted"`` for the oracle matcher).
+        scheduler: forwarded to every per-stratum fixpoint (``"scc"``
+            default — each stratum is further condensed into dependency
+            components; ``"global"`` for the monolithic oracle loop).
 
     Returns:
         The completed database and statistics.
@@ -83,6 +88,7 @@ def stratified_fixpoint(
                     planner=planner,
                     budget=checkpoint,
                     executor=executor,
+                    scheduler=scheduler,
                 )
     if obs.enabled:
         obs.observe("stratified.strata", len(stratification.strata))

@@ -34,6 +34,13 @@ from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR, compile_executors, head_rows
 from .matching import compile_rule
 from .planner import JoinPlanner, resolve_planner
+from .scheduler import (
+    DEFAULT_SCHEDULER,
+    Schedule,
+    build_schedule,
+    component_planner,
+    resolve_scheduler,
+)
 
 __all__ = ["WellFoundedModel", "alternating_fixpoint"]
 
@@ -82,23 +89,24 @@ def _gamma(
     planner: "JoinPlanner | str | None" = None,
     checkpoint: Checkpoint | None = None,
     executor: str = DEFAULT_EXECUTOR,
+    schedule: Schedule | None = None,
 ) -> Database:
     """Γ(oracle): least fixpoint with negation decided against *oracle*.
 
-    Semi-naive on the positive part; negative literals are stable within
-    the whole computation (the oracle is fixed), so no stratification is
-    needed.
+    Negative literals are stable within the whole computation (the
+    oracle is fixed), so no stratification is needed.  When *schedule*
+    is given (scc scheduling), components are closed in dependency
+    order — one pass per non-recursive component, a local inflationary
+    loop per recursive one; the least fixpoint is order-independent, so
+    Γ's *output* is identical, but ``inferences`` totals differ from
+    the global loop (naive-style rounds re-enumerate, and how often
+    depends on the round structure).
     """
     working = base.copy()
     arities = program.arities
     derived = program.idb_predicates
     for predicate in derived:
         working.relation(predicate, arities[predicate])
-    active_planner = resolve_planner(planner, working, program)
-    compiled_rules = [
-        compile_rule(rule, active_planner) for rule in program.proper_rules
-    ]
-    executors = compile_executors(compiled_rules, executor)
 
     def make_view(compiled):
         body = compiled.body
@@ -116,12 +124,43 @@ def _gamma(
 
         return view
 
+    # (In both modes the checkpoint is polled but NOT bound to this
+    # working copy: an intermediate Γ overestimate may hold facts that
+    # are not well-founded-true, so the caller binds its underestimate
+    # instead — the partial result it can stand behind.)
+    if schedule is not None:
+        for component in schedule.components:
+            active_planner = component_planner(planner, working, component)
+            compiled_rules = [
+                compile_rule(rule, active_planner) for rule in component.rules
+            ]
+            executors = compile_executors(compiled_rules, executor)
+            changed = True
+            while changed:
+                if checkpoint is not None:
+                    checkpoint.check_round()
+                stats.iterations += 1
+                changed = False
+                for compiled, kernel in executors:
+                    view = make_view(compiled)
+                    for row in head_rows(
+                        compiled, kernel, view, stats, checkpoint
+                    ):
+                        stats.inferences += 1
+                        if working.add(compiled.head_predicate, row):
+                            stats.facts_derived += 1
+                            changed = True
+                if not component.recursive:
+                    break  # one pass closes a non-recursive component
+        return working
+
+    active_planner = resolve_planner(planner, working, program)
+    compiled_rules = [
+        compile_rule(rule, active_planner) for rule in program.proper_rules
+    ]
+    executors = compile_executors(compiled_rules, executor)
     # Plain inflationary rounds (naive); adequate because Γ is called a
     # bounded number of times and each round is cheap at these scales.
-    # (The checkpoint is polled but NOT bound to this working copy: an
-    # intermediate Γ overestimate may hold facts that are not
-    # well-founded-true, so the caller binds its underestimate instead —
-    # the partial result it can stand behind.)
     changed = True
     while changed:
         if checkpoint is not None:
@@ -144,6 +183,7 @@ def alternating_fixpoint(
     planner: "str | None" = None,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
 ) -> WellFoundedModel:
     """Compute the well-founded model of *program* over *database*.
 
@@ -161,12 +201,25 @@ def alternating_fixpoint(
             true set), so the partial result is sound.
         executor: forwarded to every Γ computation (``"kernel"`` default,
             ``"interpreted"`` for the oracle matcher).
+        scheduler: ``"scc"`` (default) closes each Γ component-by-
+            component in dependency order (the schedule is condensed
+            once and reused by every Γ call); ``"global"`` iterates all
+            rules together.  The model — true facts and undefined set —
+            and ``facts_derived`` are identical either way, but Γ's
+            rounds are naive-style (re-enumerating), so ``inferences``/
+            ``attempts``/``iterations`` legitimately differ between
+            schedulers.
     """
     stats = EvaluationStats()
     obs = get_metrics()
     base = database.copy() if database is not None else Database()
     base.add_atoms(program.facts)
     rules_only = program.without_facts()
+    schedule = (
+        build_schedule(rules_only)
+        if resolve_scheduler(scheduler) == "scc"
+        else None
+    )
 
     underestimate = base.copy()
     checkpoint = ensure_checkpoint(budget, stats)
@@ -185,6 +238,7 @@ def alternating_fixpoint(
                     planner=planner,
                     checkpoint=checkpoint,
                     executor=executor,
+                    schedule=schedule,
                 )
             with obs.timer("gamma"):
                 next_underestimate = _gamma(
@@ -195,6 +249,7 @@ def alternating_fixpoint(
                     planner=planner,
                     checkpoint=checkpoint,
                     executor=executor,
+                    schedule=schedule,
                 )
             if next_underestimate == underestimate:
                 break

@@ -135,9 +135,18 @@ def inline_bridge_predicates(
         for rule in program.proper_rules
         for literal in rule.body
     }
+    # A predicate with program facts is not a pure renaming: inlining its
+    # one proper rule would silently drop the facts (e.g. the seed
+    # call__goal fact the Alexander rewriting plants next to a
+    # call-propagation rule).
+    fact_heads = {fact.predicate for fact in program.facts}
     bridges: dict[str, Rule] = {}
     for predicate in program.idb_predicates:
-        if predicate in protected_set or predicate not in referenced:
+        if (
+            predicate in protected_set
+            or predicate not in referenced
+            or predicate in fact_heads
+        ):
             continue
         definition = _bridge_definition(program, predicate)
         if definition is not None:

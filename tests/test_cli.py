@@ -108,3 +108,58 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert code == 1
         assert "not stratifiable" in out
+
+
+class TestQueryHelpSnapshot:
+    """Snapshot of the query subcommand's option surface: adding or
+    removing a flag must update this set deliberately."""
+
+    EXPECTED_OPTIONS = {
+        "-h",
+        "--help",
+        "--facts",
+        "--strategy",
+        "--sips",
+        "--planner",
+        "--executor",
+        "--scheduler",
+        "--stats",
+        "--limit",
+        "--timeout",
+        "--max-facts",
+        "--max-iterations",
+        "--max-attempts",
+    }
+
+    def test_query_help_lists_exactly_the_known_options(self, capsys):
+        import re
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        options = set(re.findall(r"(?<![\w-])--?[a-z][a-z-]*", help_text))
+        assert options == self.EXPECTED_OPTIONS
+
+    def test_scheduler_choices_are_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--scheduler {scc,global}" in help_text
+
+
+class TestSchedulerFlag:
+    def test_scheduler_values_give_identical_answers(self, program_file, capsys):
+        outputs = {}
+        for scheduler in ("scc", "global"):
+            code = main(
+                ["query", program_file, "anc(a, X)?", "--scheduler", scheduler]
+            )
+            assert code == 0
+            outputs[scheduler] = capsys.readouterr().out
+        assert outputs["scc"] == outputs["global"]
+
+    def test_unknown_scheduler_is_rejected_by_argparse(self, program_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", program_file, "anc(a, X)?", "--scheduler", "zig"])
+        assert excinfo.value.code == 2

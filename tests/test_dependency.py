@@ -95,3 +95,55 @@ class TestRecursionKind:
     def test_unknown_predicate_is_non_recursive(self):
         graph = DependencyGraph(LINEAR)
         assert graph.recursion_kind("ghost") == RecursionKind.NON_RECURSIVE
+
+
+class TestCondensationOnTransformedPrograms:
+    """Pin topological component order on a real Alexander rewriting, not
+    just hand-built graphs — the scc scheduler evaluates in this order."""
+
+    @staticmethod
+    def _alexander_graph():
+        from repro.core.strategy import run_strategy
+        from repro.workloads import ancestor
+
+        scenario = ancestor(graph="chain", n=8)
+        result = run_strategy(
+            "alexander", scenario.program, scenario.query(0), scenario.database
+        )
+        program = result.transformed.evaluation_program()
+        return program, DependencyGraph(program)
+
+    def test_every_edge_respects_condensation_order(self):
+        program, graph = self._alexander_graph()
+        order = graph.condensation_order()
+        position = {
+            predicate: index
+            for index, component in enumerate(order)
+            for predicate in component
+        }
+        for edge in graph.edges():
+            assert position[edge.source] <= position[edge.target], edge
+
+    def test_call_component_precedes_answer_component(self):
+        # The seed call feeds the continuation/answer machinery, never
+        # the reverse: the call/cont component must come strictly first.
+        program, graph = self._alexander_graph()
+        order = graph.condensation_order()
+        position = {
+            predicate: index
+            for index, component in enumerate(order)
+            for predicate in component
+        }
+        calls = [p for p in graph.nodes if p.startswith("call__")]
+        answers = [p for p in graph.nodes if p.startswith("ans__")]
+        assert calls and answers
+        assert max(position[p] for p in calls) < min(
+            position[p] for p in answers
+        )
+
+    def test_sccs_iterator_annotation_regression(self):
+        # The Tarjan work stack holds (node, successor-iterator) pairs;
+        # this simply pins that deep programs traverse iteratively.
+        program, graph = self._alexander_graph()
+        assert len(graph.sccs) == len(graph.condensation_order())
+        assert {p for scc in graph.sccs for p in scc} == set(graph.nodes)

@@ -249,3 +249,59 @@ class TestBridgeCycles:
         )
         optimized = optimize_program(program, parse_query("p0(q, r)"))
         assert optimized is not None
+
+
+class TestBridgesWithFacts:
+    # Regression: a predicate defined by one pure-renaming rule *plus*
+    # program facts is not a bridge — inlining the rule dropped the facts.
+    # The Alexander rewriting hits this shape whenever the goal predicate
+    # calls itself through another predicate: the seed call fact sits next
+    # to a call-propagation rule for the same call predicate.
+
+    def test_predicate_with_facts_is_not_inlined(self):
+        program = parse_program(
+            """
+            call(q).
+            call(X) :- other(X).
+            reached(X) :- call(X), edge(X, Y).
+            """
+        )
+        inlined = inline_bridge_predicates(program)
+        assert "call" in inlined.idb_predicates
+        assert any(fact.predicate == "call" for fact in inlined.facts)
+
+    def test_optimized_alexander_program_keeps_seed_fact(self):
+        # p0 calls p1 which calls p0 back: the rewriting plants the seed
+        # fact call__p0__bf(q) *and* derives call__p0__bf from
+        # call__p1__bf, the exact shape the fuzz suite falsified.
+        program = parse_program(
+            """
+            p0(X, Y) :- e(Y, X).
+            p0(X, Y) :- e(X, Y), p1(X, Z).
+            p1(X, Y) :- p0(X, Z), f(Y, Y).
+            """
+        )
+        query = parse_query("p0(q, Answer)")
+        database = Database()
+        database.relation("f", 2)
+        for row in [("a", "q"), ("b", "a"), ("q", "b")]:
+            database.add("e", row)
+        transformed = alexander_templates(program, query)
+        plain, _ = seminaive_fixpoint(
+            transformed.evaluation_program(), database
+        )
+        optimized = optimize_program(
+            transformed.evaluation_program(), transformed.goal
+        )
+        seeds = [
+            fact
+            for fact in optimized.facts
+            if fact.predicate == transformed.goal.predicate.replace(
+                "ans__", "call__"
+            )
+        ]
+        assert seeds, "seed call fact must survive optimisation"
+        optimized_db, _ = seminaive_fixpoint(optimized, database)
+        goal = transformed.goal.predicate
+        assert plain.rows(goal) == optimized_db.rows(goal)
+        assert plain.rows(goal)

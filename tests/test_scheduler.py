@@ -1,0 +1,256 @@
+"""Tests for SCC-scheduled fixpoint evaluation (repro.engine.scheduler).
+
+The differential suite (tests/test_scheduler_differential.py) pins scc ==
+global on random programs; this file pins the scheduler's *structure*:
+the schedule itself, the obs metrics, budget prefix soundness, and the
+facade/CLI plumbing.
+"""
+
+import pytest
+
+from repro.core.compare import check_correspondence
+from repro.core.engine import Engine
+from repro.core.strategy import run_strategy
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.budget import EvaluationBudget
+from repro.engine.counters import EvaluationStats
+from repro.engine.scheduler import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    build_schedule,
+    resolve_scheduler,
+)
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.errors import BudgetExceededError
+from repro.obs import collect
+from repro.workloads import ancestor
+
+STRATIFIED = parse_program(
+    """
+    e(a,b). e(b,c). e(c,d). n(d).
+    reach(X,Y) :- e(X,Y).
+    reach(X,Y) :- e(X,Z), reach(Z,Y).
+    sink(X) :- n(X), not reach(X, a).
+    report(X) :- sink(X).
+    """
+)
+
+
+def _alexander_program(n=16):
+    scenario = ancestor(graph="chain", n=n)
+    result = run_strategy(
+        "alexander", scenario.program, scenario.query(0), scenario.database
+    )
+    working = scenario.database.copy()
+    working.add_atoms(scenario.program.facts)
+    return result.transformed.evaluation_program(), working
+
+
+def _facts(database):
+    return {
+        relation.name: relation.rows() for relation in database.relations()
+    }
+
+
+class TestResolveScheduler:
+    def test_known_names_pass_through(self):
+        for name in SCHEDULERS:
+            assert resolve_scheduler(name) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler("topological")
+
+    def test_default_is_scc(self):
+        assert DEFAULT_SCHEDULER == "scc"
+
+
+class TestBuildSchedule:
+    def test_components_are_rule_bearing_only(self):
+        schedule = build_schedule(STRATIFIED)
+        for component in schedule.components:
+            assert component.derived == component.predicates
+            assert component.rules
+
+    def test_every_rule_lands_in_its_head_component(self):
+        schedule = build_schedule(STRATIFIED)
+        scheduled = [
+            rule for component in schedule.components for rule in component.rules
+        ]
+        assert sorted(scheduled, key=repr) == sorted(
+            STRATIFIED.proper_rules, key=repr
+        )
+        for component in schedule.components:
+            for rule in component.rules:
+                assert rule.head.predicate in component.derived
+
+    def test_dependency_order_and_recursion_flags(self):
+        schedule = build_schedule(STRATIFIED)
+        names = [
+            tuple(sorted(component.predicates))
+            for component in schedule.components
+        ]
+        assert names == [("reach",), ("sink",), ("report",)]
+        assert [c.recursive for c in schedule.components] == [
+            True,
+            False,
+            False,
+        ]
+        assert schedule.recursive_count == 1
+
+    def test_alexander_program_shatters_into_many_components(self):
+        program, _ = _alexander_program()
+        schedule = build_schedule(program)
+        # The transformation's point: several small components (the
+        # call/continuation chain separate from the answer chain) —
+        # exactly the shape component scheduling exploits.
+        assert len(schedule.components) >= 2
+        assert schedule.recursive_count >= 1
+        assert all(
+            len(component.predicates) <= 3 for component in schedule.components
+        )
+
+
+class TestSchedulerMetrics:
+    def test_scc_emits_scheduler_and_seminaive_parity_metrics(self):
+        program, base = _alexander_program()
+        with collect() as metrics:
+            seminaive_fixpoint(program, base, scheduler="scc")
+        counters = metrics.counters
+        histograms = metrics.histograms
+        assert histograms["scheduler.components"].count == 1
+        assert histograms["scheduler.recursive_components"].count == 1
+        assert histograms["scheduler.component_rounds"].count >= 1
+        # The global loop's obs surface stays intact under scc.
+        assert counters["seminaive.runs"] == 1
+        assert counters["seminaive.stamped_rounds"] >= 1
+        assert histograms["seminaive.delta_rows"].count >= 1
+        assert histograms["seminaive.iterations"].count == 1
+        assert any(path.endswith("seminaive") for path in metrics.timers)
+        assert any(path.endswith("round") for path in metrics.timers)
+
+    def test_agenda_skips_rules_with_empty_deltas(self):
+        # Two mutually recursive predicates fed by disjoint EDB: once q's
+        # delta drains, its agenda bucket is skipped while p continues.
+        program = parse_program(
+            """
+            e(a,b). e(b,c). e(c,d). e(d,e). e(e,f). f(a,b).
+            p(X,Y) :- e(X,Y).
+            p(X,Y) :- e(X,Z), p(Z,Y).
+            q(X,Y) :- f(X,Y), p(X,Y).
+            p(X,Y) :- q(X,Y).
+            """
+        )
+        with collect() as metrics:
+            seminaive_fixpoint(program, scheduler="scc")
+        assert metrics.counters.get("scheduler.agenda_skipped", 0) > 0
+
+    def test_global_mode_emits_no_scheduler_metrics(self):
+        program, base = _alexander_program()
+        with collect() as metrics:
+            seminaive_fixpoint(program, base, scheduler="global")
+        assert not any(
+            name.startswith("scheduler.") for name in metrics.histograms
+        )
+        assert not any(
+            name.startswith("scheduler.") for name in metrics.counters
+        )
+
+
+class TestBudgetPrefixProperty:
+    def test_trip_yields_sound_prefix_of_components(self):
+        program, base = _alexander_program(n=24)
+        full, _ = seminaive_fixpoint(program, base, scheduler="scc")
+        full_facts = _facts(full)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            seminaive_fixpoint(
+                program,
+                base,
+                scheduler="scc",
+                budget=EvaluationBudget(max_facts=20),
+            )
+        partial = excinfo.value.partial
+        assert partial is not None
+        partial_facts = _facts(partial)
+        # Soundness: every derived fact belongs to the full model.
+        for name, rows in partial_facts.items():
+            assert rows <= full_facts.get(name, frozenset()), name
+        # Prefix property: components before the tripped one are fully
+        # closed; components after it are untouched (empty IDB).
+        schedule = build_schedule(program)
+        complete = [
+            all(
+                partial_facts.get(p, frozenset()) == full_facts.get(p, frozenset())
+                for p in component.derived
+            )
+            for component in schedule.components
+        ]
+        untouched = [
+            all(not partial_facts.get(p, frozenset()) for p in component.derived)
+            for component in schedule.components
+        ]
+        tripped = complete.index(False) if False in complete else len(complete)
+        assert all(complete[:tripped])
+        assert all(untouched[tripped + 1 :])
+
+    def test_one_checkpoint_spans_all_components(self):
+        # The facts counter accumulates across components: a limit larger
+        # than any single component's yield but smaller than the total
+        # still trips.  (A per-component budget would never fire here.)
+        program, base = _alexander_program(n=24)
+        stats = EvaluationStats()
+        full, _ = seminaive_fixpoint(program, base, stats, scheduler="scc")
+        full_facts = _facts(full)
+        schedule = build_schedule(program)
+        per_component = [
+            sum(len(full_facts.get(p, ())) for p in component.derived)
+            for component in schedule.components
+        ]
+        limit = stats.facts_derived - 1
+        assert limit > max(per_component)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            seminaive_fixpoint(
+                program,
+                base,
+                scheduler="scc",
+                budget=EvaluationBudget(max_facts=limit),
+            )
+        assert excinfo.value.limit == "facts"
+
+
+class TestPlumbing:
+    def test_engine_query_accepts_scheduler(self):
+        engine = Engine.from_source(
+            """
+            par(a,b). par(b,c). par(c,d).
+            anc(X,Y) :- par(X,Y).
+            anc(X,Y) :- par(X,Z), anc(Z,Y).
+            """
+        )
+        goal = parse_query("anc(a, X)?")
+        results = {
+            scheduler: engine.query(goal, scheduler=scheduler)
+            for scheduler in SCHEDULERS
+        }
+        answer_sets = {r.answer_rows for r in results.values()}
+        assert len(answer_sets) == 1
+        assert (
+            results["scc"].stats.inferences == results["global"].stats.inferences
+        )
+
+    def test_unknown_scheduler_raises_everywhere(self):
+        engine = Engine.from_source("p(a). q(X) :- p(X).")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            engine.query(parse_query("q(X)?"), strategy="seminaive",
+                         scheduler="bogus")
+
+    def test_correspondence_exact_under_both_schedulers(self):
+        scenario = ancestor(graph="chain", n=12)
+        for scheduler in SCHEDULERS:
+            corr = check_correspondence(
+                scenario.program,
+                scenario.query(0),
+                scenario.database,
+                scheduler=scheduler,
+            )
+            assert corr.exact, scheduler

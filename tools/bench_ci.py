@@ -3,7 +3,8 @@
 
 Runs a curated, fast subset of the experiment suite (T1 correspondence,
 T3 magic family, F1 chain scaling, A2 naive-vs-seminaive, A7
-planner-vs-textual join order, A8 kernel-vs-interpreted executor),
+planner-vs-textual join order, A8 kernel-vs-interpreted executor, A9
+scc-vs-global fixpoint scheduling),
 cross-checks answers exactly as the full benches do, and compares the
 deterministic inference counts against the committed baseline
 (``benchmarks/baselines/bench_ci_baseline.json``).  Every run writes a
@@ -311,6 +312,99 @@ def kernel_attempt_drift(entries: list[dict]) -> list[dict]:
     return deviations
 
 
+def _run_a9(failures: list[str], budget=None) -> list[dict]:
+    """Scheduler smoke: the scc schedule must derive the same model with
+    the same inference and fact counts as the single global loop (the
+    in-run oracle) on every gated workload; attempt drift is reported
+    separately, as a baseline-style deviation.  ``iterations`` is recorded
+    but never compared: under scc it counts per-component passes, not
+    global rounds."""
+    from repro.core.strategy import run_strategy
+    from repro.engine.seminaive import seminaive_fixpoint
+
+    workloads = []
+    for label, strategy, scenario in [
+        ("alex-chain24", "alexander", ancestor(graph="chain", n=24)),
+        ("magic-chain24", "magic", ancestor(graph="chain", n=24)),
+    ]:
+        result = run_strategy(
+            strategy, scenario.program, scenario.query(0), scenario.database
+        )
+        base = scenario.database.copy()
+        base.add_atoms(scenario.program.facts)
+        workloads.append((label, result.transformed.evaluation_program(), base))
+    sg = same_generation(depth=4, branching=2)
+    workloads.append(("sg-d4", sg.program, sg.database))
+    entries = []
+    for label, program, base in workloads:
+        results = {}
+        for scheduler in ("scc", "global"):
+            start = time.perf_counter()
+            completed, stats = seminaive_fixpoint(
+                program,
+                base,
+                budget=budget,
+                scheduler=scheduler,
+            )
+            elapsed = time.perf_counter() - start
+            results[scheduler] = (completed, stats)
+            entries.append(
+                {
+                    "id": f"a9/{label}/{scheduler}",
+                    "scheduler": scheduler,
+                    "inferences": stats.inferences,
+                    "attempts": stats.attempts,
+                    "facts": stats.facts_derived,
+                    "iterations": stats.iterations,
+                    "seconds": elapsed,
+                }
+            )
+        scc_db, scc_stats = results["scc"]
+        global_db, global_stats = results["global"]
+        if scc_db != global_db:
+            failures.append(f"a9/{label}: scc derived a different model")
+        if scc_stats.inferences != global_stats.inferences:
+            failures.append(
+                f"a9/{label}: scc inference count diverged "
+                f"({scc_stats.inferences} != {global_stats.inferences})"
+            )
+        if scc_stats.facts_derived != global_stats.facts_derived:
+            failures.append(
+                f"a9/{label}: scc fact count diverged "
+                f"({scc_stats.facts_derived} != {global_stats.facts_derived})"
+            )
+    return entries
+
+
+def scheduler_attempt_drift(entries: list[dict]) -> list[dict]:
+    """A9 deviations: the scc schedule attempting *more* rows than the
+    global oracle on any workload means component scheduling stopped
+    paying for itself — reading lower components as full relations must
+    only ever shrink the probe count.  Gated at exit 2 like any baseline
+    deviation."""
+    attempts = {
+        entry["id"]: entry["attempts"]
+        for entry in entries
+        if entry["id"].startswith("a9/") and isinstance(entry.get("attempts"), int)
+    }
+    deviations = []
+    for entry_id, scc_attempts in sorted(attempts.items()):
+        _, label, scheduler = entry_id.split("/")
+        if scheduler != "scc":
+            continue
+        oracle = attempts.get(f"a9/{label}/global")
+        if oracle is not None and scc_attempts > oracle:
+            deviations.append(
+                {
+                    "id": f"a9/{label}",
+                    "kind": "scheduler-attempt-drift",
+                    "scc_attempts": scc_attempts,
+                    "global_attempts": oracle,
+                }
+            )
+    return deviations
+
+
 CHECK_GROUPS = {
     "t1": _run_t1,
     "t3": _run_t3,
@@ -318,6 +412,7 @@ CHECK_GROUPS = {
     "a2": _run_a2,
     "a7": _run_a7,
     "a8": _run_a8,
+    "a9": _run_a9,
 }
 
 
@@ -503,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
     # Executor-parity drift needs no committed baseline — the interpreted
     # run of the same workload is the reference.
     deviations.extend(kernel_attempt_drift(entries))
+    deviations.extend(scheduler_attempt_drift(entries))
 
     artifact = BenchArtifact(
         bench_id="ci",
