@@ -12,6 +12,7 @@ Usage examples::
     repro-datalog lint program.dl
     repro-datalog why program.dl "anc(a, c)"          # proof tree
     repro-datalog repl program.dl                     # interactive session
+    repro-datalog serve --load db=program.dl          # HTTP query service
 
 (Equivalently ``python -m repro.cli ...``.)
 """
@@ -179,6 +180,42 @@ def build_parser() -> argparse.ArgumentParser:
     repl = commands.add_parser("repl", help="interactive session")
     repl.add_argument("file")
     add_facts_option(repl)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived HTTP query service (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port; 0 picks an ephemeral port (default: 8321)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="write the bound port here once serving (ephemeral-port discovery)",
+    )
+    serve.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="preload dataset NAME from a Datalog FILE (repeatable)",
+    )
+    serve.add_argument(
+        "--max-cached",
+        type=int,
+        default=64,
+        help="prepared-query cache capacity (default: 64)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
     return parser
 
 
@@ -306,6 +343,37 @@ def _cmd_repl(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import QueryService, create_server, run_server
+
+    service = QueryService(max_cached=args.max_cached)
+    for spec in args.load:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError(f"--load expects NAME=FILE, got {spec!r}")
+        with open(path, "r", encoding="utf-8") as handle:
+            info = service.load(name, handle.read())
+        print(
+            f"loaded dataset {info['name']!r}: {info['rules']} rules, "
+            f"{info['facts']} facts",
+            file=sys.stderr,
+        )
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        service=service,
+        quiet=not args.verbose,
+    )
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"(cache capacity {args.max_cached})",
+        file=sys.stderr,
+    )
+    run_server(server, port_file=args.port_file)
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "explain": _cmd_explain,
@@ -314,6 +382,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "why": _cmd_why,
     "repl": _cmd_repl,
+    "serve": _cmd_serve,
 }
 
 

@@ -139,6 +139,44 @@ class Engine:
             scheduler=scheduler,
         )
 
+    def prepare(
+        self,
+        goal: Atom | str,
+        strategy: str = DEFAULT_STRATEGY,
+        sips: "Sips | str | None" = None,
+        planner: "str | None" = None,
+        budget=None,
+        executor: str = DEFAULT_EXECUTOR,
+        scheduler: str = DEFAULT_SCHEDULER,
+    ):
+        """Prepare *goal*'s shape for repeated execution.
+
+        Runs the shape-dependent pipeline (stratify, transform, plan,
+        compile) once and returns a
+        :class:`repro.core.prepare.PreparedQuery` whose
+        :meth:`~repro.core.prepare.PreparedQuery.execute` answers any
+        goal with the same predicate and adornment — different constants
+        included — without repeating any of that work.  Raises
+        :class:`repro.errors.UnpreparableStrategyError` for the
+        tuple-at-a-time strategies (``sld``, ``oldt``, ``qsqr``).
+
+        The prepared query snapshots the engine's current database;
+        facts added afterwards are not visible to it.
+        """
+        from .prepare import prepare_query
+
+        return prepare_query(
+            self._program,
+            goal,
+            self._database,
+            strategy=strategy,
+            sips=sips,
+            planner=planner,
+            budget=budget,
+            executor=executor,
+            scheduler=scheduler,
+        )
+
     def ask(
         self,
         goal: Atom | str,

@@ -1,0 +1,480 @@
+"""Prepared queries: run the query pipeline once, execute it many times.
+
+Every call to :func:`repro.core.strategy.run_strategy` re-parses,
+re-adorns, re-transforms, re-plans, and re-compiles — work that depends
+only on the *shape* of the query (predicate + binding pattern), not on
+its constants.  This module is the pure "prepare" half of that pipeline:
+
+* :func:`prepare_query` runs everything shape-dependent — stratification,
+  lower-strata materialisation, the Alexander/magic/supplementary
+  rewriting, join planning, rule compilation, kernel lowering — and
+  returns an immutable-ish :class:`PreparedQuery`.
+* :meth:`PreparedQuery.execute` evaluates a compatible goal (same
+  predicate, same adornment, any constants) by injecting a fresh seed
+  fact and running the precompiled fixpoint
+  (:mod:`repro.engine.prepared`).  No parse, no adorn, no transform, no
+  plan, no compile — observable as flat ``transform.*`` / ``planner.*`` /
+  ``kernel.*`` counters across executions.
+* :func:`prepared_cache_key` canonicalises the identity the query
+  service caches on: (program fingerprint, strategy, SIPS, planner,
+  executor, scheduler, goal predicate, goal adornment).
+
+Three preparation modes cover the strategy spectrum:
+
+* **transform** (``alexander``, ``magic``, ``supplementary``) — the full
+  pipeline above.  Strata strictly below the query predicate's are
+  materialised once at prepare time and the completed database is kept
+  as the execution base (valid as long as the underlying database is
+  unchanged — the serving layer versions its datasets and re-prepares
+  after every load).
+* **materialised** (``naive``, ``seminaive``, and any purely extensional
+  goal) — bottom-up evaluation is query-independent, so preparation
+  materialises the full model once and execution is a lookup.
+* **unpreparable** (``sld``, ``oldt``, ``qsqr``) — tuple-at-a-time
+  engines have no reusable compiled form;
+  :class:`repro.errors.UnpreparableStrategyError` tells callers to fall
+  back to direct execution.
+
+Answer sets are identical to the direct path by construction: the
+rewriting is adornment-determined, so rebinding constants only moves the
+seed fact, exactly as re-transforming would (pinned across strategies
+and constants by ``tests/test_prepare.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..analysis.stratify import stratify
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_query
+from ..datalog.rules import Program
+from ..datalog.terms import Constant
+from ..datalog.unify import match_atom
+from ..engine.budget import Checkpoint, EvaluationBudget
+from ..engine.counters import EvaluationStats
+from ..engine.kernel import DEFAULT_EXECUTOR, resolve_executor
+from ..engine.prepared import CompiledFixpoint, compile_fixpoint, run_fixpoint
+from ..engine.scheduler import DEFAULT_SCHEDULER, resolve_scheduler
+from ..engine.stratified import stratified_fixpoint
+from ..errors import ReproError, TransformError, UnpreparableStrategyError
+from ..facts.database import Database
+from ..obs import get_metrics
+from ..transform.adorn import query_adornment
+from ..transform.alexander import alexander_templates
+from ..transform.common import TransformedProgram, bound_args
+from ..transform.magic import magic_sets
+from ..transform.sips import Sips, left_to_right, named_sips
+from ..transform.supplementary import supplementary_magic_sets
+from .strategy import QueryResult, _sorted_answers, _transform_call_summary
+
+__all__ = [
+    "PreparedQuery",
+    "prepare_query",
+    "prepared_cache_key",
+    "program_fingerprint",
+    "TRANSFORM_STRATEGIES",
+    "MATERIALISED_STRATEGIES",
+    "UNPREPARABLE_STRATEGIES",
+]
+
+TRANSFORM_STRATEGIES = frozenset({"alexander", "magic", "supplementary"})
+MATERIALISED_STRATEGIES = frozenset({"naive", "seminaive"})
+UNPREPARABLE_STRATEGIES = frozenset({"sld", "oldt", "qsqr"})
+
+_TRANSFORMS = {
+    "alexander": alexander_templates,
+    "magic": magic_sets,
+    "supplementary": supplementary_magic_sets,
+}
+
+
+def program_fingerprint(program: Program) -> str:
+    """A stable hex digest of *program*'s canonical rule text.
+
+    Rule order is preserved (it is semantically irrelevant but keeps the
+    fingerprint cheap and deterministic); two programs with the same
+    rules in the same order always collide, which is exactly the reuse
+    the prepared-query cache wants.
+    """
+    text = "\n".join(str(rule) for rule in program.rules)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _sips_label(sips: "Sips | str | None") -> str:
+    if sips is None:
+        return "default"
+    if isinstance(sips, str):
+        return sips
+    return getattr(sips, "__name__", repr(sips))
+
+
+def prepared_cache_key(
+    program: Program,
+    goal: Atom,
+    strategy: str,
+    sips: "Sips | str | None" = None,
+    planner: "str | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
+) -> tuple:
+    """The identity a prepared query is reusable under.
+
+    For the transform strategies the goal contributes its *shape* only —
+    predicate and adornment, never its constants — so ``anc(a, X)?`` and
+    ``anc(b, X)?`` share one cache entry.  For the materialised
+    strategies the model is query-independent, so the goal contributes
+    nothing (``*``/``*``) and every goal shares one entry per
+    (program, config).
+    """
+    if strategy in MATERIALISED_STRATEGIES:
+        predicate, adornment = "*", "*"
+    else:
+        predicate, adornment = goal.predicate, query_adornment(goal)
+    return (
+        program_fingerprint(program),
+        strategy,
+        _sips_label(sips),
+        planner or "",
+        executor,
+        scheduler,
+        predicate,
+        adornment,
+    )
+
+
+@dataclass
+class PreparedQuery:
+    """One query shape, compiled and ready for repeated execution.
+
+    Attributes:
+        strategy: strategy name the results report.
+        mode: ``"transform"`` or ``"materialised"`` (see module
+            docstring).
+        query: the template goal the shape was prepared from.
+        adornment: the template's binding pattern; every executed goal
+            must reproduce it.
+        base: the execution base — EDB plus program facts, with lower
+            strata (transform mode) or the full model (materialised
+            mode) already completed.  Shared across executions and
+            copied per run; treated as immutable.
+        transformed: the rewriting (transform mode only).
+        fixpoint: the compiled evaluation plan of the rewritten stratum
+            (transform mode only).
+        key: the :func:`prepared_cache_key` tuple.
+        prepare_stats: counters accumulated while preparing (lower-strata
+            or full materialisation); execution stats never include them.
+    """
+
+    strategy: str
+    mode: str
+    query: Atom
+    adornment: str
+    base: Database
+    key: tuple
+    transformed: "TransformedProgram | None" = None
+    fixpoint: "CompiledFixpoint | None" = None
+    prepare_stats: EvaluationStats = field(default_factory=EvaluationStats)
+
+    # --- compatibility --------------------------------------------------------
+    def compatible(self, goal: Atom) -> bool:
+        """True iff *goal* can be executed by this prepared shape."""
+        return (
+            goal.predicate == self.query.predicate
+            and goal.arity == self.query.arity
+            and (
+                self.mode == "materialised"
+                or query_adornment(goal) == self.adornment
+            )
+        )
+
+    def _require_compatible(self, goal: Atom) -> None:
+        if not self.compatible(goal):
+            raise ReproError(
+                f"goal {goal} does not fit prepared shape "
+                f"{self.query.predicate}/{self.query.arity} "
+                f"adornment {self.adornment!r}"
+            )
+
+    def _rebind(self, goal: Atom) -> tuple[tuple[Atom, ...], Atom]:
+        """The seed facts and transformed goal atom for *goal*.
+
+        Seed arguments are the goal's bound constants in adornment
+        order — the same construction every transform uses — so moving
+        the constants moves the seed and nothing else.
+        """
+        assert self.transformed is not None
+        bound = bound_args(goal, self.adornment)
+        if not all(isinstance(arg, Constant) for arg in bound):
+            raise TransformError(
+                f"goal {goal} has a non-constant bound argument"
+            )
+        seeds = tuple(
+            Atom(seed.predicate, bound) for seed in self.transformed.seeds
+        )
+        return seeds, Atom(self.transformed.goal.predicate, goal.args)
+
+    # --- execution ------------------------------------------------------------
+    def execute(
+        self,
+        goal: "Atom | str | None" = None,
+        budget: "EvaluationBudget | Checkpoint | None" = None,
+    ) -> QueryResult:
+        """Evaluate *goal* (default: the template) with zero re-preparation.
+
+        Raises:
+            ReproError: when *goal* does not match the prepared shape.
+            BudgetExceededError: when *budget* trips; the error carries
+                the sound partial working database —
+                :meth:`partial_answers` extracts the goal's answers from
+                it.
+        """
+        if goal is None:
+            goal = self.query
+        elif isinstance(goal, str):
+            goal = parse_query(goal)
+        self._require_compatible(goal)
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("prepare.executions")
+        stats = EvaluationStats()
+        if self.mode == "materialised":
+            answers = self._matching(self.base, goal)
+            stats.answers = len(answers)
+            return QueryResult(
+                strategy=self.strategy, query=goal, answers=answers,
+                stats=stats,
+            )
+        seeds, transformed_goal = self._rebind(goal)
+        completed, _ = run_fixpoint(
+            self.fixpoint,
+            self.base,
+            stats=stats,
+            budget=budget,
+            extra_facts=seeds,
+        )
+        answers = self._matching(completed, goal, transformed_goal)
+        stats.answers = len(answers)
+        calls, answer_facts = _transform_call_summary(
+            self.transformed, completed
+        )
+        return QueryResult(
+            strategy=self.strategy,
+            query=goal,
+            answers=answers,
+            stats=stats,
+            calls=calls,
+            answer_facts=answer_facts,
+            transformed=self.transformed,
+        )
+
+    def partial_answers(self, partial: "Database | None", goal: "Atom | str | None" = None) -> tuple[Atom, ...]:
+        """The goal's answers present in a budget-trip *partial* database.
+
+        Bottom-up evaluation is inflationary, so every answer found is
+        genuinely derivable — the sound-partial contract the serving
+        layer reports to clients instead of failing their request.
+        """
+        if goal is None:
+            goal = self.query
+        elif isinstance(goal, str):
+            goal = parse_query(goal)
+        self._require_compatible(goal)
+        if partial is None:
+            return ()
+        if self.mode == "materialised":
+            return self._matching(partial, goal)
+        _, transformed_goal = self._rebind(goal)
+        return self._matching(partial, goal, transformed_goal)
+
+    @staticmethod
+    def _matching(
+        database: Database, goal: Atom, pattern: "Atom | None" = None
+    ) -> tuple[Atom, ...]:
+        pattern = pattern if pattern is not None else goal
+        if pattern.predicate not in database:
+            return ()
+        matching = (
+            atom
+            for atom in database.atoms(pattern.predicate)
+            if match_atom(pattern, atom) is not None
+        )
+        return _sorted_answers(goal, matching)
+
+
+def prepare_query(
+    program: Program,
+    goal: "Atom | str",
+    database: "Database | None" = None,
+    strategy: str = "alexander",
+    sips: "Sips | str | None" = None,
+    planner: "str | None" = None,
+    executor: str = DEFAULT_EXECUTOR,
+    scheduler: str = DEFAULT_SCHEDULER,
+    budget: "EvaluationBudget | Checkpoint | None" = None,
+) -> PreparedQuery:
+    """Prepare *goal*'s shape on *program* + *database* for reuse.
+
+    Args:
+        program: rules (embedded ground facts become part of the base).
+        goal: template query atom or source text; its constants pick the
+            shape's adornment but later executions may use any constants.
+        database: extensional facts the shape is prepared against; the
+            caller promises not to mutate it afterwards (the serving
+            layer enforces this by versioning datasets).
+        strategy: any transform or bottom-up strategy name; the top-down
+            names raise :class:`UnpreparableStrategyError`.
+        sips: optional SIPS name or function for the transform
+            strategies.
+        planner / executor / scheduler: the evaluation configuration the
+            compiled plan is specialised to (part of the cache key).
+        budget: optional budget bounding *preparation itself* (the
+            lower-strata or full materialisation); execution budgets are
+            passed to :meth:`PreparedQuery.execute` per run.
+    """
+    if isinstance(goal, str):
+        goal = parse_query(goal)
+    if strategy in UNPREPARABLE_STRATEGIES:
+        raise UnpreparableStrategyError(
+            f"strategy {strategy!r} has no reusable compiled form; "
+            f"execute it directly via run_strategy()"
+        )
+    if strategy not in TRANSFORM_STRATEGIES | MATERIALISED_STRATEGIES:
+        raise ReproError(
+            f"unknown strategy {strategy!r}; prepare supports "
+            f"{sorted(TRANSFORM_STRATEGIES | MATERIALISED_STRATEGIES)}"
+        )
+    if isinstance(sips, str):
+        sips_fn = named_sips(sips)
+    else:
+        sips_fn = sips if sips is not None else left_to_right
+    resolve_executor(executor)
+    resolve_scheduler(scheduler)
+
+    key = prepared_cache_key(
+        program, goal, strategy, sips, planner, executor, scheduler
+    )
+    obs = get_metrics()
+    prepare_stats = EvaluationStats()
+    with obs.timer("prepare"):
+        working = database.copy() if database is not None else Database()
+        working.add_atoms(program.facts)
+        rules_only = program.without_facts()
+        adornment = query_adornment(goal)
+
+        if strategy in MATERIALISED_STRATEGIES:
+            if rules_only.proper_rules:
+                working, _ = stratified_fixpoint(
+                    rules_only,
+                    working,
+                    prepare_stats,
+                    engine=strategy,
+                    planner=planner,
+                    budget=budget,
+                    executor=executor,
+                    scheduler=scheduler,
+                )
+            prepared = PreparedQuery(
+                strategy=strategy,
+                mode="materialised",
+                query=goal,
+                adornment=adornment,
+                base=working,
+                key=key,
+                prepare_stats=prepare_stats,
+            )
+        elif goal.predicate not in rules_only.idb_predicates:
+            # Purely extensional goal: the base answers by lookup.
+            prepared = PreparedQuery(
+                strategy=strategy,
+                mode="materialised",
+                query=goal,
+                adornment=adornment,
+                base=working,
+                key=key,
+                prepare_stats=prepare_stats,
+            )
+        else:
+            prepared = _prepare_transform(
+                strategy, rules_only, goal, working, sips_fn, planner,
+                executor, scheduler, budget, key, prepare_stats,
+                edb_extra=program.predicates,
+            )
+    if obs.enabled:
+        obs.incr("prepare.builds")
+        obs.incr(f"prepare.mode.{prepared.mode}")
+    return prepared
+
+
+def _prepare_transform(
+    strategy: str,
+    rules_only: Program,
+    goal: Atom,
+    working: Database,
+    sips_fn: Sips,
+    planner,
+    executor: str,
+    scheduler: str,
+    budget,
+    key: tuple,
+    prepare_stats: EvaluationStats,
+    edb_extra: frozenset[str],
+) -> PreparedQuery:
+    """The structured transform pipeline, stopped just short of running.
+
+    Mirrors :func:`repro.core.strategy._transform_strategy` exactly —
+    materialise strata strictly below the goal predicate's, rewrite its
+    stratum against the rest as EDB — but compiles the rewritten stratum
+    instead of evaluating it.
+    """
+    stratification = stratify(rules_only)
+    query_stratum = None
+    for index, stratum in enumerate(stratification.strata):
+        if goal.predicate in stratum.idb_predicates:
+            query_stratum = index
+            break
+    if query_stratum is None:
+        raise TransformError(
+            f"query predicate {goal.predicate} not defined in any stratum"
+        )
+    lower = Program(
+        tuple(
+            rule
+            for stratum in stratification.strata[:query_stratum]
+            for rule in stratum.rules
+        )
+    )
+    if lower.proper_rules:
+        working, _ = stratified_fixpoint(
+            lower,
+            working,
+            prepare_stats,
+            planner=planner,
+            budget=budget,
+            executor=executor,
+            scheduler=scheduler,
+        )
+    target = stratification.strata[query_stratum]
+    edb = frozenset(
+        (edb_extra | working.predicates()) - target.idb_predicates
+    )
+    transformed = _TRANSFORMS[strategy](target, goal, sips_fn, edb)
+    fixpoint = compile_fixpoint(
+        transformed.program,
+        working,
+        planner=planner,
+        executor=executor,
+        scheduler=scheduler,
+    )
+    return PreparedQuery(
+        strategy=strategy,
+        mode="transform",
+        query=goal,
+        adornment=query_adornment(goal),
+        base=working,
+        key=key,
+        transformed=transformed,
+        fixpoint=fixpoint,
+        prepare_stats=prepare_stats,
+    )

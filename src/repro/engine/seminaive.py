@@ -46,7 +46,7 @@ from .matching import CompiledRule, compile_rule
 from .planner import JoinPlanner, resolve_planner
 from .scheduler import DEFAULT_SCHEDULER, resolve_scheduler
 
-__all__ = ["seminaive_fixpoint"]
+__all__ = ["seminaive_fixpoint", "run_global_rounds"]
 
 
 def _variant_positions(compiled: CompiledRule, derived: frozenset[str]) -> list[int]:
@@ -140,7 +140,6 @@ def seminaive_fixpoint(
             executor=executor,
         )
     stats = stats if stats is not None else EvaluationStats()
-    obs = get_metrics()
     working = database.copy() if database is not None else Database()
     working.add_atoms(program.facts)
     derived = program.idb_predicates
@@ -161,6 +160,31 @@ def seminaive_fixpoint(
     checkpoint = ensure_checkpoint(budget, stats)
     if checkpoint is not None:
         checkpoint.bind(working)
+    run_global_rounds(
+        executors, variants, derived, arities, working, stats, checkpoint
+    )
+    return working, stats
+
+
+def run_global_rounds(
+    executors,
+    variants,
+    derived: frozenset[str],
+    arities: Mapping[str, int],
+    working: Database,
+    stats: EvaluationStats,
+    checkpoint: "Checkpoint | None",
+) -> None:
+    """The global-loop round discipline over already-compiled rules.
+
+    This is the run half of the compile/run split: everything
+    query-shape-specific (planning, rule compilation, kernel lowering,
+    variant positions) happened before this call, so a prepared query
+    (:mod:`repro.engine.prepared`) can execute it repeatedly against
+    fresh working databases with zero recompilation.  *working* is
+    mutated in place and must already hold every derived relation.
+    """
+    obs = get_metrics()
 
     def full_view(position: int, predicate: str) -> Relation | None:
         try:
@@ -251,4 +275,3 @@ def seminaive_fixpoint(
     if obs.enabled:
         obs.incr("seminaive.runs")
         obs.observe("seminaive.iterations", stats.iterations)
-    return working, stats

@@ -88,3 +88,10 @@ class BudgetExceededError(EvaluationError):
 class TransformError(ReproError):
     """Raised when a query transformation (adornment, magic sets, Alexander
     templates) cannot be applied to the given program/query pair."""
+
+
+class UnpreparableStrategyError(ReproError):
+    """Raised by :func:`repro.core.prepare.prepare_query` for strategies
+    with no reusable compiled form (the tuple-at-a-time top-down engines:
+    ``sld``, ``oldt``, ``qsqr``).  Callers — the query service above all —
+    fall back to direct :func:`repro.core.strategy.run_strategy` execution."""

@@ -21,6 +21,7 @@ from .metrics import (
     HistogramStat,
     Metrics,
     NullMetrics,
+    ThreadSafeMetrics,
     TimerStat,
     collect,
     get_metrics,
@@ -35,6 +36,7 @@ __all__ = [
     "HistogramStat",
     "Metrics",
     "NullMetrics",
+    "ThreadSafeMetrics",
     "TimerStat",
     "collect",
     "get_metrics",

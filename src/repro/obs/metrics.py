@@ -35,6 +35,7 @@ The snapshot is plain JSON-serialisable data; the bench artifact layer
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -45,6 +46,7 @@ __all__ = [
     "HistogramStat",
     "Metrics",
     "NullMetrics",
+    "ThreadSafeMetrics",
     "NULL_METRICS",
     "get_metrics",
     "set_metrics",
@@ -243,6 +245,85 @@ class NullMetrics(Metrics):
 
     def observe(self, name: str, value: float) -> None:
         return None
+
+
+class ThreadSafeMetrics(Metrics):
+    """A registry safe for concurrent recording from many threads.
+
+    The query service (:mod:`repro.serve`) handles requests on a
+    :class:`~http.server.ThreadingHTTPServer`, so many evaluations record
+    into one registry at once.  Two adjustments make that sound:
+
+    * counters, histograms, and timer aggregates are updated under one
+      re-entrant lock (``incr`` on a plain dict is not atomic — the
+      read-modify-write would drop updates under contention);
+    * the timer *stack* is thread-local, so spans opened on different
+      request threads nest within their own thread's call tree instead of
+      interleaving into nonsense paths.
+
+    Recording costs one uncontended lock acquisition per hook; the
+    engines' hot loops only touch the registry at round boundaries, so
+    the overhead is invisible next to evaluation work.  Snapshots are
+    taken under the same lock and therefore internally consistent.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, name: str) -> str:
+        stack = self._thread_stack()
+        path = f"{stack[-1]}/{name}" if stack else name
+        stack.append(path)
+        return path
+
+    def _pop(self, path: str, elapsed: float) -> None:
+        stack = self._thread_stack()
+        if stack and stack[-1] == path:
+            stack.pop()
+        with self._lock:
+            stat = self.timers.get(path)
+            if stat is None:
+                stat = self.timers[path] = TimerStat()
+            stat.record(elapsed)
+
+    @property
+    def depth(self) -> int:
+        """Open timer spans *on the calling thread*."""
+        return len(self._thread_stack())
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def fold_stats(self, stats, prefix: str = "engine") -> None:
+        with self._lock:
+            super().fold_stats(stats, prefix)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            stat = self.histograms.get(name)
+            if stat is None:
+                stat = self.histograms[name] = HistogramStat()
+            stat.observe(value)
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            return super().snapshot()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.timers.clear()
+            self.counters.clear()
+            self.histograms.clear()
+        self._thread_stack().clear()
 
 
 NULL_METRICS = NullMetrics()

@@ -1,0 +1,40 @@
+"""The long-lived query service: load once, serve prepared queries.
+
+Everything here is standard library only (``http.server`` + ``json``) —
+the service must run wherever the engine runs, with no web framework in
+the dependency set.  Four layers:
+
+* :mod:`repro.serve.cache` — :class:`PreparedQueryCache`, a locked LRU
+  of :class:`repro.core.prepare.PreparedQuery` objects keyed by dataset
+  version and :func:`repro.core.prepare.prepared_cache_key`.  A hit
+  skips parse/adorn/transform/plan/compile entirely (``serve.prepared.hits``
+  vs flat ``transform.*`` / ``planner.*`` counters — the serve smoke CI
+  job asserts exactly this).
+* :mod:`repro.serve.service` — :class:`QueryService`, the HTTP-free
+  core: named, versioned datasets, per-request budgets with
+  sound-partial degradation, direct-execution fallback for the
+  unpreparable strategies.
+* :mod:`repro.serve.server` — the :class:`~http.server.ThreadingHTTPServer`
+  wiring (``/health``, ``/metrics``, ``/load``, ``/prepare``,
+  ``/query``), exposed to the CLI as ``repro serve``.
+* :mod:`repro.serve.client` — :class:`ServeClient`, a thin
+  ``urllib``-based client the tests, benchmarks, and smoke job share.
+
+See ``docs/SERVING.md`` for the endpoint reference and operational notes.
+"""
+
+from .cache import CacheEntry, PreparedQueryCache
+from .client import ServeClient
+from .server import ReproServer, create_server, run_server
+from .service import Dataset, QueryService
+
+__all__ = [
+    "CacheEntry",
+    "PreparedQueryCache",
+    "ServeClient",
+    "ReproServer",
+    "create_server",
+    "run_server",
+    "Dataset",
+    "QueryService",
+]

@@ -1,0 +1,140 @@
+"""The prepared-query LRU cache behind the serving layer.
+
+One entry is one :class:`repro.core.prepare.PreparedQuery` — a fully
+transformed, planned, and compiled query shape.  Entries are keyed by
+``(dataset, version) + prepared_cache_key(...)``, so a dataset reload
+(which bumps the version) naturally strands the old version's entries;
+:meth:`PreparedQueryCache.drop_dataset` evicts them eagerly on reload
+rather than waiting for LRU pressure.
+
+The cache is safe for concurrent use from the threading HTTP server.
+Lookups and insertions run under one lock; *preparation itself does
+not* — a miss releases the lock while the (potentially expensive)
+factory runs, so concurrent requests for different shapes prepare in
+parallel.  Two threads missing on the same key may both prepare; the
+first insertion wins and the loser adopts it, which wastes one
+preparation but never blocks unrelated requests behind a slow one.
+Prepared queries are read-only after construction, so sharing one entry
+across threads is sound (each execution copies its working database).
+
+Hit/miss/eviction totals are kept on the cache (exact, locked) and
+mirrored into the active metrics registry as ``serve.prepared.hits`` /
+``serve.prepared.misses`` / ``serve.prepared.evictions`` — the counters
+the serve smoke CI job asserts on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.prepare import PreparedQuery
+from ..obs import get_metrics
+
+__all__ = ["CacheEntry", "PreparedQueryCache", "DEFAULT_MAX_ENTRIES"]
+
+DEFAULT_MAX_ENTRIES = 64
+
+
+@dataclass
+class CacheEntry:
+    """One cached shape plus its usage accounting."""
+
+    key: tuple
+    prepared: PreparedQuery
+    hits: int = 0
+
+
+class PreparedQueryCache:
+    """A locked LRU of prepared queries.
+
+    Args:
+        max_entries: capacity; inserting beyond it evicts the least
+            recently used entry.  Must be positive.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_prepare(
+        self, key: tuple, factory: Callable[[], PreparedQuery]
+    ) -> tuple[PreparedQuery, bool]:
+        """The entry under *key*, preparing it via *factory* on a miss.
+
+        Returns ``(prepared, hit)`` where *hit* says whether this request
+        reused a cached shape.  *factory* runs outside the cache lock.
+        """
+        obs = get_metrics()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.hits += 1
+                if obs.enabled:
+                    obs.incr("serve.prepared.hits")
+                return entry.prepared, True
+            self.misses += 1
+        if obs.enabled:
+            obs.incr("serve.prepared.misses")
+        prepared = factory()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Lost a prepare race; adopt the first insertion so every
+                # thread shares one object per shape.
+                self._entries.move_to_end(key)
+                return existing.prepared, False
+            self._entries[key] = CacheEntry(key=key, prepared=prepared)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if obs.enabled:
+                    obs.incr("serve.prepared.evictions")
+        return prepared, False
+
+    def peek(self, key: tuple) -> "PreparedQuery | None":
+        """The entry under *key* without touching LRU order or counters."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.prepared if entry is not None else None
+
+    def drop_dataset(self, dataset: str) -> int:
+        """Evict every entry whose key scopes to *dataset*; returns count.
+
+        Entry keys start with ``(dataset, version)``, so a reload can
+        reclaim the stale version's slots immediately.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == dataset]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Exact totals for the ``/metrics`` payload."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,137 @@
+"""A thin ``urllib`` client for the query service.
+
+Shared by the tests, the serving benchmark, and the CI smoke job so they
+all speak the endpoint contract through one place.  Strictly standard
+library, like the server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """An HTTP-level failure talking to the service.
+
+    Attributes:
+        status: HTTP status code, when a response arrived at all.
+        payload: the decoded error payload, when the body was JSON.
+    """
+
+    def __init__(self, message: str, status: "int | None" = None, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Talk JSON to a running :mod:`repro.serve` server.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8321"`` (no trailing slash
+            needed).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # --- transport ------------------------------------------------------------
+    def _request(self, path: str, payload: "dict | None" = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = None
+            message = (
+                decoded.get("error") if isinstance(decoded, dict) else None
+            ) or f"HTTP {exc.code} from {path}"
+            raise ServeError(message, status=exc.code, payload=decoded)
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {url}: {exc.reason}")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServeError(f"non-JSON response from {path}: {exc}")
+
+    # --- endpoints ------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def load(
+        self,
+        dataset: str,
+        program: "str | None" = None,
+        facts: "str | None" = None,
+        extend: bool = False,
+    ) -> dict:
+        return self._request(
+            "/load",
+            {
+                "dataset": dataset,
+                "program": program,
+                "facts": facts,
+                "extend": extend,
+            },
+        )
+
+    def prepare(self, dataset: str, goal: str, **config) -> dict:
+        return self._request(
+            "/prepare", {"dataset": dataset, "goal": goal, **config}
+        )
+
+    def query(
+        self,
+        dataset: str,
+        goal: str,
+        budget: "dict | None" = None,
+        **config,
+    ) -> dict:
+        payload = {"dataset": dataset, "goal": goal, **config}
+        if budget is not None:
+            payload["budget"] = budget
+        return self._request("/query", payload)
+
+    # --- conveniences ---------------------------------------------------------
+    def wait_healthy(self, deadline_seconds: float = 10.0) -> dict:
+        """Poll ``/health`` until it answers or the deadline passes."""
+        deadline = time.monotonic() + deadline_seconds
+        last_error: "ServeError | None" = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except ServeError as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise ServeError(
+            f"server at {self.base_url} not healthy after "
+            f"{deadline_seconds}s: {last_error}"
+        )
+
+    def counter(self, name: str) -> int:
+        """One counter from ``/metrics`` (0 when absent)."""
+        return int(
+            self.metrics()["metrics"]["counters"].get(name, 0)
+        )

@@ -1,0 +1,261 @@
+"""The HTTP face of the query service — standard library only.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per connection,
+daemon threads) wraps a :class:`~repro.serve.service.QueryService`.
+JSON in, JSON out; no framework, no non-stdlib dependency, because the
+service must run anywhere the engine runs.
+
+Endpoints::
+
+    GET  /health    liveness + loaded datasets (200 as soon as booted)
+    GET  /metrics   metrics snapshot + cache totals + in-flight gauge
+    POST /load      {"dataset", "program"?, "facts"?, "extend"?}
+    POST /prepare   {"dataset", "goal", "strategy"?, config...}
+    POST /query     {"dataset", "goal", "strategy"?, "budget"?, config...}
+
+Error contract: malformed requests and library errors
+(:class:`~repro.errors.ReproError`) are 400 with ``{"error": ...}``;
+unknown paths are 404; **budget trips are 200** with a sound-partial
+payload (``partial: true`` — see :mod:`repro.serve.service`).
+
+Booting installs a :class:`~repro.obs.ThreadSafeMetrics` registry as the
+process-wide active registry (request threads record concurrently), and
+:func:`run_server` shuts down cleanly on SIGINT/SIGTERM — the serve
+smoke CI job fails on any traceback at shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError
+from ..obs import ThreadSafeMetrics, get_metrics, set_metrics
+from .service import QueryService, budget_from_payload
+
+__all__ = ["ReproServer", "create_server", "run_server", "DEFAULT_HOST"]
+
+DEFAULT_HOST = "127.0.0.1"
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The threading HTTP server plus the shared service state."""
+
+    daemon_threads = True
+    # Allow quick restarts in tests/CI without TIME_WAIT bind failures.
+    allow_reuse_address = True
+    # The stdlib default backlog of 5 drops simultaneous connects under
+    # concurrent clients (connection reset); match a realistic burst.
+    request_queue_size = 128
+
+    def __init__(self, address, service: QueryService, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # --- in-flight gauge ------------------------------------------------------
+    def request_started(self) -> None:
+        obs = get_metrics()
+        with self._inflight_lock:
+            self._inflight += 1
+            current = self._inflight
+        if obs.enabled:
+            obs.incr("serve.requests")
+            obs.observe("serve.inflight", current)
+
+    def request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request dispatch.  One instance per request, on its own thread."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # --- plumbing -------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ReproError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        self.server.request_started()
+        try:
+            status, payload = handler()
+        except ReproError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {
+                "error": f"internal error: {type(exc).__name__}: {exc}"
+            }
+        finally:
+            self.server.request_finished()
+        self._send_json(status, payload)
+
+    # --- routes ---------------------------------------------------------------
+    def do_GET(self):
+        if self.path == "/health":
+            self._dispatch(self._health)
+        elif self.path == "/metrics":
+            self._dispatch(self._metrics)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self):
+        routes = {
+            "/load": self._load,
+            "/prepare": self._prepare,
+            "/query": self._query,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def _health(self):
+        return 200, {
+            "status": "ok",
+            "datasets": self.server.service.datasets(),
+        }
+
+    def _metrics(self):
+        return 200, {
+            "metrics": get_metrics().snapshot(),
+            "cache": self.server.service.cache.stats(),
+            "inflight": self.server.inflight,
+        }
+
+    def _load(self):
+        payload = self._read_json()
+        name = payload.get("dataset")
+        if not name:
+            raise ReproError('load requires a "dataset" name')
+        info = self.server.service.load(
+            name,
+            program_text=payload.get("program"),
+            facts_text=payload.get("facts"),
+            extend=bool(payload.get("extend", False)),
+        )
+        return 200, info
+
+    def _prepare(self):
+        payload = self._read_json()
+        return 200, self.server.service.prepare(
+            self._required(payload, "dataset"),
+            self._required(payload, "goal"),
+            **self._config(payload),
+        )
+
+    def _query(self):
+        payload = self._read_json()
+        budget = budget_from_payload(payload.get("budget"))
+        return 200, self.server.service.query(
+            self._required(payload, "dataset"),
+            self._required(payload, "goal"),
+            budget=budget,
+            **self._config(payload),
+        )
+
+    @staticmethod
+    def _required(payload: dict, field: str) -> str:
+        value = payload.get(field)
+        if not value:
+            raise ReproError(f'request requires a "{field}" field')
+        return value
+
+    @staticmethod
+    def _config(payload: dict) -> dict:
+        config = {}
+        for field in ("strategy", "sips", "planner", "executor", "scheduler"):
+            if payload.get(field) is not None:
+                config[field] = payload[field]
+        return config
+
+
+def create_server(
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    service: "QueryService | None" = None,
+    quiet: bool = True,
+    install_metrics: bool = True,
+) -> ReproServer:
+    """Bind a :class:`ReproServer` (``port=0`` → ephemeral port).
+
+    With *install_metrics* (the default) a fresh
+    :class:`~repro.obs.ThreadSafeMetrics` becomes the process-wide active
+    registry, so request threads record safely; pass ``False`` when the
+    caller (a test) manages the registry itself.
+    """
+    if install_metrics and not isinstance(get_metrics(), ThreadSafeMetrics):
+        set_metrics(ThreadSafeMetrics())
+    return ReproServer((host, port), service or QueryService(), quiet=quiet)
+
+
+def run_server(
+    server: ReproServer,
+    port_file: "str | None" = None,
+    handle_signals: bool = True,
+) -> None:
+    """Serve until SIGINT/SIGTERM, then shut down cleanly.
+
+    Args:
+        server: a :func:`create_server` result.
+        port_file: optional path to write the bound port to once
+            serving — how the smoke job discovers an ephemeral port.
+        handle_signals: install SIGINT/SIGTERM handlers that request a
+            clean shutdown (main thread only).
+    """
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.port}\n")
+    if handle_signals:
+        def _shutdown(signum, frame):
+            # shutdown() blocks until serve_forever exits; call it off
+            # the serving thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGINT, _shutdown)
+        signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()

@@ -1,0 +1,472 @@
+"""The HTTP-free core of the query service.
+
+:class:`QueryService` owns named, versioned datasets (a parsed program
+plus its extensional database) and answers queries against them, going
+through the :class:`~repro.serve.cache.PreparedQueryCache` whenever the
+strategy has a preparable form:
+
+* preparable strategies (the transform family and the bottom-up
+  engines) are served through :func:`repro.core.prepare.prepare_query`;
+  a cache hit executes a precompiled shape and does **zero** parse /
+  adorn / transform / plan / compile work;
+* the tuple-at-a-time strategies (``sld``, ``oldt``, ``qsqr``) raise
+  :class:`~repro.errors.UnpreparableStrategyError` from the prepare
+  pipeline and fall back to direct
+  :func:`repro.core.strategy.run_strategy` execution, counted under
+  ``serve.direct``.
+
+Every request gets its own :class:`~repro.engine.budget.EvaluationBudget`
+(decoded from the request payload).  A budget trip is **not** an error
+at this layer: bottom-up evaluation is inflationary, so the partial
+database carried by :class:`~repro.errors.BudgetExceededError` is a
+sound prefix of the full model, and the response reports the answers
+found so far flagged ``partial: true, sound: true`` with the tripped
+limit — the graceful-degradation contract clients can rely on.
+
+Dataset versioning is what makes caching sound: prepared queries
+snapshot their base database, so any mutation goes through
+:meth:`QueryService.load`, which bumps the dataset version (changing
+every cache key) and eagerly drops the stale version's entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.prepare import (
+    UNPREPARABLE_STRATEGIES,
+    PreparedQuery,
+    prepare_query,
+    prepared_cache_key,
+    program_fingerprint,
+)
+from ..core.strategy import QueryResult, available_strategies, run_strategy
+from ..datalog.atoms import Atom
+from ..datalog.parser import parse_program, parse_query
+from ..datalog.rules import Program
+from ..datalog.unify import match_atom
+from ..engine.budget import EvaluationBudget
+from ..engine.kernel import DEFAULT_EXECUTOR
+from ..engine.scheduler import DEFAULT_SCHEDULER
+from ..errors import BudgetExceededError, ReproError, UnpreparableStrategyError
+from ..facts.database import Database
+from ..obs import get_metrics
+from .cache import DEFAULT_MAX_ENTRIES, PreparedQueryCache
+
+__all__ = ["Dataset", "QueryService", "budget_from_payload"]
+
+DEFAULT_STRATEGY = "alexander"
+
+_BUDGET_FIELDS = (
+    "wall_clock_seconds",
+    "max_iterations",
+    "max_facts",
+    "max_attempts",
+)
+
+
+def budget_from_payload(payload) -> "EvaluationBudget | None":
+    """Decode a request's ``budget`` object into an
+    :class:`EvaluationBudget` (``None`` / empty → no budget)."""
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ReproError(f"budget must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - set(_BUDGET_FIELDS)
+    if unknown:
+        raise ReproError(
+            f"unknown budget field(s) {sorted(unknown)}; "
+            f"expected {list(_BUDGET_FIELDS)}"
+        )
+    kwargs = {name: payload.get(name) for name in _BUDGET_FIELDS}
+    if all(value is None for value in kwargs.values()):
+        return None
+    return EvaluationBudget(**kwargs)
+
+
+def _match_answers(database, goal: Atom) -> tuple[Atom, ...]:
+    """The goal's answers present in *database* (``None`` → none).
+
+    Used on budget trips where no :class:`PreparedQuery` exists yet; the
+    database is a sound prefix, so anything found is a true answer.
+    """
+    from ..core.strategy import _sorted_answers
+
+    if database is None or goal.predicate not in database:
+        return ()
+    matching = (
+        atom
+        for atom in database.atoms(goal.predicate)
+        if match_atom(goal, atom) is not None
+    )
+    return _sorted_answers(goal, matching)
+
+
+@dataclass
+class Dataset:
+    """One loaded program + database, versioned across reloads.
+
+    Attributes:
+        name: the handle requests address it by.
+        program: the rules (facts live in *database*).
+        database: the extensional facts; treated as immutable — reloads
+            install a fresh object and bump *version*.
+        version: bumped on every :meth:`QueryService.load` touching this
+            name; part of every prepared-cache key.
+        fingerprint: the program's rule fingerprint, reported by
+            ``/health`` and ``/metrics`` for cache-debugging.
+    """
+
+    name: str
+    program: Program
+    database: Database
+    version: int
+    fingerprint: str
+
+    def info(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "rules": len(self.program.proper_rules),
+            "predicates": sorted(self.database.predicates()),
+            "facts": sum(
+                len(self.database.rows(p)) for p in self.database.predicates()
+            ),
+            "fingerprint": self.fingerprint[:16],
+        }
+
+
+class QueryService:
+    """Datasets + prepared-query cache + request execution.
+
+    Thread-safe: dataset registration runs under a lock, queries run
+    lock-free against immutable snapshots (a reload replaces the
+    :class:`Dataset` object; in-flight requests finish against the
+    version they started with).
+    """
+
+    def __init__(self, max_cached: int = DEFAULT_MAX_ENTRIES):
+        self._lock = threading.Lock()
+        self._datasets: dict[str, Dataset] = {}
+        self.cache = PreparedQueryCache(max_cached)
+
+    # --- datasets -------------------------------------------------------------
+    def load(
+        self,
+        name: str,
+        program_text: "str | None" = None,
+        facts_text: "str | None" = None,
+        extend: bool = False,
+    ) -> dict:
+        """Load or reload dataset *name* from Datalog source text.
+
+        Args:
+            name: dataset handle.
+            program_text: rules and/or facts; required unless *extend*.
+            facts_text: additional source parsed the same way, kept as a
+                separate argument so callers can ship rules and bulk EDB
+                in different strings.
+            extend: start from the existing dataset's program + facts
+                instead of empty (still bumps the version — extending is
+                a mutation like any other).
+        """
+        with self._lock:
+            current = self._datasets.get(name)
+            if extend and current is None:
+                raise ReproError(f"cannot extend unknown dataset {name!r}")
+            if not extend and program_text is None:
+                raise ReproError("load requires program text")
+            if extend:
+                rules = list(current.program.rules)
+                database = current.database.copy()
+                version = current.version + 1
+            else:
+                rules = []
+                database = Database()
+                version = current.version + 1 if current is not None else 1
+            for text in (program_text, facts_text):
+                if not text:
+                    continue
+                parsed = parse_program(text)
+                database.add_atoms(parsed.facts)
+                rules.extend(parsed.without_facts().rules)
+            program = Program(tuple(rules))
+            dataset = Dataset(
+                name=name,
+                program=program,
+                database=database,
+                version=version,
+                fingerprint=program_fingerprint(program),
+            )
+            self._datasets[name] = dataset
+        dropped = self.cache.drop_dataset(name)
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.loads")
+        info = dataset.info()
+        info["cache_entries_dropped"] = dropped
+        return info
+
+    def dataset(self, name: str) -> Dataset:
+        with self._lock:
+            dataset = self._datasets.get(name)
+        if dataset is None:
+            raise ReproError(
+                f"unknown dataset {name!r}; loaded: {sorted(self._datasets)}"
+            )
+        return dataset
+
+    def datasets(self) -> list[dict]:
+        with self._lock:
+            snapshot = list(self._datasets.values())
+        return [dataset.info() for dataset in snapshot]
+
+    # --- preparation ----------------------------------------------------------
+    def _cache_key(
+        self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
+        executor: str, scheduler: str,
+    ) -> tuple:
+        return (dataset.name, dataset.version) + prepared_cache_key(
+            dataset.program, goal, strategy, sips, planner, executor,
+            scheduler,
+        )
+
+    def prepare(
+        self,
+        dataset_name: str,
+        goal: "Atom | str",
+        strategy: str = DEFAULT_STRATEGY,
+        sips: "str | None" = None,
+        planner: "str | None" = None,
+        executor: str = DEFAULT_EXECUTOR,
+        scheduler: str = DEFAULT_SCHEDULER,
+    ) -> dict:
+        """Prepare (or re-use) a query shape; the ``/prepare`` endpoint.
+
+        Raises :class:`UnpreparableStrategyError` for the top-down
+        strategies — ``/prepare`` reports that as a client error, while
+        ``/query`` silently falls back to direct execution.
+        """
+        dataset = self.dataset(dataset_name)
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        key = self._cache_key(
+            dataset, goal, strategy, sips, planner, executor, scheduler
+        )
+        if strategy in UNPREPARABLE_STRATEGIES:
+            # Surface the library error without caching anything.
+            prepare_query(dataset.program, goal, dataset.database, strategy)
+            raise AssertionError("unreachable")  # pragma: no cover
+        started = time.perf_counter()
+        prepared, hit = self.cache.get_or_prepare(
+            key,
+            lambda: prepare_query(
+                dataset.program,
+                goal,
+                dataset.database,
+                strategy=strategy,
+                sips=sips,
+                planner=planner,
+                executor=executor,
+                scheduler=scheduler,
+            ),
+        )
+        return {
+            "dataset": dataset.name,
+            "version": dataset.version,
+            "goal": str(goal),
+            "strategy": strategy,
+            "adornment": prepared.adornment,
+            "mode": prepared.mode,
+            "cache_hit": hit,
+            "rules_compiled": (
+                prepared.fixpoint.rule_count if prepared.fixpoint else 0
+            ),
+            "kernels": (
+                prepared.fixpoint.kernel_count if prepared.fixpoint else 0
+            ),
+            "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+        }
+
+    # --- querying -------------------------------------------------------------
+    def query(
+        self,
+        dataset_name: str,
+        goal: "Atom | str",
+        strategy: str = DEFAULT_STRATEGY,
+        sips: "str | None" = None,
+        planner: "str | None" = None,
+        executor: str = DEFAULT_EXECUTOR,
+        scheduler: str = DEFAULT_SCHEDULER,
+        budget: "EvaluationBudget | None" = None,
+    ) -> dict:
+        """Answer *goal* against *dataset_name*; the ``/query`` endpoint.
+
+        Returns a JSON-ready payload.  Budget trips degrade to a sound
+        partial payload (``partial: true``) instead of raising.
+        """
+        obs = get_metrics()
+        started = time.perf_counter()
+        dataset = self.dataset(dataset_name)
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        if strategy not in available_strategies():
+            raise ReproError(
+                f"unknown strategy {strategy!r}; choose from "
+                f"{available_strategies()}"
+            )
+        if obs.enabled:
+            obs.incr("serve.queries")
+            obs.incr(f"serve.strategy.{strategy}")
+
+        payload: dict
+        if strategy in UNPREPARABLE_STRATEGIES:
+            payload = self._query_direct(
+                dataset, goal, strategy, sips, planner, executor, scheduler,
+                budget,
+            )
+        else:
+            payload = self._query_prepared(
+                dataset, goal, strategy, sips, planner, executor, scheduler,
+                budget,
+            )
+        elapsed = time.perf_counter() - started
+        payload["elapsed_ms"] = elapsed * 1000.0
+        if obs.enabled:
+            obs.observe("serve.request_seconds", elapsed)
+        return payload
+
+    def _query_prepared(
+        self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
+        executor: str, scheduler: str, budget,
+    ) -> dict:
+        key = self._cache_key(
+            dataset, goal, strategy, sips, planner, executor, scheduler
+        )
+        try:
+            # The request budget governs whatever work this request
+            # actually does: on a miss that includes preparation (lower
+            # strata / full materialisation), on a hit only execution.
+            prepared, hit = self.cache.get_or_prepare(
+                key,
+                lambda: prepare_query(
+                    dataset.program,
+                    goal,
+                    dataset.database,
+                    strategy=strategy,
+                    sips=sips,
+                    planner=planner,
+                    executor=executor,
+                    scheduler=scheduler,
+                    budget=budget,
+                ),
+            )
+        except BudgetExceededError as exc:
+            # Tripped mid-preparation: nothing was cached.  The partial
+            # database is still a sound prefix, so report what it holds
+            # for the goal (usually nothing for transform shapes, whose
+            # goal predicate lives above the materialised strata).
+            return self._partial_payload(
+                dataset, goal, strategy,
+                _match_answers(exc.partial, goal), exc,
+                prepared=False, cache_hit=False,
+            )
+        try:
+            result = prepared.execute(goal, budget=budget)
+        except BudgetExceededError as exc:
+            return self._partial_payload(
+                dataset, goal, strategy,
+                prepared.partial_answers(exc.partial, goal), exc,
+                prepared=True, cache_hit=hit,
+            )
+        payload = self._result_payload(dataset, goal, result)
+        payload["prepared"] = True
+        payload["cache_hit"] = hit
+        return payload
+
+    def _query_direct(
+        self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
+        executor: str, scheduler: str, budget,
+    ) -> dict:
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.direct")
+        try:
+            result = run_strategy(
+                strategy,
+                dataset.program,
+                goal,
+                dataset.database,
+                sips=sips,
+                planner=planner,
+                budget=budget,
+                executor=executor,
+                scheduler=scheduler,
+            )
+        except BudgetExceededError as exc:
+            return self._partial_payload(
+                dataset, goal, strategy, _match_answers(exc.partial, goal),
+                exc, prepared=False, cache_hit=False,
+            )
+        payload = self._result_payload(dataset, goal, result)
+        payload["prepared"] = False
+        payload["cache_hit"] = False
+        return payload
+
+    # --- payload rendering ----------------------------------------------------
+    @staticmethod
+    def render_answers(answers: tuple[Atom, ...]) -> dict:
+        """The canonical answer rendering every payload shares.
+
+        ``rows`` are the ground value tuples in the deterministic sorted
+        order of :func:`repro.core.strategy._sorted_answers`; ``atoms``
+        the same answers as source text.  The bit-identity tests compare
+        these fields against a direct :meth:`repro.core.engine.Engine.query`.
+        """
+        return {
+            "rows": [list(atom.ground_key()) for atom in answers],
+            "atoms": [str(atom) for atom in answers],
+            "count": len(answers),
+        }
+
+    def _result_payload(
+        self, dataset: Dataset, goal: Atom, result: QueryResult
+    ) -> dict:
+        payload = {
+            "dataset": dataset.name,
+            "version": dataset.version,
+            "goal": str(goal),
+            "strategy": result.strategy,
+            "answers": self.render_answers(result.answers),
+            "partial": False,
+            "sound": True,
+            "complete": True,
+            "stats": result.stats.as_dict(),
+        }
+        return payload
+
+    def _partial_payload(
+        self, dataset: Dataset, goal: Atom, strategy: str,
+        answers: tuple[Atom, ...], exc: BudgetExceededError,
+        prepared: bool, cache_hit: bool,
+    ) -> dict:
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.budget_tripped")
+        stats = exc.stats.as_dict() if exc.stats is not None else {}
+        return {
+            "dataset": dataset.name,
+            "version": dataset.version,
+            "goal": str(goal),
+            "strategy": strategy,
+            "answers": self.render_answers(answers),
+            "partial": True,
+            "sound": True,
+            "complete": False,
+            "budget_limit": exc.limit,
+            "stats": stats,
+            "prepared": prepared,
+            "cache_hit": cache_hit,
+        }

@@ -43,6 +43,7 @@ from .common import (
     TransformedProgram,
     bound_args,
     carried_variables,
+    observe_transform,
     prefixed_name,
 )
 from .sips import Sips, left_to_right
@@ -106,6 +107,7 @@ def alexander_transform_adorned(adorned: AdornedProgram) -> TransformedProgram:
         for adorned_pred, name in ans_names.items()
         if adorned_pred in adorned.originals
     }
+    observe_transform("alexander", len(rewritten))
     return TransformedProgram(
         program=Program(rewritten),
         goal=goal,

@@ -16,6 +16,7 @@ from ..datalog.atoms import Atom, Literal
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import TransformError
+from ..obs import get_metrics
 
 __all__ = [
     "Adornment",
@@ -25,8 +26,25 @@ __all__ = [
     "adorned_name",
     "prefixed_name",
     "carried_variables",
+    "observe_transform",
     "TransformedProgram",
 ]
+
+
+def observe_transform(kind: str, rewritten_rules: int) -> None:
+    """Record one query rewriting in the active metrics registry.
+
+    Every transformation entry point calls this exactly once per
+    rewriting, so ``transform.rewritings`` counts how often the
+    parse/adorn/transform pipeline actually ran — the quantity the
+    prepared-query cache exists to drive to zero on its hit path (the
+    serve smoke test asserts it stays flat across a cache hit).
+    """
+    obs = get_metrics()
+    if obs.enabled:
+        obs.incr("transform.rewritings")
+        obs.incr(f"transform.{kind}")
+        obs.observe("transform.rewritten_rules", rewritten_rules)
 
 # An adornment is a string over {'b', 'f'}, one character per argument.
 Adornment = str

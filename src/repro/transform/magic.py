@@ -30,7 +30,12 @@ from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant
 from ..errors import TransformError
 from .adorn import AdornedProgram, AdornedRule, adorn_program
-from .common import TransformedProgram, bound_args, prefixed_name
+from .common import (
+    TransformedProgram,
+    bound_args,
+    observe_transform,
+    prefixed_name,
+)
 from .sips import Sips, left_to_right
 
 __all__ = ["magic_sets", "magic_transform_adorned"]
@@ -79,6 +84,7 @@ def magic_transform_adorned(adorned: AdornedProgram) -> TransformedProgram:
     answer_predicates = {
         name: key for key, name in adorned.names.items()
     }
+    observe_transform("magic", len(rewritten))
     return TransformedProgram(
         program=Program(rewritten),
         goal=query,

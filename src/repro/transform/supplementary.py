@@ -30,6 +30,7 @@ from .common import (
     TransformedProgram,
     bound_args,
     carried_variables,
+    observe_transform,
     prefixed_name,
 )
 from .sips import Sips, left_to_right
@@ -76,6 +77,7 @@ def supplementary_transform_adorned(adorned: AdornedProgram) -> TransformedProgr
         if adorned_pred in adorned.originals
     }
     answer_predicates = {name: key for key, name in adorned.names.items()}
+    observe_transform("supplementary", len(rewritten))
     return TransformedProgram(
         program=Program(rewritten),
         goal=query,

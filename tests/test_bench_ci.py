@@ -123,6 +123,57 @@ class TestMainGate:
         assert artifact.meta["metrics"]["timers"]
         assert all("seconds" in entry for entry in artifact.entries)
 
+    def test_unwritable_results_dir_exits_4(self, tmp_path, capsys):
+        """A results path that cannot receive the artifact is an
+        infrastructure failure (exit 4), not a regression."""
+        not_a_dir = tmp_path / "results"
+        not_a_dir.write_text("a file where a directory must be")
+        baseline = tmp_path / "baseline.json"
+        code = bench_ci.main(
+            [
+                "--only", "a2",
+                "--baseline", str(baseline),
+                "--output-dir", str(not_a_dir),
+                "--update-baseline",
+            ]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "INFRASTRUCTURE" in err
+        assert "cannot write the bench artifact" in err
+
+    def test_broken_bench_module_import_exits_4(self, tmp_path, capsys, monkeypatch):
+        """A benchmark module that raises at import is an infrastructure
+        failure (exit 4) with the offending module named."""
+        broken = tmp_path / "benchmarks"
+        broken.mkdir()
+        (broken / "bench_f4_serving.py").write_text(
+            "raise RuntimeError('deliberately broken for the test')\n"
+        )
+        monkeypatch.setattr(bench_ci, "BENCH_DIR", broken)
+        code = bench_ci.main(
+            [
+                "--only", "f4",
+                "--baseline", str(tmp_path / "baseline.json"),
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "INFRASTRUCTURE" in err
+        assert "bench_f4_serving" in err
+        assert "deliberately broken" in err
+
+    def test_load_bench_module_imports_the_real_f4(self):
+        module = bench_ci.load_bench_module("bench_f4_serving")
+        assert callable(module.serving_parity_entries)
+
+    def test_f4_group_entries_are_deterministic(self):
+        first, failures_a, _ = bench_ci.run_checks(["f4"])
+        second, failures_b, _ = bench_ci.run_checks(["f4"])
+        assert failures_a == failures_b == []
+        assert bench_ci.baseline_counts(first) == bench_ci.baseline_counts(second)
+
     def test_committed_baseline_matches_current_code(self):
         """The repo's own gate must be green: full run vs committed baseline."""
         entries, failures, _ = bench_ci.run_checks()

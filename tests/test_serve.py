@@ -1,0 +1,426 @@
+"""Tests for the serving layer (repro.serve.*).
+
+Covers the prepared-query cache (LRU, races, dataset eviction), the
+HTTP-free :class:`QueryService` payload contract, the live
+:class:`ThreadingHTTPServer` endpoints, thread-safe metrics, and the
+headline concurrency guarantee: N simultaneous clients — mixed cache
+hits and misses, one with a tiny budget — each get a response
+bit-identical to a direct :meth:`Engine.query`, with the budget-tripped
+response flagged as a sound partial.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.prepare import prepare_query
+from repro.datalog.parser import parse_program
+from repro.errors import ReproError
+from repro.obs import ThreadSafeMetrics, collect
+from repro.serve import (
+    PreparedQueryCache,
+    QueryService,
+    ServeClient,
+    create_server,
+)
+from repro.serve.client import ServeError
+from repro.serve.service import budget_from_payload
+
+CHAIN_LENGTH = 24
+
+SG_SOURCE = """
+flat(a1, a2). flat(b1, b2).
+up(c1, a1). up(c2, a2). up(d1, b1). up(d2, b2).
+down(a1, e1). down(a2, e2). down(b1, f1). down(b2, f2).
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+"""
+
+
+def chain_source(n: int = CHAIN_LENGTH) -> str:
+    lines = [f"edge({i}, {i + 1})." for i in range(n)]
+    lines.append("anc(X, Y) :- edge(X, Y).")
+    lines.append("anc(X, Y) :- edge(X, Z), anc(Z, Y).")
+    return "\n".join(lines)
+
+
+def direct_rows(source: str, goal: str, strategy: str = "alexander"):
+    """What a direct in-process Engine.query renders for *goal*."""
+    program = parse_program(source)
+    result = Engine(program).query(goal, strategy=strategy)
+    return [list(atom.ground_key()) for atom in result.answers]
+
+
+@pytest.fixture
+def service():
+    service = QueryService()
+    service.load("chain", chain_source())
+    return service
+
+
+# --- cache ---------------------------------------------------------------
+class TestPreparedQueryCache:
+    def _prepared(self, label="x"):
+        program = parse_program("p(a). q(X) :- p(X).")
+        return prepare_query(program, "q(X)?", strategy="seminaive")
+
+    def test_miss_then_hit(self):
+        cache = PreparedQueryCache(4)
+        prepared = self._prepared()
+        first, hit_a = cache.get_or_prepare(("k",), lambda: prepared)
+        second, hit_b = cache.get_or_prepare(("k",), lambda: self._prepared())
+        assert (hit_a, hit_b) == (False, True)
+        assert first is prepared and second is prepared
+        assert cache.stats() == {
+            "entries": 1, "max_entries": 4, "hits": 1, "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_lru_eviction_order(self):
+        cache = PreparedQueryCache(2)
+        cache.get_or_prepare(("a",), self._prepared)
+        cache.get_or_prepare(("b",), self._prepared)
+        cache.get_or_prepare(("a",), self._prepared)  # refresh a
+        cache.get_or_prepare(("c",), self._prepared)  # evicts b
+        assert cache.peek(("a",)) is not None
+        assert cache.peek(("b",)) is None
+        assert cache.peek(("c",)) is not None
+        assert cache.evictions == 1
+
+    def test_peek_does_not_touch_counters_or_order(self):
+        cache = PreparedQueryCache(2)
+        cache.get_or_prepare(("a",), self._prepared)
+        cache.get_or_prepare(("b",), self._prepared)
+        cache.peek(("a",))  # no LRU refresh
+        cache.get_or_prepare(("c",), self._prepared)  # still evicts a
+        assert cache.peek(("a",)) is None
+        assert cache.hits == 0
+
+    def test_drop_dataset_scopes_by_key_head(self):
+        cache = PreparedQueryCache(8)
+        cache.get_or_prepare(("db1", 1, "rest"), self._prepared)
+        cache.get_or_prepare(("db1", 2, "rest"), self._prepared)
+        cache.get_or_prepare(("db2", 1, "rest"), self._prepared)
+        assert cache.drop_dataset("db1") == 2
+        assert len(cache) == 1
+        assert cache.peek(("db2", 1, "rest")) is not None
+
+    def test_racing_misses_adopt_the_first_insertion(self):
+        cache = PreparedQueryCache(4)
+        barrier = threading.Barrier(4)
+        prepared_objects = []
+        lock = threading.Lock()
+
+        def factory():
+            made = self._prepared()
+            with lock:
+                prepared_objects.append(made)
+            return made
+
+        def race():
+            barrier.wait()
+            return cache.get_or_prepare(("shared",), factory)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(lambda _: race(), range(4)))
+        winners = {id(prepared) for prepared, _ in results}
+        assert len(winners) == 1  # every thread shares one object
+        assert cache.peek(("shared",)) in [p for p, _ in results]
+        assert len(cache) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PreparedQueryCache(0)
+
+
+# --- budgets from payloads ------------------------------------------------
+class TestBudgetFromPayload:
+    def test_none_and_empty_mean_unbudgeted(self):
+        assert budget_from_payload(None) is None
+        assert budget_from_payload({}) is None
+        assert budget_from_payload({"max_facts": None}) is None
+
+    def test_decodes_fields(self):
+        budget = budget_from_payload({"max_facts": 5, "max_iterations": 2})
+        assert budget.max_facts == 5
+        assert budget.max_iterations == 2
+        assert budget.wall_clock_seconds is None
+
+    def test_rejects_unknown_fields_and_non_objects(self):
+        with pytest.raises(ReproError, match="unknown budget field"):
+            budget_from_payload({"max_factz": 5})
+        with pytest.raises(ReproError, match="must be an object"):
+            budget_from_payload(5)
+
+
+# --- the HTTP-free service -----------------------------------------------
+class TestQueryService:
+    def test_query_payload_matches_direct_engine(self, service):
+        payload = service.query("chain", "anc(0, X)?")
+        assert payload["answers"]["rows"] == direct_rows(
+            chain_source(), "anc(0, X)?"
+        )
+        assert payload["answers"]["count"] == CHAIN_LENGTH
+        assert payload["complete"] and payload["sound"]
+        assert not payload["partial"]
+        assert payload["prepared"] and not payload["cache_hit"]
+        assert payload["stats"]["inferences"] > 0
+
+    def test_second_identical_query_is_a_cache_hit(self, service):
+        first = service.query("chain", "anc(0, X)?")
+        second = service.query("chain", "anc(0, X)?")
+        assert not first["cache_hit"] and second["cache_hit"]
+        assert first["answers"] == second["answers"]
+        assert first["stats"]["inferences"] == second["stats"]["inferences"]
+
+    def test_rebound_constant_shares_the_prepared_shape(self, service):
+        service.query("chain", "anc(0, X)?")
+        rebound = service.query("chain", "anc(5, X)?")
+        assert rebound["cache_hit"]
+        assert rebound["answers"]["rows"] == direct_rows(
+            chain_source(), "anc(5, X)?"
+        )
+
+    def test_unpreparable_strategy_falls_back_to_direct(self, service):
+        payload = service.query("chain", "anc(0, X)?", strategy="oldt")
+        assert not payload["prepared"] and not payload["cache_hit"]
+        assert payload["answers"]["rows"] == direct_rows(
+            chain_source(), "anc(0, X)?", strategy="oldt"
+        )
+        assert service.cache.stats()["entries"] == 0
+
+    def test_budget_trip_is_a_sound_partial_payload(self, service):
+        full = service.query("chain", "anc(0, X)?")
+        from repro.engine.budget import EvaluationBudget
+
+        tripped = service.query(
+            "chain", "anc(0, X)?", budget=EvaluationBudget(max_iterations=2)
+        )
+        assert tripped["partial"] and tripped["sound"]
+        assert not tripped["complete"]
+        assert tripped["budget_limit"]
+        full_rows = {tuple(row) for row in full["answers"]["rows"]}
+        partial_rows = {tuple(row) for row in tripped["answers"]["rows"]}
+        assert partial_rows <= full_rows
+
+    def test_unknown_dataset_and_strategy_rejected(self, service):
+        with pytest.raises(ReproError, match="unknown dataset"):
+            service.query("nope", "anc(0, X)?")
+        with pytest.raises(ReproError, match="unknown strategy"):
+            service.query("chain", "anc(0, X)?", strategy="nope")
+
+    def test_load_requires_program_text(self):
+        service = QueryService()
+        with pytest.raises(ReproError, match="requires program text"):
+            service.load("empty")
+        with pytest.raises(ReproError, match="cannot extend"):
+            service.load("ghost", "p(a).", extend=True)
+
+    def test_reload_bumps_version_and_drops_cache(self, service):
+        before = service.query("chain", "anc(0, X)?")
+        assert before["version"] == 1
+        info = service.load("chain", chain_source(CHAIN_LENGTH + 1))
+        assert info["version"] == 2
+        assert info["cache_entries_dropped"] == 1
+        after = service.query("chain", "anc(0, X)?")
+        assert after["version"] == 2
+        assert not after["cache_hit"]  # old shape is gone
+        assert after["answers"]["count"] == CHAIN_LENGTH + 1
+
+    def test_extend_keeps_existing_facts(self, service):
+        service.load("chain", facts_text=f"edge({CHAIN_LENGTH}, {CHAIN_LENGTH + 1}).", extend=True)
+        payload = service.query("chain", "anc(0, X)?")
+        assert payload["answers"]["count"] == CHAIN_LENGTH + 1
+
+    def test_prepare_endpoint_reports_shape(self, service):
+        first = service.prepare("chain", "anc(0, X)?")
+        assert first["mode"] == "transform"
+        assert first["adornment"] == "bf"
+        assert not first["cache_hit"]
+        assert first["rules_compiled"] > 0
+        second = service.prepare("chain", "anc(1, X)?")
+        assert second["cache_hit"]
+        hit = service.query("chain", "anc(0, X)?")
+        assert hit["cache_hit"]
+
+    def test_prepare_surfaces_unpreparable_strategies(self, service):
+        from repro.errors import UnpreparableStrategyError
+
+        with pytest.raises(UnpreparableStrategyError):
+            service.prepare("chain", "anc(0, X)?", strategy="sld")
+
+
+# --- thread-safe metrics --------------------------------------------------
+class TestThreadSafeMetrics:
+    def test_concurrent_increments_are_exact(self):
+        metrics = ThreadSafeMetrics()
+        threads, per_thread = 8, 500
+
+        def bump():
+            for _ in range(per_thread):
+                metrics.incr("n")
+                metrics.observe("h", 1.0)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(lambda _: bump(), range(threads)))
+        assert metrics.counters["n"] == threads * per_thread
+        assert metrics.histograms["h"].count == threads * per_thread
+
+    def test_timer_nesting_is_per_thread(self):
+        metrics = ThreadSafeMetrics()
+        barrier = threading.Barrier(2)
+
+        def span(name):
+            with metrics.timer(name):
+                barrier.wait()  # both spans open simultaneously
+                with metrics.timer("inner"):
+                    pass
+            return True
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert all(pool.map(span, ["a", "b"]))
+        # Each thread nested under its own root, never the other's.
+        assert set(metrics.timers) == {"a", "b", "a/inner", "b/inner"}
+
+    def test_snapshot_shape_matches_base_metrics(self):
+        metrics = ThreadSafeMetrics()
+        metrics.incr("c")
+        with metrics.timer("t"):
+            pass
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert "t" in snapshot["timers"]
+
+
+# --- the live HTTP server -------------------------------------------------
+@pytest.fixture
+def live_server():
+    """A real ThreadingHTTPServer on an ephemeral port, with its own
+    thread-safe registry active for the duration."""
+    with collect(ThreadSafeMetrics()):
+        server = create_server(port=0, install_metrics=False)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+        client.wait_healthy(15.0)
+        try:
+            yield server, client
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestHttpEndpoints:
+    def test_health_lists_datasets(self, live_server):
+        _, client = live_server
+        assert client.health()["datasets"] == []
+        client.load("chain", chain_source())
+        listed = client.health()["datasets"]
+        assert [d["name"] for d in listed] == ["chain"]
+        assert listed[0]["version"] == 1
+
+    def test_query_roundtrip_and_metrics(self, live_server):
+        _, client = live_server
+        client.load("chain", chain_source())
+        miss = client.query("chain", "anc(0, X)?")
+        hit = client.query("chain", "anc(0, X)?")
+        assert not miss["cache_hit"] and hit["cache_hit"]
+        assert miss["answers"] == hit["answers"]
+        assert hit["answers"]["rows"] == direct_rows(
+            chain_source(), "anc(0, X)?"
+        )
+        assert client.counter("serve.prepared.hits") == 1
+        assert client.counter("serve.prepared.misses") == 1
+        assert client.counter("serve.queries") == 2
+        metrics = client.metrics()
+        assert metrics["cache"]["hits"] == 1
+        assert metrics["inflight"] >= 0
+
+    def test_budget_trip_over_http_is_200_and_partial(self, live_server):
+        _, client = live_server
+        client.load("chain", chain_source())
+        payload = client.query(
+            "chain", "anc(0, X)?", budget={"max_iterations": 2}
+        )
+        assert payload["partial"] and payload["sound"]
+        assert not payload["complete"]
+        assert client.counter("serve.budget_tripped") == 1
+
+    def test_error_statuses(self, live_server):
+        _, client = live_server
+        with pytest.raises(ServeError) as missing:
+            client.query("ghost", "anc(0, X)?")
+        assert missing.value.status == 400
+        client.load("chain", chain_source())
+        with pytest.raises(ServeError) as unpreparable:
+            client.prepare("chain", "anc(0, X)?", strategy="sld")
+        assert unpreparable.value.status == 400
+        with pytest.raises(ServeError) as bad_budget:
+            client.query("chain", "anc(0, X)?", budget={"bogus": 1})
+        assert bad_budget.value.status == 400
+        with pytest.raises(ServeError) as lost:
+            client._request("/nope")
+        assert lost.value.status == 404
+
+    def test_concurrent_clients_mixed_hits_misses_and_a_budget(
+        self, live_server
+    ):
+        """The ISSUE-mandated threaded-client test: N simultaneous
+        queries — some prepared-cache hits, some misses, one with a tiny
+        budget — every unbudgeted response bit-identical to a direct
+        ``Engine.query``, the budget-tripped one flagged sound partial."""
+        server, client = live_server
+        client.load("chain", chain_source())
+        client.load("sg", SG_SOURCE)
+        # Warm one shape so its requests below are guaranteed hits.
+        client.query("chain", "anc(0, X)?")
+
+        jobs = []
+        for constant in (0, 3, 7, 11):  # hits: warm alexander bf shape
+            jobs.append(("chain", f"anc({constant}, X)?", "alexander", None))
+        jobs.append(("chain", "anc(X, Y)?", "alexander", None))  # miss: ff
+        jobs.append(("chain", "anc(0, X)?", "magic", None))      # miss
+        jobs.append(("chain", "anc(0, X)?", "seminaive", None))  # miss
+        jobs.append(("sg", "sg(c1, X)?", "alexander", None))     # miss
+        jobs.append(("sg", "sg(c2, X)?", "supplementary", None)) # miss
+        jobs.append(("chain", "anc(0, X)?", "oldt", None))       # direct
+        # The tiny-budget client; trips mid-evaluation.
+        jobs.append(("chain", "anc(0, X)?", "alexander", {"max_iterations": 1}))
+
+        barrier = threading.Barrier(len(jobs))
+
+        def fire(job):
+            dataset, goal, strategy, budget = job
+            own = ServeClient(client.base_url, timeout=60.0)
+            barrier.wait()  # genuinely simultaneous
+            return own.query(dataset, goal, strategy=strategy, budget=budget)
+
+        with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+            responses = list(pool.map(fire, jobs))
+
+        sources = {"chain": chain_source(), "sg": SG_SOURCE}
+        budgeted = 0
+        for (dataset, goal, strategy, budget), payload in zip(jobs, responses):
+            if budget is not None:
+                budgeted += 1
+                assert payload["partial"] and payload["sound"], payload
+                assert not payload["complete"]
+                assert payload["budget_limit"]
+                continue
+            # Bit-identical to the direct engine answer.
+            assert payload["complete"], payload
+            assert payload["answers"]["rows"] == direct_rows(
+                sources[dataset], goal, strategy=strategy
+            ), (dataset, goal, strategy)
+        assert budgeted == 1
+        assert client.counter("serve.budget_tripped") == 1
+        # The four warm-shape clients all hit the same prepared entry.
+        assert client.counter("serve.prepared.hits") >= 4
+        assert client.counter("serve.queries") == len(jobs) + 1
+        assert server.inflight == 0

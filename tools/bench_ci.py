@@ -2,9 +2,9 @@
 """CI benchmark smoke runner — the observability gate.
 
 Runs a curated, fast subset of the experiment suite (T1 correspondence,
-T3 magic family, F1 chain scaling, A2 naive-vs-seminaive, A7
-planner-vs-textual join order, A8 kernel-vs-interpreted executor, A9
-scc-vs-global fixpoint scheduling),
+T3 magic family, F1 chain scaling, F4 serving prepared-cache parity, A2
+naive-vs-seminaive, A7 planner-vs-textual join order, A8
+kernel-vs-interpreted executor, A9 scc-vs-global fixpoint scheduling),
 cross-checks answers exactly as the full benches do, and compares the
 deterministic inference counts against the committed baseline
 (``benchmarks/baselines/bench_ci_baseline.json``).  Every run writes a
@@ -20,6 +20,9 @@ Exit codes:
 * 2 — inference counts deviated from the baseline beyond the tolerance.
 * 3 — the baseline file is missing or unreadable (run with
   ``--update-baseline`` to create it).
+* 4 — the gate's own infrastructure is broken: a benchmark module failed
+  to import, or the results directory cannot be written.  Distinct from
+  1–3 so CI triage never mistakes a harness problem for a regression.
 
 Usage::
 
@@ -51,6 +54,12 @@ from repro.obs import BenchArtifact, collect  # noqa: E402
 from repro.workloads import ancestor, same_generation  # noqa: E402
 
 BASELINE_SCHEMA = "repro-bench-baseline/1"
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+class InfrastructureError(RuntimeError):
+    """The gate itself is broken (unimportable bench module, unwritable
+    results directory) — reported as exit code 4, never as a regression."""
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "bench_ci_baseline.json"
 DEFAULT_OUTPUT_DIR = REPO_ROOT / "benchmarks" / "results"
 DEFAULT_TOLERANCE = 0.0
@@ -405,10 +414,45 @@ def scheduler_attempt_drift(entries: list[dict]) -> list[dict]:
     return deviations
 
 
+def load_bench_module(name: str):
+    """Import ``benchmarks/<name>.py`` by path.
+
+    The benchmark tree is not an installed package, so modules are loaded
+    straight from their files.  Any exception during import — syntax
+    error, missing symbol, broken top-level code — is the gate's own
+    infrastructure failing, not a measured regression, and surfaces as
+    :class:`InfrastructureError` (exit code 4).
+    """
+    import importlib.util
+
+    path = BENCH_DIR / f"{name}.py"
+    try:
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"no loadable module at {path}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except Exception as error:
+        raise InfrastructureError(
+            f"benchmark module {path} failed to import: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+    return module
+
+
+def _run_f4(failures: list[str], budget=None) -> list[dict]:
+    """Serving smoke: prepared-cache hits must be bit-identical to direct
+    evaluation with identical inference counts and zero pipeline work
+    (see ``benchmarks/bench_f4_serving.py``)."""
+    module = load_bench_module("bench_f4_serving")
+    return module.serving_parity_entries(failures, budget)
+
+
 CHECK_GROUPS = {
     "t1": _run_t1,
     "t3": _run_t3,
     "f1": _run_f1,
+    "f4": _run_f4,
     "a2": _run_a2,
     "a7": _run_a7,
     "a8": _run_a8,
@@ -523,6 +567,15 @@ def write_baseline(path: pathlib.Path, counts: dict[str, int], tolerance: float)
 
 # --- entry point ---------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
+    """Run the gate; exit 4 on infrastructure failure, else see module doc."""
+    try:
+        return _main(argv)
+    except InfrastructureError as error:
+        print(f"bench_ci: INFRASTRUCTURE {error}", file=sys.stderr)
+        return 4
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
@@ -617,7 +670,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     for entry in entries:
         artifact.add_entry(entry)
-    artifact_path = artifact.write(args.output_dir)
+    try:
+        artifact_path = artifact.write(args.output_dir)
+    except OSError as error:
+        raise InfrastructureError(
+            f"cannot write the bench artifact to {args.output_dir}: "
+            f"{type(error).__name__}: {error}"
+        ) from error
 
     print(
         f"bench_ci: {len(entries)} measurements across "

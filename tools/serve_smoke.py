@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""CI smoke test for the query service (``repro serve``).
+
+Boots the real server as a subprocess on an ephemeral port, then walks
+the serving contract end to end:
+
+1. ``/health`` answers within the boot deadline;
+2. ``/load`` installs a workload-sized EDB (the T1 ancestor chain);
+3. the same query runs twice — the second run must be a prepared-cache
+   hit, proven two ways: ``cache_hit`` in the response payload, and via
+   ``/metrics`` the ``serve.prepared.hits`` counter rising while
+   ``transform.rewritings`` / ``prepare.fixpoints_compiled`` /
+   ``kernel.rules_compiled`` stay **flat** (the hit path did zero
+   parse/adorn/transform/plan/compile work);
+4. answers on the hit are identical to the miss;
+5. SIGTERM stops the server with exit code 0 and no traceback on
+   stderr.
+
+Exit code 0 on success, 1 on any assertion failure, with the server's
+stderr echoed for diagnosis.  Used by the ``serve-smoke`` CI job; run
+locally with ``python tools/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.workloads.programs import ancestor  # noqa: E402
+
+BOOT_DEADLINE_SECONDS = 30.0
+CHAIN_LENGTH = 200
+
+# Counters that must stay flat across a prepared-cache hit: any movement
+# means the second request re-entered the parse/transform/plan/compile
+# pipeline the cache exists to skip.
+FLAT_ON_HIT = (
+    "transform.rewritings",
+    "prepare.builds",
+    "prepare.fixpoints_compiled",
+    "kernel.rules_compiled",
+    "planner.rules_planned",
+)
+
+
+def scenario_source() -> tuple[str, str]:
+    """The T1 ancestor workload as Datalog text plus its bound query."""
+    scenario = ancestor(graph="chain", n=CHAIN_LENGTH)
+    lines = [str(rule) for rule in scenario.program.proper_rules]
+    for predicate in sorted(scenario.database.predicates()):
+        for row in sorted(scenario.database.rows(predicate)):
+            args = ", ".join(str(value) for value in row)
+            lines.append(f"{predicate}({args}).")
+    return "\n".join(lines), "anc(0, X)?"
+
+
+def counters_of_interest(client: ServeClient) -> dict[str, int]:
+    counters = client.metrics()["metrics"]["counters"]
+    return {name: int(counters.get(name, 0)) for name in FLAT_ON_HIT + ("serve.prepared.hits",)}
+
+
+def main() -> int:
+    port_file = Path(tempfile.mkdtemp(prefix="serve-smoke-")) / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + BOOT_DEADLINE_SECONDS
+        while not port_file.exists():
+            if server.poll() is not None or time.monotonic() > deadline:
+                raise AssertionError("server never wrote its port file")
+            time.sleep(0.05)
+        port = int(port_file.read_text().strip())
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        client.wait_healthy(BOOT_DEADLINE_SECONDS)
+        print(f"server healthy on port {port}")
+
+        program_text, goal = scenario_source()
+        info = client.load("t1", program_text)
+        print(f"loaded t1: {info['rules']} rules, {info['facts']} facts")
+
+        first = client.query("t1", goal)
+        assert first["cache_hit"] is False, "first request cannot be a hit"
+        assert first["prepared"] is True
+        assert first["complete"] is True
+        assert first["answers"]["count"] == CHAIN_LENGTH - 1, first["answers"]["count"]
+        before = counters_of_interest(client)
+        assert before["serve.prepared.hits"] == 0, before
+
+        second = client.query("t1", goal)
+        assert second["cache_hit"] is True, "second request must hit the cache"
+        assert second["answers"] == first["answers"], "hit answers must match"
+        after = counters_of_interest(client)
+        assert after["serve.prepared.hits"] == 1, after
+        for name in FLAT_ON_HIT:
+            assert after[name] == before[name], (
+                f"{name} moved on the hit path: {before[name]} -> {after[name]}"
+            )
+        print("prepared-cache hit verified; pipeline counters flat:")
+        for name in FLAT_ON_HIT:
+            print(f"  {name} = {after[name]}")
+
+        cache = client.metrics()["cache"]
+        assert cache["hits"] == 1 and cache["misses"] == 1, cache
+        print(f"cache totals: {cache}")
+    except (AssertionError, ServeError) as failure:
+        server.kill()
+        _, err = server.communicate(timeout=10)
+        print(f"FAIL: {failure}", file=sys.stderr)
+        if err:
+            print(f"--- server stderr ---\n{err}", file=sys.stderr)
+        return 1
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+
+    try:
+        _, err = server.communicate(timeout=15)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        print("FAIL: server did not exit within 15s of SIGTERM", file=sys.stderr)
+        return 1
+    if server.returncode != 0:
+        print(f"FAIL: server exited {server.returncode}", file=sys.stderr)
+        print(f"--- server stderr ---\n{err}", file=sys.stderr)
+        return 1
+    if "Traceback" in err:
+        print("FAIL: server emitted a traceback on shutdown", file=sys.stderr)
+        print(f"--- server stderr ---\n{err}", file=sys.stderr)
+        return 1
+    print("clean shutdown (exit 0, no traceback)")
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
