@@ -31,6 +31,7 @@ from .core.strategy import available_strategies
 from .datalog.parser import parse_program, parse_query
 from .datalog.pretty import format_bindings, format_program
 from .engine.budget import EvaluationBudget
+from .engine.columnar import DEFAULT_STORAGE, STORAGES
 from .engine.kernel import DEFAULT_EXECUTOR, EXECUTORS
 from .engine.scheduler import DEFAULT_SCHEDULER, SCHEDULERS
 from .errors import BudgetExceededError, ReproError
@@ -130,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "fixpoint scheduling for bottom-up evaluation: component-wise "
             "SCC order (default) or one global loop; identical answers"
+        ),
+    )
+    query.add_argument(
+        "--storage",
+        default=DEFAULT_STORAGE,
+        choices=STORAGES,
+        help=(
+            "relation backend for bottom-up evaluation: raw value tuples "
+            "(default) or interned columnar arrays with batch kernels; "
+            "identical answers and counters"
         ),
     )
     query.add_argument("--stats", action="store_true", help="print counters")
@@ -253,6 +264,7 @@ def _cmd_query(args) -> int:
         budget=_budget_from_args(args),
         executor=args.executor,
         scheduler=args.scheduler,
+        storage=args.storage,
     )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:

@@ -25,6 +25,7 @@ from ..analysis.safety import require_safe
 from ..datalog.atoms import Atom
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.rules import Program
+from ..engine.columnar import DEFAULT_STORAGE
 from ..engine.kernel import DEFAULT_EXECUTOR
 from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..facts.database import Database
@@ -100,6 +101,7 @@ class Engine:
         budget=None,
         executor: str = DEFAULT_EXECUTOR,
         scheduler: str = DEFAULT_SCHEDULER,
+        storage: str = DEFAULT_STORAGE,
     ) -> QueryResult:
         """Evaluate *goal* under *strategy*.
 
@@ -122,6 +124,10 @@ class Engine:
                 scheduling of the bottom-up evaluations involved
                 (:mod:`repro.engine.scheduler`); answers are identical
                 either way.
+            storage: ``"tuples"`` (default) or ``"columnar"``, the
+                relation backend of the bottom-up evaluations involved
+                (:mod:`repro.engine.columnar`); answers and counters are
+                identical either way.
         """
         if isinstance(goal, str):
             goal = parse_query(goal)
@@ -137,6 +143,7 @@ class Engine:
             budget=budget,
             executor=executor,
             scheduler=scheduler,
+            storage=storage,
         )
 
     def prepare(
@@ -148,6 +155,7 @@ class Engine:
         budget=None,
         executor: str = DEFAULT_EXECUTOR,
         scheduler: str = DEFAULT_SCHEDULER,
+        storage: str = DEFAULT_STORAGE,
     ):
         """Prepare *goal*'s shape for repeated execution.
 
@@ -175,6 +183,7 @@ class Engine:
             budget=budget,
             executor=executor,
             scheduler=scheduler,
+            storage=storage,
         )
 
     def ask(

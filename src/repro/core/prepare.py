@@ -17,7 +17,7 @@ its constants.  This module is the pure "prepare" half of that pipeline:
   ``kernel.*`` counters across executions.
 * :func:`prepared_cache_key` canonicalises the identity the query
   service caches on: (program fingerprint, strategy, SIPS, planner,
-  executor, scheduler, goal predicate, goal adornment).
+  executor, scheduler, storage, goal predicate, goal adornment).
 
 Three preparation modes cover the strategy spectrum:
 
@@ -53,6 +53,7 @@ from ..datalog.rules import Program
 from ..datalog.terms import Constant
 from ..datalog.unify import match_atom
 from ..engine.budget import Checkpoint, EvaluationBudget
+from ..engine.columnar import DEFAULT_STORAGE, as_storage, resolve_storage
 from ..engine.counters import EvaluationStats
 from ..engine.kernel import DEFAULT_EXECUTOR, resolve_executor
 from ..engine.prepared import CompiledFixpoint, compile_fixpoint, run_fixpoint
@@ -118,6 +119,7 @@ def prepared_cache_key(
     planner: "str | None" = None,
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
+    storage: str = DEFAULT_STORAGE,
 ) -> tuple:
     """The identity a prepared query is reusable under.
 
@@ -139,6 +141,7 @@ def prepared_cache_key(
         planner or "",
         executor,
         scheduler,
+        storage,
         predicate,
         adornment,
     )
@@ -313,6 +316,7 @@ def prepare_query(
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
     budget: "EvaluationBudget | Checkpoint | None" = None,
+    storage: str = DEFAULT_STORAGE,
 ) -> PreparedQuery:
     """Prepare *goal*'s shape on *program* + *database* for reuse.
 
@@ -327,8 +331,12 @@ def prepare_query(
             names raise :class:`UnpreparableStrategyError`.
         sips: optional SIPS name or function for the transform
             strategies.
-        planner / executor / scheduler: the evaluation configuration the
-            compiled plan is specialised to (part of the cache key).
+        planner / executor / scheduler / storage: the evaluation
+            configuration the compiled plan is specialised to (all four
+            are part of the cache key).  With ``storage="columnar"`` the
+            execution base is converted into the compiled fixpoint's
+            interner at prepare time, so executions take the cheap
+            same-interner copy path.
         budget: optional budget bounding *preparation itself* (the
             lower-strata or full materialisation); execution budgets are
             passed to :meth:`PreparedQuery.execute` per run.
@@ -351,9 +359,10 @@ def prepare_query(
         sips_fn = sips if sips is not None else left_to_right
     resolve_executor(executor)
     resolve_scheduler(scheduler)
+    resolve_storage(storage)
 
     key = prepared_cache_key(
-        program, goal, strategy, sips, planner, executor, scheduler
+        program, goal, strategy, sips, planner, executor, scheduler, storage
     )
     obs = get_metrics()
     prepare_stats = EvaluationStats()
@@ -374,6 +383,7 @@ def prepare_query(
                     budget=budget,
                     executor=executor,
                     scheduler=scheduler,
+                    storage=storage,
                 )
             prepared = PreparedQuery(
                 strategy=strategy,
@@ -398,7 +408,7 @@ def prepare_query(
         else:
             prepared = _prepare_transform(
                 strategy, rules_only, goal, working, sips_fn, planner,
-                executor, scheduler, budget, key, prepare_stats,
+                executor, scheduler, storage, budget, key, prepare_stats,
                 edb_extra=program.predicates,
             )
     if obs.enabled:
@@ -416,6 +426,7 @@ def _prepare_transform(
     planner,
     executor: str,
     scheduler: str,
+    storage: str,
     budget,
     key: tuple,
     prepare_stats: EvaluationStats,
@@ -454,6 +465,7 @@ def _prepare_transform(
             budget=budget,
             executor=executor,
             scheduler=scheduler,
+            storage=storage,
         )
     target = stratification.strata[query_stratum]
     edb = frozenset(
@@ -466,7 +478,12 @@ def _prepare_transform(
         planner=planner,
         executor=executor,
         scheduler=scheduler,
+        storage=storage,
     )
+    if fixpoint.interner is not None:
+        # Re-encode the base into the fixpoint's own interner once, here,
+        # so each execute() takes run_fixpoint's same-interner copy path.
+        working = as_storage(working, storage, interner=fixpoint.interner)
     return PreparedQuery(
         strategy=strategy,
         mode="transform",

@@ -1,0 +1,119 @@
+"""Constant interning: a bijection between constant values and dense ints.
+
+The columnar storage backend (:mod:`repro.engine.columnar`) does not store
+Python objects in its relations — every constant is **dictionary-encoded**
+to a dense integer id once, and the engines shuttle tuples of ids from
+that point on.  This module owns the encoding: a :class:`ConstantInterner`
+maps hashable constant values (strings, ints, whatever a
+:class:`~repro.datalog.terms.Constant` wraps) to ids ``0, 1, 2, ...`` in
+first-seen order and back.
+
+Design notes:
+
+* **Equality semantics match the tuple backend exactly.**  Ids are
+  assigned by a plain ``dict`` keyed on the value, so two constants map to
+  the same id precisely when the tuple backend's ``set`` would collapse
+  them (``1 == 1.0 == True`` all intern to one id, just as they occupy one
+  set slot).  This is what makes the columnar backend bit-identical
+  rather than merely equivalent.
+* **Ids are dense and stable.**  An id, once assigned, never changes and
+  is never reused; ``values[id]`` is the reverse map.  A
+  :class:`~repro.engine.columnar.ColumnarDatabase` and every copy of it
+  share one interner, so row encodings stay comparable across
+  ``Database.copy()`` — the semi-naive engines compare rows from the
+  working copy against rows from deltas and oracles freely.
+* **Thread-safe on the grow path.**  Reads (``id_of``, ``value_of``) are
+  lock-free — the id→value list only ever appends, and dict reads are
+  atomic under the GIL.  Writes take a lock with a double-check so two
+  ``repro.serve`` worker threads interning the same new constant agree on
+  its id.
+
+Observability: when metrics collection is active the interner reports
+``intern.constants`` (current table size, as a gauge-style observation)
+and ``intern.misses`` (new constants interned).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Iterable
+
+from ..obs import get_metrics
+
+__all__ = ["ConstantInterner"]
+
+
+class ConstantInterner:
+    """A grow-only bijection ``value <-> dense int id``.
+
+    The forward map is a dict (value → id), the reverse map a list
+    (id → value).  Both only grow; ids are assigned in first-seen order.
+    """
+
+    __slots__ = ("_ids", "_values", "_lock")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._values: list = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"ConstantInterner({len(self._values)} constants)"
+
+    # --- encoding -----------------------------------------------------------
+    def intern(self, value: Hashable) -> int:
+        """The id of *value*, assigning the next dense id on first sight."""
+        ident = self._ids.get(value)
+        if ident is not None:
+            return ident
+        with self._lock:
+            # Double-check under the lock: another thread may have interned
+            # the same value between our lock-free read and acquisition.
+            ident = self._ids.get(value)
+            if ident is not None:
+                return ident
+            ident = len(self._values)
+            self._values.append(value)
+            self._ids[value] = ident
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("intern.misses")
+            obs.observe("intern.constants", ident + 1)
+        return ident
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of *value*, or ``None`` when it was never interned.
+
+        Used by read-only probes (planner statistics, membership tests on
+        raw values) that must not grow the table: a constant the database
+        has never seen simply has no postings.
+        """
+        return self._ids.get(value)
+
+    def intern_row(self, row: tuple) -> tuple:
+        """Encode a tuple of raw values to a tuple of ids."""
+        intern = self.intern
+        return tuple(intern(value) for value in row)
+
+    def intern_rows(self, rows: Iterable[tuple]) -> Iterable[tuple]:
+        intern = self.intern
+        for row in rows:
+            yield tuple(intern(value) for value in row)
+
+    # --- decoding -----------------------------------------------------------
+    def value_of(self, ident: int):
+        """The value behind *ident* (raises ``IndexError`` on unknown ids)."""
+        return self._values[ident]
+
+    def extern_row(self, row: tuple) -> tuple:
+        """Decode a tuple of ids back to the raw values."""
+        values = self._values
+        return tuple(values[ident] for ident in row)
+
+    def extern_rows(self, rows: Iterable[tuple]) -> Iterable[tuple]:
+        values = self._values
+        for row in rows:
+            yield tuple(values[ident] for ident in row)

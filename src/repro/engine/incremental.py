@@ -25,6 +25,7 @@ from ..errors import ProgramError
 from ..facts.database import Database
 from ..facts.relation import Relation, StampedView
 from .budget import EvaluationBudget, ensure_checkpoint
+from .columnar import DEFAULT_STORAGE, as_storage
 from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR, RuleKernel, compile_executors, head_rows
 from .matching import CompiledRule, compile_rule
@@ -57,6 +58,10 @@ class IncrementalEngine:
         executor: ``"kernel"`` (default) or ``"interpreted"``; applies to
             the initial materialisation, every delta continuation, and
             rebuilds after :meth:`remove`.
+        storage: ``"tuples"`` (default) or ``"columnar"`` — the backend
+            of the materialised database (:mod:`repro.engine.columnar`).
+            :meth:`add` / :meth:`remove` take and return raw values
+            either way (encoding happens at the atom boundary).
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class IncrementalEngine:
         planner: "JoinPlanner | str | None" = None,
         budget: "EvaluationBudget | None" = None,
         executor: str = DEFAULT_EXECUTOR,
+        storage: str = DEFAULT_STORAGE,
     ):
         for rule in program.proper_rules:
             for literal in rule.body:
@@ -78,8 +84,9 @@ class IncrementalEngine:
         self._planner_spec = planner
         self._budget = budget
         self._executor = executor
+        self._storage = storage
         self.stats = EvaluationStats()
-        initial = database.copy() if database is not None else Database()
+        initial = as_storage(database, storage)
         initial.add_atoms(program.facts)
         self._working, _ = seminaive_fixpoint(
             self._program,
@@ -88,6 +95,7 @@ class IncrementalEngine:
             planner=planner,
             budget=budget,
             executor=executor,
+            storage=storage,
         )
         self._executors: list[tuple[CompiledRule, RuleKernel | None]] = (
             self._compile_rules()
@@ -106,7 +114,9 @@ class IncrementalEngine:
         compiled = [
             compile_rule(rule, active) for rule in self._program.proper_rules
         ]
-        return compile_executors(compiled, self._executor)
+        return compile_executors(
+            compiled, self._executor, getattr(self._working, "interner", None)
+        )
 
     # --- read access ------------------------------------------------------------
     @property
@@ -140,7 +150,8 @@ class IncrementalEngine:
         (including the inserted one), empty when it was already present."""
         if isinstance(atom, str):
             atom = parse_query(atom)
-        row = atom.ground_key()
+        raw_row = atom.ground_key()
+        row = self._working.encode_row(raw_row)
         # Stamp this operation past everything already materialised (the
         # initial seminaive run and earlier add()s left their own round
         # marks behind), so rows_before(stamp) sees exactly the pre-add
@@ -161,13 +172,16 @@ class IncrementalEngine:
         checkpoint = ensure_checkpoint(self._budget, op_stats)
         if checkpoint is not None:
             checkpoint.bind(self._working)
-        new_facts: set[Fact] = {(atom.predicate, row)}
+        # Reported facts are raw values regardless of backend; the delta
+        # relations are spawned from the working database so they match
+        # its storage and hold rows in its native (encoded) space.
+        new_facts: set[Fact] = {(atom.predicate, raw_row)}
         arities = dict(self._program.arities)
         arities.setdefault(atom.predicate, atom.arity)
 
-        delta: dict[str, Relation] = {
-            atom.predicate: Relation(atom.predicate, atom.arity, [row])
-        }
+        seed = self._working.spawn(atom.predicate, atom.arity)
+        seed.add(row)
+        delta: dict[str, Relation] = {atom.predicate: seed}
         try:
             while delta:
                 if checkpoint is not None:
@@ -200,8 +214,12 @@ class IncrementalEngine:
                             except KeyError:
                                 return None
 
+                        # batch=True is sound: heads land in new_delta
+                        # buckets, so the working set is unchanged while
+                        # a batch enumerates.
                         for head_row in head_rows(
-                            compiled, kernel, view, op_stats, checkpoint
+                            compiled, kernel, view, op_stats, checkpoint,
+                            batch=True,
                         ):
                             op_stats.inferences += 1
                             head_pred = compiled.head_predicate
@@ -211,7 +229,8 @@ class IncrementalEngine:
                             if head_row in relation:
                                 continue
                             bucket = new_delta.setdefault(
-                                head_pred, Relation(head_pred, len(head_row))
+                                head_pred,
+                                self._working.spawn(head_pred, len(head_row)),
                             )
                             bucket.add(head_row)
                 stamp += 1
@@ -221,7 +240,9 @@ class IncrementalEngine:
                     for new_row in bucket:
                         if self._working.add(predicate, new_row):
                             op_stats.facts_derived += 1
-                            new_facts.add((predicate, new_row))
+                            new_facts.add(
+                                (predicate, self._working.decode_row(new_row))
+                            )
                 delta = {p: r for p, r in new_delta.items() if r}
         finally:
             self.stats.merge(op_stats)
@@ -251,7 +272,7 @@ class IncrementalEngine:
         if atom.predicate not in self._working:
             return False
         relation = self._working.relation(atom.predicate)
-        if not relation.discard(atom.ground_key()):
+        if not relation.discard(self._working.encode_row(atom.ground_key())):
             return False
         # Rebuild from the remaining base facts (fresh per-operation
         # counters, same reasoning as in add()).
@@ -267,6 +288,7 @@ class IncrementalEngine:
                 planner=self._planner_spec,
                 budget=self._budget,
                 executor=self._executor,
+                storage=self._storage,
             )
         finally:
             self.stats.merge(op_stats)

@@ -38,10 +38,15 @@ import operator
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+from bisect import bisect_left
+from itertools import repeat
+
 from ..datalog.builtins import evaluate_builtin
+from ..datalog.intern import ConstantInterner
 from ..errors import SafetyError
 from ..facts.relation import Relation
 from ..obs import get_metrics
+from .columnar import ColumnarPrefix, ColumnarRelation
 from .counters import EvaluationStats
 from .matching import CompiledLiteral, CompiledRule, RelationView, match_body
 
@@ -53,6 +58,7 @@ __all__ = [
     "RuleKernel",
     "compile_kernel",
     "execute_kernel",
+    "execute_batch",
     "compile_executors",
     "head_rows",
     "resolve_executor",
@@ -118,6 +124,12 @@ class RuleKernel:
         head: ``(is_const, payload)`` template building the head tuple.
         head_builder: the template compiled to a ``slots -> tuple``
             callable (an ``itemgetter`` for all-variable heads).
+        interner: the constant table the kernel was compiled against, or
+            ``None`` for the tuple backend.  When set, every relation
+            constant in the probe programs, negative tests, and the head
+            template is already id-encoded (built-in tests keep raw
+            constants and decode slot reads at evaluation time), and the
+            batch executor is available.
     """
 
     compiled: CompiledRule
@@ -127,14 +139,22 @@ class RuleKernel:
     levels: tuple[tuple[SlotScan, tuple[SlotTest, ...]], ...]
     head: tuple[tuple[bool, object], ...]
     head_builder: Callable[[list], tuple]
+    interner: ConstantInterner | None = None
 
 
 def _compile_test(
-    position: int, literal: CompiledLiteral, slots: dict
+    position: int,
+    literal: CompiledLiteral,
+    slots: dict,
+    interner: ConstantInterner | None,
 ) -> SlotTest:
     arity = len(literal.source.args)
     values: list[tuple[bool, object] | None] = [None] * arity
     for column, value in literal.constants:
+        if interner is not None and not literal.builtin:
+            # Negative tests probe id-encoded relations; built-ins
+            # evaluate on raw values and decode slots at check time.
+            value = interner.intern(value)
         values[column] = (True, value)
     for column, var in literal.binders + literal.filters:
         slot = slots.get(var)
@@ -154,7 +174,10 @@ def _compile_test(
 
 
 def _compile_scan(
-    position: int, literal: CompiledLiteral, slots: dict
+    position: int,
+    literal: CompiledLiteral,
+    slots: dict,
+    interner: ConstantInterner | None,
 ) -> SlotScan:
     bound_probe: list[tuple[int, int]] = []
     writes: list[tuple[int, int]] = []
@@ -166,10 +189,15 @@ def _compile_scan(
         else:
             bound_probe.append((column, slot))
     checks = tuple((column, slots[var]) for column, var in literal.filters)
+    const_probe = literal.constants
+    if interner is not None:
+        const_probe = tuple(
+            (column, interner.intern(value)) for column, value in const_probe
+        )
     return SlotScan(
         position=position,
         predicate=literal.predicate,
-        const_probe=literal.constants,
+        const_probe=const_probe,
         bound_probe=tuple(bound_probe),
         writes=tuple(writes),
         checks=checks,
@@ -203,30 +231,37 @@ def _head_builder(
     )
 
 
-def compile_kernel(compiled: CompiledRule) -> RuleKernel:
+def compile_kernel(
+    compiled: CompiledRule, interner: ConstantInterner | None = None
+) -> RuleKernel:
     """Lower *compiled* to slot form.
 
     The body order is taken as-is (the planner already ran, if any), so
     which variables are bound at each position — the information
     :func:`~repro.engine.matching.match_body` rediscovers per row with
     ``var in binding`` — is resolved here, once.
+
+    With *interner* (the columnar backend), relation constants in probe
+    programs, negative tests, and the head template are id-encoded at
+    compile time, so execution never translates per row.
     """
     slots: dict = {}
     prelude: list[SlotTest] = []
     levels: list[tuple[SlotScan, list[SlotTest]]] = []
     for position, literal in enumerate(compiled.body):
         if literal.is_test:
-            test = _compile_test(position, literal, slots)
+            test = _compile_test(position, literal, slots, interner)
             if levels:
                 levels[-1][1].append(test)
             else:
                 prelude.append(test)
         else:
-            levels.append((_compile_scan(position, literal, slots), []))
+            levels.append((_compile_scan(position, literal, slots, interner), []))
     head: list[tuple[bool, object]] = []
     for kind, payload in compiled.head_pattern:
         if kind == "c":
-            head.append((True, payload))
+            value = payload if interner is None else interner.intern(payload)
+            head.append((True, value))
         else:
             head.append((False, slots[payload]))
     head_pattern = tuple(head)
@@ -238,6 +273,7 @@ def compile_kernel(compiled: CompiledRule) -> RuleKernel:
         levels=tuple((scan, tuple(tests)) for scan, tests in levels),
         head=head_pattern,
         head_builder=_head_builder(head_pattern),
+        interner=interner,
     )
     obs = get_metrics()
     if obs.enabled:
@@ -246,15 +282,34 @@ def compile_kernel(compiled: CompiledRule) -> RuleKernel:
     return kernel
 
 
-def _check_test(test: SlotTest, slots: list, view: RelationView) -> bool:
+def _check_test(
+    test: SlotTest,
+    slots: list,
+    view: RelationView,
+    interner: ConstantInterner | None = None,
+) -> bool:
     """Evaluate one test against the slots; True iff the branch survives."""
+    if test.builtin:
+        # Built-ins compare raw values; under the columnar backend the
+        # slots carry ids, so slot reads are decoded here (constants were
+        # kept raw at compile time).
+        if interner is None:
+            values = tuple(
+                payload if is_const else slots[payload]
+                for is_const, payload in test.values
+            )
+        else:
+            value_of = interner.value_of
+            values = tuple(
+                payload if is_const else value_of(slots[payload])
+                for is_const, payload in test.values
+            )
+        holds = evaluate_builtin(test.predicate, values)
+        return holds if test.positive else not holds
     values = tuple(
         payload if is_const else slots[payload]
         for is_const, payload in test.values
     )
-    if test.builtin:
-        holds = evaluate_builtin(test.predicate, values)
-        return holds if test.positive else not holds
     relation = view(test.position, test.predicate)
     if relation is None:
         return True
@@ -268,7 +323,8 @@ def _scan_rows(scan: SlotScan, slots: list, view: RelationView):
         return iter(())
     const_probe = scan.const_probe
     bound_probe = scan.bound_probe
-    if type(relation) is Relation:
+    rtype = type(relation)
+    if rtype is Relation or rtype is ColumnarRelation:
         # Concrete relations expose snapshot tuples for the two probe
         # shapes that dominate rule bodies (full scan, single column);
         # the shape is static per scan, so no probe dict is built at all.
@@ -308,9 +364,10 @@ def execute_kernel(
     did per yielded binding.
     """
     slots: list = [None] * kernel.slot_count
+    interner = kernel.interner
     for test in kernel.prelude:
         stats.attempts += 1
-        if not _check_test(test, slots, view):
+        if not _check_test(test, slots, view, interner):
             return
     levels = kernel.levels
     build = kernel.head_builder
@@ -338,7 +395,7 @@ def execute_kernel(
             if ok:
                 for test in tests:
                     stats.attempts += 1
-                    if not _check_test(test, slots, view):
+                    if not _check_test(test, slots, view, interner):
                         ok = False
                         break
             if ok:
@@ -368,7 +425,7 @@ def execute_kernel(
         if ok:
             for test in tests:
                 stats.attempts += 1
-                if not _check_test(test, slots, view):
+                if not _check_test(test, slots, view, interner):
                     ok = False
                     break
         if not ok:
@@ -378,6 +435,248 @@ def execute_kernel(
         else:
             depth += 1
             iters[depth] = _scan_rows(levels[depth][0], slots, view)
+
+
+def _batch_compress(slot_vals: list, keep: list[int]) -> None:
+    """Filter every live slot column down to the positions in *keep*."""
+    for index, vals in enumerate(slot_vals):
+        if vals is not None:
+            slot_vals[index] = [vals[i] for i in keep]
+
+
+def _batch_probe(
+    base: ColumnarRelation, boundary: int | None, items: list[tuple[int, int]]
+) -> Sequence[int]:
+    """Row indices matching every ``(column, id)`` pair of *items*.
+
+    Mirrors :meth:`ColumnarRelation.lookup` exactly — smallest posting
+    wins, first wins ties in item order, remaining columns filter — but
+    stays in index space and applies the prefix *boundary* as a bisect
+    slice instead of a per-row stamp check.
+    """
+    best_column = None
+    best_posting: Sequence[int] | None = None
+    for column, value in items:
+        posting = base.postings(column).get(value, ())
+        if best_posting is None or len(posting) < len(best_posting):
+            best_column, best_posting = column, posting
+            if not posting:
+                return ()
+    if boundary is not None:
+        best_posting = best_posting[: bisect_left(best_posting, boundary)]
+    remaining = [(c, v) for c, v in items if c != best_column]
+    if not remaining:
+        return best_posting
+    filters = [(base.column(c), v) for c, v in remaining]
+    result = []
+    append = result.append
+    for index in best_posting:
+        for col, value in filters:
+            if col[index] != value:
+                break
+        else:
+            append(index)
+    return result
+
+
+def execute_batch(
+    kernel: RuleKernel, view: RelationView, stats: EvaluationStats
+) -> list | None:
+    """Enumerate *kernel*'s head tuples block-at-a-time over columnar data.
+
+    The batch counterpart of :func:`execute_kernel` for kernels compiled
+    against an interner: instead of walking an iterator stack row by row,
+    each scan level joins the *whole* block of partial matches against the
+    relation's postings at once — per-block column reads build the slot
+    columns, repeated-variable checks and trailing tests are vectorized
+    comprehension filters, and the head tuples fall out of one ``zip``.
+
+    Charging is bulk but exact: ``stats.attempts`` grows by the same
+    total the per-row path accumulates (rows probed per scan level, test
+    evaluations with first-failing-test semantics), so counters stay
+    bit-identical.  Budget polling is *not* performed — callers only
+    dispatch here when no checkpoint governs the evaluation, which keeps
+    budget-trip points identical to the per-row path by construction.
+
+    Returns the list of head tuples, or ``None`` (before charging
+    anything) when some scanned relation is not columnar — the caller
+    falls back to :func:`execute_kernel`.
+    """
+    levels = kernel.levels
+    resolved: list = []
+    for scan, _tests in levels:
+        relation = view(scan.position, scan.predicate)
+        if relation is None:
+            resolved.append(None)
+            continue
+        rtype = type(relation)
+        if rtype is ColumnarRelation:
+            resolved.append((relation, None))
+        elif rtype is ColumnarPrefix:
+            resolved.append((relation.relation, relation.boundary()))
+        else:
+            return None
+    interner = kernel.interner
+    obs = get_metrics()
+    if obs.enabled:
+        obs.incr("kernel.batch_executions")
+    init = [None] * kernel.slot_count
+    for test in kernel.prelude:
+        stats.attempts += 1
+        if not _check_test(test, init, view, interner):
+            return []
+    if not levels:
+        return [kernel.head_builder(init)]
+    slot_vals: list = [None] * kernel.slot_count
+    n = 0
+    first = True
+    for (scan, tests), source in zip(levels, resolved):
+        if source is None:
+            return []
+        base, boundary = source
+        const_probe = scan.const_probe
+        bound_probe = scan.bound_probe
+        parent_idx: list[int] | None = None
+        if not bound_probe:
+            # Probe independent of the current block: a full scan or a
+            # constants-only probe (level 0, or a cross product).
+            if not const_probe:
+                indices = base.live_indices()
+                if boundary is not None:
+                    indices = indices[: bisect_left(indices, boundary)]
+            else:
+                indices = _batch_probe(base, boundary, list(const_probe))
+            if first:
+                child_idx = indices
+            else:
+                m = len(indices)
+                child_idx = list(indices) * n
+                parent_idx = []
+                extend = parent_idx.extend
+                for i in range(n):
+                    extend([i] * m)
+        elif len(bound_probe) == 1 and not const_probe:
+            # The dominant join shape: one column bound by the block.
+            column, slot = bound_probe[0]
+            vals = slot_vals[slot]
+            pget = base.postings(column).get
+            parent_idx = []
+            child_idx = []
+            pext = parent_idx.extend
+            cext = child_idx.extend
+            if boundary is None:
+                for i, value in enumerate(vals):
+                    posting = pget(value)
+                    if posting:
+                        cext(posting)
+                        pext([i] * len(posting))
+            else:
+                for i, value in enumerate(vals):
+                    posting = pget(value)
+                    if posting:
+                        posting = posting[: bisect_left(posting, boundary)]
+                        if posting:
+                            cext(posting)
+                            pext([i] * len(posting))
+        else:
+            # General probe: constants plus several bound columns.
+            items = list(const_probe)
+            parent_idx = []
+            child_idx = []
+            pext = parent_idx.extend
+            cext = child_idx.extend
+            for i in range(n):
+                probe = items + [(c, slot_vals[s][i]) for c, s in bound_probe]
+                posting = _batch_probe(base, boundary, probe)
+                if posting:
+                    cext(posting)
+                    pext([i] * len(posting))
+        total = len(child_idx)
+        stats.attempts += total
+        if not total:
+            return []
+        if parent_idx is not None and not first:
+            _batch_compress(slot_vals, parent_idx)
+        for column, slot in scan.writes:
+            slot_vals[slot] = base.column_block(column, child_idx)
+        n = total
+        if scan.checks:
+            keep: list[int] | None = None
+            for column, slot in scan.checks:
+                col_vals = base.column_block(column, child_idx)
+                target = slot_vals[slot]
+                if keep is None:
+                    keep = [
+                        i for i in range(total) if col_vals[i] == target[i]
+                    ]
+                else:
+                    keep = [i for i in keep if col_vals[i] == target[i]]
+            if len(keep) != total:
+                if not keep:
+                    return []
+                _batch_compress(slot_vals, keep)
+            n = len(keep)
+        for test in tests:
+            stats.attempts += n
+            arg_cols: list = []
+            has_slot = False
+            for is_const, payload in test.values:
+                if is_const:
+                    arg_cols.append(None)
+                else:
+                    has_slot = True
+                    arg_cols.append(slot_vals[payload])
+            if not has_slot:
+                # Ground test: one evaluation decides the whole block.
+                if not _check_test(test, init, view, interner):
+                    return []
+                continue
+            positive = test.positive
+            if test.builtin:
+                columns = []
+                for (is_const, payload), col in zip(test.values, arg_cols):
+                    if col is None:
+                        columns.append(repeat(payload, n))
+                    elif interner is not None:
+                        value_of = interner.value_of
+                        columns.append([value_of(v) for v in col])
+                    else:
+                        columns.append(col)
+                predicate = test.predicate
+                keep = [
+                    i
+                    for i, vals in enumerate(zip(*columns))
+                    if bool(evaluate_builtin(predicate, vals)) == positive
+                ]
+            else:
+                target = view(test.position, test.predicate)
+                if target is None:
+                    continue
+                columns = [
+                    repeat(payload, n) if col is None else col
+                    for (is_const, payload), col in zip(test.values, arg_cols)
+                ]
+                keep = [
+                    i
+                    for i, vals in enumerate(zip(*columns))
+                    if vals not in target
+                ]
+            if len(keep) != n:
+                if not keep:
+                    return []
+                _batch_compress(slot_vals, keep)
+                n = len(keep)
+        first = False
+    head = kernel.head
+    if not head:
+        return [()] * n
+    parts = [
+        repeat(payload, n) if is_const else slot_vals[payload]
+        for is_const, payload in head
+    ]
+    if len(parts) == 1:
+        return [(value,) for value in parts[0]]
+    return list(zip(*parts))
 
 
 def resolve_executor(executor: str) -> str:
@@ -390,18 +689,30 @@ def resolve_executor(executor: str) -> str:
 
 
 def compile_executors(
-    compiled_rules: Sequence[CompiledRule], executor: str
+    compiled_rules: Sequence[CompiledRule],
+    executor: str,
+    interner: ConstantInterner | None = None,
 ) -> list[tuple[CompiledRule, RuleKernel | None]]:
     """Pair each compiled rule with its kernel (or ``None``, interpreted).
 
     The pair list is what the bottom-up engines iterate: the compiled
     rule keeps serving the structural queries (delta-variant positions,
     head predicate), the kernel — when present — does the enumeration.
+    Pass *interner* when the working database is columnar, so kernel
+    constants are id-encoded at compile time.
     """
     resolve_executor(executor)
     if executor == "interpreted":
+        if interner is not None:
+            raise ValueError(
+                "the interpreted executor evaluates raw values and cannot "
+                "run over columnar storage; use executor='kernel'"
+            )
         return [(compiled, None) for compiled in compiled_rules]
-    return [(compiled, compile_kernel(compiled)) for compiled in compiled_rules]
+    return [
+        (compiled, compile_kernel(compiled, interner))
+        for compiled in compiled_rules
+    ]
 
 
 def head_rows(
@@ -410,14 +721,25 @@ def head_rows(
     view: RelationView,
     stats: EvaluationStats,
     checkpoint=None,
-) -> Iterator[tuple]:
+    batch: bool = False,
+) -> Iterator[tuple] | list[tuple]:
     """Head tuples of one rule under either executor.
 
     The single place the executor knob is dispatched: engines call this
     in their match loops and stay executor-agnostic.  Returns the
-    executor's iterator directly (no wrapper generator frame).
+    executor's iterator directly (no wrapper generator frame), or — when
+    *batch* is requested, the kernel was compiled against an interner,
+    and no checkpoint governs the run — the fully materialised block
+    from :func:`execute_batch`.  Callers may only pass ``batch=True``
+    when they collect head rows before inserting them (the batch
+    materialises every row up front, so a rule that could observe its
+    own inserts mid-enumeration must stay on the per-row path).
     """
     if kernel is not None:
+        if batch and checkpoint is None and kernel.interner is not None:
+            rows = execute_batch(kernel, view, stats)
+            if rows is not None:
+                return rows
         return execute_kernel(kernel, view, stats, checkpoint)
     return _interpreted_rows(compiled, view, stats, checkpoint)
 

@@ -40,6 +40,7 @@ from ..facts.database import Database
 from ..facts.relation import Relation, StampedView
 from ..obs import get_metrics
 from .budget import Checkpoint, EvaluationBudget, ensure_checkpoint
+from .columnar import DEFAULT_STORAGE, as_storage
 from .counters import EvaluationStats
 from .kernel import DEFAULT_EXECUTOR, compile_executors, head_rows
 from .matching import CompiledRule, compile_rule
@@ -96,6 +97,7 @@ def seminaive_fixpoint(
     budget: "EvaluationBudget | Checkpoint | None" = None,
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
+    storage: str = DEFAULT_STORAGE,
 ) -> tuple[Database, EvaluationStats]:
     """Evaluate *program* to fixpoint with the semi-naive delta discipline.
 
@@ -128,6 +130,13 @@ def seminaive_fixpoint(
             are identical either way; ``iterations`` counts local
             component passes under scc and global rounds otherwise, so
             the two are not comparable 1:1.
+        storage: ``"tuples"`` (default) keeps facts as tuples of raw
+            values; ``"columnar"`` interns constants and evaluates over
+            the dictionary-encoded columnar backend with batch kernels
+            (:mod:`repro.engine.columnar`).  Fact sets, counters,
+            enumeration order, and budget-trip points are identical
+            either way (the tuple backend is the differential oracle).
+            Columnar storage requires ``executor="kernel"``.
 
     Returns:
         The completed database and the statistics record.
@@ -137,10 +146,10 @@ def seminaive_fixpoint(
 
         return scc_seminaive_fixpoint(
             program, database, stats, planner=planner, budget=budget,
-            executor=executor,
+            executor=executor, storage=storage,
         )
     stats = stats if stats is not None else EvaluationStats()
-    working = database.copy() if database is not None else Database()
+    working = as_storage(database, storage)
     working.add_atoms(program.facts)
     derived = program.idb_predicates
     arities = program.arities
@@ -150,7 +159,9 @@ def seminaive_fixpoint(
     compiled_rules = [
         compile_rule(rule, active_planner) for rule in program.proper_rules
     ]
-    executors = compile_executors(compiled_rules, executor)
+    executors = compile_executors(
+        compiled_rules, executor, getattr(working, "interner", None)
+    )
     # Variant positions are a static property of the compiled body;
     # compute them once rather than per rule per round.
     variants = [
@@ -200,8 +211,11 @@ def run_global_rounds(
         if checkpoint is not None:
             checkpoint.check_round()
         stats.iterations += 1
+        # Deltas are spawned from the working database so they share its
+        # storage backend (columnar deltas for a columnar working set).
         delta: dict[str, Relation] = {
-            predicate: Relation(predicate, arities[predicate]) for predicate in derived
+            predicate: working.spawn(predicate, arities[predicate])
+            for predicate in derived
         }
         # Rows merged at the end of round k carry stamp k+1; the "old"
         # view of round k+1 is then exactly the rows stamped <= k, read
@@ -211,7 +225,7 @@ def run_global_rounds(
             for compiled, kernel in executors:
                 target = working.relation(compiled.head_predicate)
                 for row in head_rows(
-                    compiled, kernel, full_view, stats, checkpoint
+                    compiled, kernel, full_view, stats, checkpoint, batch=True
                 ):
                     stats.inferences += 1
                     if row not in target:
@@ -240,7 +254,7 @@ def run_global_rounds(
                     for predicate in derived
                 }
                 new_delta: dict[str, Relation] = {
-                    predicate: Relation(predicate, arities[predicate])
+                    predicate: working.spawn(predicate, arities[predicate])
                     for predicate in derived
                 }
                 for compiled, kernel, positions in variants:
@@ -252,7 +266,8 @@ def run_global_rounds(
                         view = _RoundView(working, position, delta_relation, old, derived)
                         target = working.relation(compiled.head_predicate)
                         for row in head_rows(
-                            compiled, kernel, view, stats, checkpoint
+                            compiled, kernel, view, stats, checkpoint,
+                            batch=True,
                         ):
                             stats.inferences += 1
                             if row not in target:

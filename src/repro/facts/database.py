@@ -60,13 +60,42 @@ class Database:
         self._relations[predicate] = created
         return created
 
+    def spawn(self, name: str, arity: int) -> Relation:
+        """A free-standing relation of this database's storage backend.
+
+        Engines use this instead of constructing :class:`Relation`
+        directly when they build deltas and other scratch relations, so
+        a columnar working database yields columnar deltas.  The relation
+        is *not* registered in the database.
+        """
+        return Relation(name, arity)
+
+    def encode_row(self, row: tuple) -> tuple:
+        """Translate a raw value tuple into this backend's row space.
+
+        The identity for the tuple backend; the columnar backend interns.
+        Atom-level methods (:meth:`add_atom`, :meth:`atoms`,
+        :meth:`has_fact`) translate here so relation-level methods can
+        stay in the backend's native row space.
+        """
+        return row
+
+    def decode_row(self, row: tuple) -> tuple:
+        """Translate a stored row back to raw values (see :meth:`encode_row`)."""
+        return row
+
     def add(self, predicate: str, row: tuple) -> bool:
-        """Insert a value tuple; returns True iff it was new."""
+        """Insert a value tuple; returns True iff it was new.
+
+        *row* is in the backend's native row space (raw values for the
+        tuple backend, interned ids for the columnar one) — this is the
+        engines' entry point, and engines shuttle stored rows opaquely.
+        """
         return self.relation(predicate, len(row)).add(row)
 
     def add_atom(self, atom: Atom) -> bool:
         """Insert a ground atom; returns True iff it was new."""
-        return self.add(atom.predicate, atom.ground_key())
+        return self.add(atom.predicate, self.encode_row(atom.ground_key()))
 
     def add_atoms(self, atoms: Iterable[Atom]) -> int:
         return sum(1 for atom in atoms if self.add_atom(atom))
@@ -94,9 +123,17 @@ class Database:
         return relation.rows() if relation is not None else frozenset()
 
     def atoms(self, predicate: str) -> Iterator[Atom]:
-        """Yield the stored facts of *predicate* as ground atoms."""
-        for row in self.rows(predicate):
-            yield Atom(predicate, tuple(Constant(value) for value in row))
+        """Yield the stored facts of *predicate* as ground atoms.
+
+        Atoms come out in insertion order (the backends' shared
+        enumeration order), decoded to raw values.
+        """
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return
+        decode = self.decode_row
+        for row in relation.scan():
+            yield Atom(predicate, tuple(Constant(value) for value in decode(row)))
 
     def all_atoms(self) -> Iterator[Atom]:
         for predicate in sorted(self._relations):

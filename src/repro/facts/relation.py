@@ -55,7 +55,12 @@ class Relation:
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()):
         self.name = name
         self.arity = arity
-        self._tuples: set[tuple] = set()
+        # Insertion-ordered: a dict used as an ordered set.  Enumeration
+        # order (scan, iteration, snapshots) is therefore *insertion*
+        # order, not hash order — the property the columnar backend
+        # (repro.engine.columnar) reproduces exactly, making enumeration
+        # order part of the cross-backend bit-identity contract.
+        self._tuples: dict[tuple, None] = {}
         # column -> value -> list of tuples having that value in the column.
         self._indexes: dict[int, dict[object, list[tuple]]] = {}
         # column -> set of distinct values (lazy, incremental on add).
@@ -80,7 +85,7 @@ class Relation:
             )
         if row in self._tuples:
             return False
-        self._tuples.add(row)
+        self._tuples[row] = None
         for column, index in self._indexes.items():
             index.setdefault(row[column], []).append(row)
         for column, values in self._distinct.items():
@@ -112,7 +117,7 @@ class Relation:
         """
         if row not in self._tuples:
             return False
-        self._tuples.discard(row)
+        del self._tuples[row]
         self._stamps.pop(row, None)
         for column, index in self._indexes.items():
             value = row[column]
@@ -326,7 +331,7 @@ class Relation:
 
     def copy(self) -> "Relation":
         clone = Relation(self.name, self.arity)
-        clone._tuples = set(self._tuples)
+        clone._tuples = dict(self._tuples)
         # Carry the version over: a copy holds the same tuples, so callers
         # caching (version, statistics) pairs must not see it reset to 0 —
         # a fresher copy reporting an *older* version defeats staleness

@@ -205,7 +205,9 @@ class _Handler(BaseHTTPRequestHandler):
     @staticmethod
     def _config(payload: dict) -> dict:
         config = {}
-        for field in ("strategy", "sips", "planner", "executor", "scheduler"):
+        for field in (
+            "strategy", "sips", "planner", "executor", "scheduler", "storage",
+        ):
             if payload.get(field) is not None:
                 config[field] = payload[field]
         return config

@@ -48,6 +48,7 @@ from ..datalog.parser import parse_program, parse_query
 from ..datalog.rules import Program
 from ..datalog.unify import match_atom
 from ..engine.budget import EvaluationBudget
+from ..engine.columnar import DEFAULT_STORAGE
 from ..engine.kernel import DEFAULT_EXECUTOR
 from ..engine.scheduler import DEFAULT_SCHEDULER
 from ..errors import BudgetExceededError, ReproError, UnpreparableStrategyError
@@ -226,11 +227,11 @@ class QueryService:
     # --- preparation ----------------------------------------------------------
     def _cache_key(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
-        executor: str, scheduler: str,
+        executor: str, scheduler: str, storage: str,
     ) -> tuple:
         return (dataset.name, dataset.version) + prepared_cache_key(
             dataset.program, goal, strategy, sips, planner, executor,
-            scheduler,
+            scheduler, storage,
         )
 
     def prepare(
@@ -242,6 +243,7 @@ class QueryService:
         planner: "str | None" = None,
         executor: str = DEFAULT_EXECUTOR,
         scheduler: str = DEFAULT_SCHEDULER,
+        storage: str = DEFAULT_STORAGE,
     ) -> dict:
         """Prepare (or re-use) a query shape; the ``/prepare`` endpoint.
 
@@ -253,7 +255,8 @@ class QueryService:
         if isinstance(goal, str):
             goal = parse_query(goal)
         key = self._cache_key(
-            dataset, goal, strategy, sips, planner, executor, scheduler
+            dataset, goal, strategy, sips, planner, executor, scheduler,
+            storage,
         )
         if strategy in UNPREPARABLE_STRATEGIES:
             # Surface the library error without caching anything.
@@ -271,6 +274,7 @@ class QueryService:
                 planner=planner,
                 executor=executor,
                 scheduler=scheduler,
+                storage=storage,
             ),
         )
         return {
@@ -300,6 +304,7 @@ class QueryService:
         planner: "str | None" = None,
         executor: str = DEFAULT_EXECUTOR,
         scheduler: str = DEFAULT_SCHEDULER,
+        storage: str = DEFAULT_STORAGE,
         budget: "EvaluationBudget | None" = None,
     ) -> dict:
         """Answer *goal* against *dataset_name*; the ``/query`` endpoint.
@@ -325,12 +330,12 @@ class QueryService:
         if strategy in UNPREPARABLE_STRATEGIES:
             payload = self._query_direct(
                 dataset, goal, strategy, sips, planner, executor, scheduler,
-                budget,
+                storage, budget,
             )
         else:
             payload = self._query_prepared(
                 dataset, goal, strategy, sips, planner, executor, scheduler,
-                budget,
+                storage, budget,
             )
         elapsed = time.perf_counter() - started
         payload["elapsed_ms"] = elapsed * 1000.0
@@ -340,10 +345,11 @@ class QueryService:
 
     def _query_prepared(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
-        executor: str, scheduler: str, budget,
+        executor: str, scheduler: str, storage: str, budget,
     ) -> dict:
         key = self._cache_key(
-            dataset, goal, strategy, sips, planner, executor, scheduler
+            dataset, goal, strategy, sips, planner, executor, scheduler,
+            storage,
         )
         try:
             # The request budget governs whatever work this request
@@ -360,6 +366,7 @@ class QueryService:
                     planner=planner,
                     executor=executor,
                     scheduler=scheduler,
+                    storage=storage,
                     budget=budget,
                 ),
             )
@@ -388,7 +395,7 @@ class QueryService:
 
     def _query_direct(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
-        executor: str, scheduler: str, budget,
+        executor: str, scheduler: str, storage: str, budget,
     ) -> dict:
         obs = get_metrics()
         if obs.enabled:
@@ -404,6 +411,7 @@ class QueryService:
                 budget=budget,
                 executor=executor,
                 scheduler=scheduler,
+                storage=storage,
             )
         except BudgetExceededError as exc:
             return self._partial_payload(

@@ -123,6 +123,7 @@ class TestQueryHelpSnapshot:
         "--planner",
         "--executor",
         "--scheduler",
+        "--storage",
         "--stats",
         "--limit",
         "--timeout",
@@ -146,6 +147,23 @@ class TestQueryHelpSnapshot:
             main(["query", "--help"])
         help_text = capsys.readouterr().out
         assert "--scheduler {scc,global}" in help_text
+
+
+class TestStorageFlag:
+    def test_storage_values_give_identical_answers(self, program_file, capsys):
+        outputs = {}
+        for storage in ("tuples", "columnar"):
+            code = main(
+                ["query", program_file, "anc(a, X)?", "--storage", storage]
+            )
+            assert code == 0
+            outputs[storage] = capsys.readouterr().out
+        assert outputs["tuples"] == outputs["columnar"]
+
+    def test_unknown_storage_is_rejected_by_argparse(self, program_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", program_file, "anc(a, X)?", "--storage", "arrow"])
+        assert excinfo.value.code == 2
 
 
 class TestSchedulerFlag:

@@ -53,6 +53,44 @@ class TestLinkExtraction:
         assert len(problems) == 1 and "docs/B.md#title" in problems[0]
 
 
+class TestOrphanCheck:
+    def test_unlinked_docs_page_is_reported(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "index: [linked](docs/LINKED.md)\n", encoding="utf-8"
+        )
+        (tmp_path / "docs" / "LINKED.md").write_text("ok\n", encoding="utf-8")
+        (tmp_path / "docs" / "ORPHAN.md").write_text("lost\n", encoding="utf-8")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems: list[str] = []
+        assert check_docs.check_orphans(problems) == 2
+        assert len(problems) == 1
+        assert "ORPHAN.md" in problems[0] and "orphaned" in problems[0]
+
+    def test_anchor_links_still_reach_the_page(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[sect](docs/A.md#section)\n", encoding="utf-8"
+        )
+        (tmp_path / "docs" / "A.md").write_text("# section\n", encoding="utf-8")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems: list[str] = []
+        assert check_docs.check_orphans(problems) == 1
+        assert problems == []
+
+    def test_orphans_run_by_default_and_with_flag(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("no index\n", encoding="utf-8")
+        (tmp_path / "docs" / "ORPHAN.md").write_text("lost\n", encoding="utf-8")
+        (tmp_path / "docs" / "TUTORIAL.md").write_text("", encoding="utf-8")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        monkeypatch.setattr(check_docs, "TUTORIAL", tmp_path / "docs" / "TUTORIAL.md")
+        assert check_docs.main([]) == 1  # default run includes the check
+        assert check_docs.main(["--orphans"]) == 1
+        assert check_docs.main(["--links"]) == 0  # scoped runs exclude it
+        capsys.readouterr()
+
+
 class TestBlockExtraction:
     def test_python_blocks_found_with_line_numbers(self):
         text = "intro\n```python\nx = 1\n```\n```bash\nls\n```\n```python\ny = x\n```\n"
@@ -75,8 +113,22 @@ class TestRepositoryDocs:
 
     def test_documentation_index_lists_every_doc(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for name in ("THEORY", "TUTORIAL", "ARCHITECTURE", "API", "OBSERVABILITY"):
+        for name in (
+            "THEORY",
+            "TUTORIAL",
+            "ARCHITECTURE",
+            "API",
+            "OBSERVABILITY",
+            "SERVING",
+            "STORAGE",
+        ):
             assert f"docs/{name}.md" in readme, f"README lacks docs/{name}.md"
+
+    def test_no_docs_page_is_orphaned(self):
+        problems: list[str] = []
+        checked = check_docs.check_orphans(problems)
+        assert checked > 0
+        assert problems == []
 
     def test_tutorial_examples_run(self):
         problems: list[str] = []

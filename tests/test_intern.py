@@ -1,0 +1,154 @@
+"""Tests for the constant interner (repro.datalog.intern).
+
+The interner is the foundation of the columnar backend's bit-identity
+claim: ids must be dense, stable across copies, equality-compatible with
+the tuple backend's sets, and safe to grow from concurrent serve
+threads.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.datalog.intern import ConstantInterner
+from repro.engine.columnar import ColumnarDatabase, as_storage
+from repro.facts.database import Database
+from repro.obs import ThreadSafeMetrics, collect
+from repro.serve.service import QueryService
+
+
+class TestBijection:
+    def test_first_seen_order_is_dense(self):
+        interner = ConstantInterner()
+        assert [interner.intern(v) for v in ("a", "b", "a", "c")] == [
+            0, 1, 0, 2,
+        ]
+        assert len(interner) == 3
+
+    def test_round_trip_non_string_constants(self):
+        """Ints, floats, bools, None round-trip unchanged through ids."""
+        interner = ConstantInterner()
+        values = ["a", 7, -3, 2.5, None, ("nested", 1), False]
+        row = tuple(values)
+        encoded = interner.intern_row(row)
+        assert all(isinstance(ident, int) for ident in encoded)
+        decoded = interner.extern_row(encoded)
+        assert decoded == row
+        for value in values:
+            assert interner.value_of(interner.intern(value)) == value
+
+    def test_equality_semantics_match_tuple_sets(self):
+        """1 == 1.0 == True collapse to one id, exactly as in a set."""
+        interner = ConstantInterner()
+        assert interner.intern(1) == interner.intern(1.0)
+        assert interner.intern(1) == interner.intern(True)
+        assert interner.intern(0) == interner.intern(False)
+        assert interner.intern(1) != interner.intern("1")
+        # First-seen value wins the reverse map, mirroring dict semantics.
+        assert interner.value_of(interner.intern(True)) == 1
+
+    def test_id_of_never_grows_the_table(self):
+        interner = ConstantInterner()
+        interner.intern("known")
+        assert interner.id_of("unknown") is None
+        assert interner.id_of("known") == 0
+        assert len(interner) == 1
+
+    def test_intern_rows_extern_rows(self):
+        interner = ConstantInterner()
+        rows = [("a", "b"), ("b", "c")]
+        encoded = list(interner.intern_rows(rows))
+        assert list(interner.extern_rows(encoded)) == rows
+
+
+class TestIdStabilityAcrossCopies:
+    def test_database_copy_shares_the_interner(self):
+        database = ColumnarDatabase()
+        relation = database.relation("e", 2)
+        row = database.encode_row(("a", "b"))
+        relation.add(row)
+        clone = database.copy()
+        assert clone.interner is database.interner
+        # The same raw row encodes to the same ids in the copy ...
+        assert clone.encode_row(("a", "b")) == row
+        assert row in clone.relation("e")
+        # ... and new constants interned via the copy are visible to the
+        # original's encoder, so rows stay comparable across copies.
+        new = clone.encode_row(("a", "fresh"))
+        assert database.encode_row(("a", "fresh")) == new
+
+    def test_restrict_and_merge_preserve_encodings(self):
+        database = ColumnarDatabase()
+        database.relation("e", 2).add(database.encode_row(("a", "b")))
+        database.relation("p", 1).add(database.encode_row(("c",)))
+        restricted = database.restrict(["e"])
+        assert restricted.interner is database.interner
+        merged = ColumnarDatabase(interner=database.interner)
+        merged.merge(database)
+        assert merged == database
+
+    def test_conversion_round_trip_preserves_raw_facts(self):
+        source = Database()
+        source.relation("e", 2).add(("a", "b"))
+        source.relation("e", 2).add(("b", "c"))
+        columnar = as_storage(source, "columnar")
+        back = as_storage(columnar, "tuples")
+        assert back == source
+
+
+class TestConcurrency:
+    def test_concurrent_interning_agrees_on_ids(self):
+        """Racing threads interning overlapping values agree on every id."""
+        interner = ConstantInterner()
+        values = [f"c{i}" for i in range(200)]
+        barrier = threading.Barrier(8)
+
+        def worker(offset: int) -> dict:
+            barrier.wait()
+            local = values[offset:] + values[:offset]
+            return {value: interner.intern(value) for value in local}
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            tables = list(pool.map(worker, range(0, 200, 25)))
+        reference = tables[0]
+        for table in tables[1:]:
+            assert table == reference
+        assert sorted(reference.values()) == list(range(200))
+        assert len(interner) == 200
+        for value, ident in reference.items():
+            assert interner.value_of(ident) == value
+
+    def test_concurrent_columnar_queries_through_the_service(self):
+        """Serve worker threads interning via one shared prepared fixpoint."""
+        with collect(ThreadSafeMetrics()):
+            service = QueryService()
+            service.load(
+                "g",
+                program_text=(
+                    "e(a, b). e(b, c). e(c, d).\n"
+                    "t(X, Y) :- e(X, Y).\n"
+                    "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+                ),
+            )
+            barrier = threading.Barrier(6)
+
+            def worker(_):
+                barrier.wait()
+                return service.query("g", "t(a, X)?", storage="columnar")
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                payloads = list(pool.map(worker, range(6)))
+            expected = service.query("g", "t(a, X)?", storage="tuples")
+            for payload in payloads:
+                assert payload["answers"] == expected["answers"]
+
+
+class TestObservability:
+    def test_intern_counters_are_recorded(self):
+        with collect() as metrics:
+            interner = ConstantInterner()
+            interner.intern("a")
+            interner.intern("b")
+            interner.intern("a")
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["intern.misses"] == 2
+        assert snapshot["histograms"]["intern.constants"]["last"] == 2

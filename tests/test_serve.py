@@ -183,6 +183,19 @@ class TestQueryService:
             chain_source(), "anc(5, X)?"
         )
 
+    def test_storage_is_part_of_the_cache_key(self, service):
+        tuples = service.query("chain", "anc(0, X)?", storage="tuples")
+        columnar = service.query("chain", "anc(0, X)?", storage="columnar")
+        # Different storage => different prepared entry, never a false hit.
+        assert not tuples["cache_hit"] and not columnar["cache_hit"]
+        assert service.cache.stats()["entries"] == 2
+        # Same payload either way: answers, counters, soundness flags.
+        assert columnar["answers"] == tuples["answers"]
+        assert columnar["stats"] == tuples["stats"]
+        again = service.query("chain", "anc(0, X)?", storage="columnar")
+        assert again["cache_hit"]
+        assert again["answers"] == columnar["answers"]
+
     def test_unpreparable_strategy_falls_back_to_direct(self, service):
         payload = service.query("chain", "anc(0, X)?", strategy="oldt")
         assert not payload["prepared"] and not payload["cache_hit"]

@@ -13,12 +13,16 @@ Two independent checks, both fast enough for every CI run:
   (the tutorial promises to be "runnable top to bottom", so CI holds it
   to that).  Blocks run against the real library; any exception fails
   the check.
+* **Orphans** — every page in ``docs/`` must be reachable from
+  ``README.md`` (the documentation index); a page nothing links to is
+  dead weight that silently drifts out of date.
 
 Usage::
 
-    python tools/check_docs.py            # both checks
+    python tools/check_docs.py            # all checks
     python tools/check_docs.py --links    # links only
     python tools/check_docs.py --tutorial # tutorial only
+    python tools/check_docs.py --orphans  # orphaned docs pages only
 
 Exit code 0 iff every requested check passed.
 """
@@ -70,6 +74,29 @@ def check_links(problems: list[str]) -> int:
     return checked
 
 
+def check_orphans(problems: list[str]) -> int:
+    """Every ``docs/`` page must be linked from README.md; returns the
+    number of pages checked.
+
+    The README's documentation index is the only table of contents the
+    repo has — a page absent from it is unreachable for readers, so the
+    check fails rather than letting it drift out of date unnoticed.
+    """
+    readme = REPO_ROOT / "README.md"
+    linked = set()
+    for target in LINK_PATTERN.findall(readme.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        linked.add((readme.parent / target.split("#", 1)[0]).resolve())
+    pages = sorted((REPO_ROOT / "docs").glob("*.md"))
+    for page in pages:
+        if page.resolve() not in linked:
+            problems.append(
+                f"docs/{page.name}: orphaned page — not linked from README.md"
+            )
+    return len(pages)
+
+
 def python_blocks(text: str) -> list[tuple[int, str]]:
     """(starting line, source) of every fenced ``python`` block."""
     blocks: list[tuple[int, str]] = []
@@ -114,14 +141,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tutorial", action="store_true", help="run tutorial examples only"
     )
+    parser.add_argument(
+        "--orphans", action="store_true", help="check for orphaned docs pages only"
+    )
     args = parser.parse_args(argv)
-    run_links = args.links or not args.tutorial
-    run_tutorial = args.tutorial or not args.links
+    selected = args.links or args.tutorial or args.orphans
+    run_links = args.links or not selected
+    run_tutorial = args.tutorial or not selected
+    run_orphans = args.orphans or not selected
 
     problems: list[str] = []
     if run_links:
         count = check_links(problems)
         print(f"check_docs: {count} relative links checked")
+    if run_orphans:
+        count = check_orphans(problems)
+        print(f"check_docs: {count} docs pages checked for README reachability")
     if run_tutorial:
         count = check_tutorial(problems)
         print(f"check_docs: {count} tutorial examples executed")
