@@ -182,14 +182,19 @@ class PreparedQuery:
 
     # --- compatibility --------------------------------------------------------
     def compatible(self, goal: Atom) -> bool:
-        """True iff *goal* can be executed by this prepared shape."""
+        """True iff *goal* can be executed by this prepared shape.
+
+        Materialised shapes hold the full model and answer any goal by
+        lookup — matching the ``*``/``*`` cache key all goals share —
+        so every goal is compatible.  Transform shapes are specialised
+        to one predicate/arity/adornment.
+        """
+        if self.mode == "materialised":
+            return True
         return (
             goal.predicate == self.query.predicate
             and goal.arity == self.query.arity
-            and (
-                self.mode == "materialised"
-                or query_adornment(goal) == self.adornment
-            )
+            and query_adornment(goal) == self.adornment
         )
 
     def _require_compatible(self, goal: Atom) -> None:

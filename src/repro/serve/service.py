@@ -213,9 +213,11 @@ class QueryService:
     def dataset(self, name: str) -> Dataset:
         with self._lock:
             dataset = self._datasets.get(name)
+            if dataset is None:
+                names = sorted(self._datasets)
         if dataset is None:
             raise ReproError(
-                f"unknown dataset {name!r}; loaded: {sorted(self._datasets)}"
+                f"unknown dataset {name!r}; loaded: {names}"
             )
         return dataset
 

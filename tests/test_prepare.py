@@ -157,6 +157,18 @@ class TestPrepareExecuteParity:
         direct = run_strategy("seminaive", ancestor_program, open_goal)
         assert prepared.execute(open_goal).answers == direct.answers
 
+    def test_materialised_mode_serves_any_predicate(self, ancestor_program):
+        # The cache key for materialised strategies is */* — every goal
+        # on the program shares one entry — so the shape must accept
+        # goals over *other* predicates too, answering them by lookup.
+        prepared = prepare_query(
+            ancestor_program, "anc(a, X)?", strategy="seminaive"
+        )
+        other = parse_query("edge(a, X)?")
+        assert prepared.compatible(other)
+        direct = run_strategy("seminaive", ancestor_program, other)
+        assert prepared.execute(other).answers == direct.answers
+
 
 class TestExecuteDoesNoPipelineWork:
     def test_pipeline_counters_flat_across_executions(self, ancestor_program):

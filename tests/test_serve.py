@@ -183,6 +183,18 @@ class TestQueryService:
             chain_source(), "anc(5, X)?"
         )
 
+    def test_materialised_entry_serves_other_predicates(self, service):
+        # seminaive materialises the full model under a */* cache key,
+        # so a follow-up goal over a different predicate must hit that
+        # entry and be answered by lookup, not rejected as a shape
+        # mismatch (regression: second predicate raised ReproError).
+        first = service.query("chain", "anc(0, X)?", strategy="seminaive")
+        second = service.query("chain", "edge(0, X)?", strategy="seminaive")
+        assert not first["cache_hit"] and second["cache_hit"]
+        assert second["answers"]["rows"] == direct_rows(
+            chain_source(), "edge(0, X)?", strategy="seminaive"
+        )
+
     def test_storage_is_part_of_the_cache_key(self, service):
         tuples = service.query("chain", "anc(0, X)?", storage="tuples")
         columnar = service.query("chain", "anc(0, X)?", storage="columnar")
