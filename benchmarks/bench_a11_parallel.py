@@ -1,0 +1,196 @@
+"""A11 — Ablation: the parallel scheduler vs serial scc scheduling.
+
+The parallel scheduler (:mod:`repro.engine.parallel`) claims to be a
+pure scheduling swap: the same fact sets and the same deterministic
+counters as ``scheduler="scc"`` at every worker count, whether whole
+components run concurrently or a recursive component's delta rounds are
+hash-sharded across the pool (pinned bit-exactly by
+``tests/test_parallel_differential.py``).  This ablation measures what
+the worker pool buys in wall-clock on the recursive F1/F3 closures and
+the T3 Alexander-transformed workload, and asserts the identity claim
+in-run on every configuration.
+
+Wall-clock speedup is recorded per (workload, workers) pair but gated
+only as an advisory: CPython's GIL serialises the pure-Python join
+kernels, so thread-level parallelism cannot beat the serial oracle on
+CPU-bound work regardless of core count — and single-core CI hosts
+cannot even overlap the coordinator with a worker.  The honest claims
+this bench *does* gate are (a) bit-identical results everywhere and
+(b) bounded overhead: the pool must not make evaluation pathologically
+slower than scc (structural evidence the coordinator adds scheduling,
+not re-evaluation).
+"""
+
+import os
+import time
+
+from repro.bench.harness import measure
+from repro.bench.reporting import render_series
+from repro.engine.counters import EvaluationStats
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.obs import collect
+from repro.workloads import ancestor
+
+CHAIN_SIZES = (64, 128, 192)
+WORKER_COUNTS = (1, 2, 4)
+ROUNDS = 3
+SPEEDUP_FLOOR = 1.3  # advisory: see the module docstring
+# The pool's bookkeeping (thread hops, shard splits, registry merges)
+# must stay a bounded constant factor even where it cannot win.
+MAX_SLOWDOWN = 25.0
+
+
+def _workloads():
+    # F1: the left-linear chain closure — the delta literal leads the
+    # recursive body, so partitioned rounds shard every delta.
+    for n in CHAIN_SIZES:
+        yield f"chain{n}", n, ancestor(graph="chain", variant="left", n=n)
+    # F3: the nonlinear closure — delta variants at both positions; the
+    # leading one shards, the trailing one runs serially per round.
+    for n in (24, 32):
+        yield f"nltc{n}", n, ancestor(graph="chain", variant="nonlinear", n=n)
+
+
+def _facts(database):
+    return {
+        relation.name: frozenset(
+            database.decode_row(row) for row in relation.rows()
+        )
+        for relation in database.relations()
+    }
+
+
+def _run(scenario, scheduler, workers=None):
+    """Best-of-ROUNDS wall clock; facts/stats/metrics from the last run."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        stats = EvaluationStats()
+        with collect() as metrics:
+            start = time.perf_counter()
+            database, _ = seminaive_fixpoint(
+                scenario.program,
+                scenario.database,
+                stats,
+                scheduler=scheduler,
+                workers=workers,
+            )
+            best = min(best, time.perf_counter() - start)
+    return best, _facts(database), stats, metrics
+
+
+def run_series():
+    series = {f"workers{w}": [] for w in WORKER_COUNTS}
+    series["scc"] = []
+    entries = []
+    speedups = {}
+    for label, size, scenario in _workloads():
+        scc_seconds, scc_facts, scc_stats, _ = _run(scenario, "scc")
+        if label.startswith("chain"):
+            series["scc"].append((size, round(scc_seconds * 1e3, 2)))
+        for workers in WORKER_COUNTS:
+            seconds, facts, stats, metrics = _run(
+                scenario, "parallel", workers=workers
+            )
+            # The scheduling swap is invisible in everything but time.
+            assert facts == scc_facts, (label, workers)
+            assert stats.as_dict() == scc_stats.as_dict(), (label, workers)
+            if workers > 1:
+                # Structural evidence the parallel machinery actually
+                # engaged: the pool ran and sharded at least one delta.
+                counters = metrics.counters
+                assert counters.get("parallel.runs", 0) > 0, label
+                assert (
+                    counters.get("parallel.partition.variants", 0) > 0
+                ), (label, workers)
+            speedups[f"{label}/w{workers}"] = scc_seconds / seconds
+            if label.startswith("chain"):
+                series[f"workers{workers}"].append(
+                    (size, round(seconds * 1e3, 2))
+                )
+            entries.append(
+                {
+                    "id": f"{label}/workers{workers}",
+                    "workload": label,
+                    "workers": workers,
+                    "inferences": stats.inferences,
+                    "attempts": stats.attempts,
+                    "facts": stats.facts_derived,
+                    "iterations": stats.iterations,
+                    "seconds": seconds,
+                    "scc_seconds": scc_seconds,
+                    "speedup": speedups[f"{label}/w{workers}"],
+                }
+            )
+    return series, entries, speedups
+
+
+def _alexander_parity():
+    """T3: the Alexander-transformed workload answers identically under
+    the parallel scheduler at every worker count."""
+    scenario = ancestor(graph="chain", variant="left", n=96)
+    base = measure(scenario, "alexander", scheduler="scc")
+    rows = []
+    for workers in WORKER_COUNTS:
+        result = measure(
+            scenario, "alexander", scheduler="parallel", workers=workers
+        )
+        assert not result.diverged, workers
+        assert result.result.answer_rows == base.result.answer_rows, workers
+        assert result.inferences == base.inferences, workers
+        assert result.attempts == base.attempts, workers
+        rows.append((workers, result.inferences, result.seconds))
+    return rows
+
+
+def test_a11_parallel_ablation(benchmark, report):
+    series, entries, speedups = benchmark.pedantic(
+        run_series, rounds=1, iterations=1
+    )
+    alexander_rows = _alexander_parity()
+    figure = render_series(
+        "A11: parallel vs scc wall-clock (ms), left chain(n) closure",
+        "n",
+        series,
+    )
+    lines = [figure, "", "speedups (scc / parallel):"]
+    lines += [f"  {label}: {ratio:.2f}x" for label, ratio in speedups.items()]
+    lines.append("")
+    lines.append(
+        "T3 Alexander parity (inferences identical at every worker count):"
+    )
+    lines += [
+        f"  workers={workers}: {inferences} inferences, {seconds * 1e3:.2f}ms"
+        for workers, inferences, seconds in alexander_rows
+    ]
+    best = max(speedups.values())
+    gate_speedup = os.cpu_count() and os.cpu_count() >= 2
+    lines.append("")
+    lines.append(
+        f"best speedup: {best:.2f}x "
+        f"(advisory target {SPEEDUP_FLOOR}x; cpus={os.cpu_count()}, "
+        f"gated={bool(gate_speedup)})"
+    )
+    report(
+        "a11",
+        "\n".join(lines),
+        entries=entries,
+        meta={
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_gated": bool(gate_speedup),
+            "best_speedup": best,
+            "cpus": os.cpu_count(),
+        },
+    )
+    # Hard gate: identity held (asserted in-run above) and the pool's
+    # overhead is bounded — scheduling, not re-derivation.
+    worst = min(speedups.values())
+    assert worst > 1.0 / MAX_SLOWDOWN, (worst, speedups)
+    # Advisory gate: wall-clock wins need both multiple cores and
+    # GIL-free kernels; record the ratio, never fail a host that cannot
+    # physically provide them (see the module docstring).
+    if gate_speedup and best < SPEEDUP_FLOOR:
+        lines = [f"  {k}: {v:.2f}x" for k, v in speedups.items()]
+        print(
+            "A11 advisory: no configuration reached "
+            f"{SPEEDUP_FLOOR}x (GIL-bound workload):\n" + "\n".join(lines)
+        )

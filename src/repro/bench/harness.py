@@ -85,6 +85,7 @@ def measure(
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
     storage: str = DEFAULT_STORAGE,
+    workers: "int | None" = None,
 ) -> Measurement:
     """Run one strategy on one scenario query; divergence becomes a row.
 
@@ -108,6 +109,8 @@ def measure(
             A9 ablation flips this between ``"scc"`` and ``"global"``).
         storage: relation backend for the bottom-up fixpoints (the A10
             ablation flips this between ``"columnar"`` and ``"tuples"``).
+        workers: worker-pool size for ``scheduler="parallel"`` (the A11
+            benchmark sweeps this; ``None`` = one per CPU core).
     """
     query = scenario.query(query_index)
     start = time.perf_counter()
@@ -122,6 +125,7 @@ def measure(
             executor=executor,
             scheduler=scheduler,
             storage=storage,
+            workers=workers,
         )
     except BudgetExceededError:
         return Measurement(

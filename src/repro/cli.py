@@ -130,7 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=SCHEDULERS,
         help=(
             "fixpoint scheduling for bottom-up evaluation: component-wise "
-            "SCC order (default) or one global loop; identical answers"
+            "SCC order (default), a worker-pool parallel variant, or one "
+            "global loop; identical answers"
+        ),
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker-pool size for --scheduler parallel "
+            "(default: one per CPU core); serial schedulers ignore it"
         ),
     )
     query.add_argument(
@@ -265,6 +276,7 @@ def _cmd_query(args) -> int:
         executor=args.executor,
         scheduler=args.scheduler,
         storage=args.storage,
+        workers=args.workers,
     )
     print(format_bindings(goal, result.answers, limit=args.limit))
     if args.stats:

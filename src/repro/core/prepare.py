@@ -228,8 +228,18 @@ class PreparedQuery:
         self,
         goal: "Atom | str | None" = None,
         budget: "EvaluationBudget | Checkpoint | None" = None,
+        workers: "int | None" = None,
     ) -> QueryResult:
         """Evaluate *goal* (default: the template) with zero re-preparation.
+
+        Args:
+            goal: atom or source text; defaults to the template goal.
+            budget: optional per-execution budget.
+            workers: worker-pool size when the shape was prepared with
+                ``scheduler="parallel"`` (``None`` = one per CPU core);
+                an execution-time knob, deliberately *not* part of the
+                cache key — any worker count reuses the same compiled
+                fixpoint and produces the same answers.
 
         Raises:
             ReproError: when *goal* does not match the prepared shape.
@@ -261,6 +271,7 @@ class PreparedQuery:
             stats=stats,
             budget=budget,
             extra_facts=seeds,
+            workers=workers,
         )
         answers = self._matching(completed, goal, transformed_goal)
         stats.answers = len(answers)
@@ -322,6 +333,7 @@ def prepare_query(
     scheduler: str = DEFAULT_SCHEDULER,
     budget: "EvaluationBudget | Checkpoint | None" = None,
     storage: str = DEFAULT_STORAGE,
+    workers: "int | None" = None,
 ) -> PreparedQuery:
     """Prepare *goal*'s shape on *program* + *database* for reuse.
 
@@ -345,6 +357,9 @@ def prepare_query(
         budget: optional budget bounding *preparation itself* (the
             lower-strata or full materialisation); execution budgets are
             passed to :meth:`PreparedQuery.execute` per run.
+        workers: worker-pool size used by the *preparation* evaluations
+            when ``scheduler="parallel"``; not part of the cache key
+            (execution worker counts are passed to ``execute`` per run).
     """
     if isinstance(goal, str):
         goal = parse_query(goal)
@@ -389,6 +404,7 @@ def prepare_query(
                     executor=executor,
                     scheduler=scheduler,
                     storage=storage,
+                    workers=workers,
                 )
             prepared = PreparedQuery(
                 strategy=strategy,
@@ -414,7 +430,7 @@ def prepare_query(
             prepared = _prepare_transform(
                 strategy, rules_only, goal, working, sips_fn, planner,
                 executor, scheduler, storage, budget, key, prepare_stats,
-                edb_extra=program.predicates,
+                edb_extra=program.predicates, workers=workers,
             )
     if obs.enabled:
         obs.incr("prepare.builds")
@@ -436,6 +452,7 @@ def _prepare_transform(
     key: tuple,
     prepare_stats: EvaluationStats,
     edb_extra: frozenset[str],
+    workers: "int | None" = None,
 ) -> PreparedQuery:
     """The structured transform pipeline, stopped just short of running.
 
@@ -471,6 +488,7 @@ def _prepare_transform(
             executor=executor,
             scheduler=scheduler,
             storage=storage,
+            workers=workers,
         )
     target = stratification.strata[query_stratum]
     edb = frozenset(

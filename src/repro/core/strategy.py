@@ -102,6 +102,7 @@ def _bottom_up(engine: str):
         executor=DEFAULT_EXECUTOR,
         scheduler=DEFAULT_SCHEDULER,
         storage=DEFAULT_STORAGE,
+        workers=None,
     ) -> QueryResult:
         stats = EvaluationStats()
         completed, _ = stratified_fixpoint(
@@ -114,6 +115,7 @@ def _bottom_up(engine: str):
             executor=executor,
             scheduler=scheduler,
             storage=storage,
+            workers=workers,
         )
         matching = (
             atom
@@ -138,6 +140,7 @@ def _sld(
     executor=DEFAULT_EXECUTOR,
     scheduler=DEFAULT_SCHEDULER,
     storage=DEFAULT_STORAGE,
+    workers=None,
 ) -> QueryResult:
     # Plain SLD resolves one tuple at a time in clause-text order; there is
     # no set-oriented join to plan, so `planner` (and `executor`/
@@ -158,6 +161,7 @@ def _oldt(
     executor=DEFAULT_EXECUTOR,
     scheduler=DEFAULT_SCHEDULER,
     storage=DEFAULT_STORAGE,
+    workers=None,
 ) -> QueryResult:
     engine = OLDTEngine(program, database, planner=planner, budget=budget)
     raw = engine.query(query)
@@ -205,6 +209,7 @@ def _qsqr(
     executor=DEFAULT_EXECUTOR,
     scheduler=DEFAULT_SCHEDULER,
     storage=DEFAULT_STORAGE,
+    workers=None,
 ) -> QueryResult:
     engine = QSQREngine(program, database, planner=planner, budget=budget)
     answers = _sorted_answers(query, engine.query(query))
@@ -223,6 +228,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
         executor=DEFAULT_EXECUTOR,
         scheduler=DEFAULT_SCHEDULER,
         storage=DEFAULT_STORAGE,
+        workers=None,
     ) -> QueryResult:
         stats = EvaluationStats()
         # One checkpoint spans the whole pipeline (lower-strata
@@ -279,6 +285,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
                 executor=executor,
                 scheduler=scheduler,
                 storage=storage,
+                workers=workers,
             )
         target = stratification.strata[query_stratum]
         edb = frozenset(
@@ -295,6 +302,7 @@ def _transform_strategy(name: str, transform, sips: Sips = left_to_right):
             executor=executor,
             scheduler=scheduler,
             storage=storage,
+            workers=workers,
         )
 
         goal = transformed.goal
@@ -373,6 +381,7 @@ def run_strategy(
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
     storage: str = DEFAULT_STORAGE,
+    workers: "int | None" = None,
 ) -> QueryResult:
     """Evaluate *query* on *program* + *database* under strategy *name*.
 
@@ -391,17 +400,22 @@ def run_strategy(
             the rule-body executor of every bottom-up fixpoint involved
             (:mod:`repro.engine.kernel`); the top-down strategies accept
             and ignore it.  Answers and counters are identical either way.
-        scheduler: ``"scc"`` (default) or ``"global"``, selecting
-            component-wise vs monolithic fixpoint scheduling
-            (:mod:`repro.engine.scheduler`) in every bottom-up fixpoint
-            involved; the top-down strategies accept and ignore it.
-            Answers are identical either way.
+        scheduler: ``"scc"`` (default), ``"parallel"``, or ``"global"``,
+            selecting component-wise, worker-pool
+            (:mod:`repro.engine.parallel`), or monolithic fixpoint
+            scheduling in every bottom-up fixpoint involved; the
+            top-down strategies accept and ignore it.  Answers are
+            identical in every mode.
         storage: ``"tuples"`` (default) or ``"columnar"``, selecting the
             working-database backend
             (:mod:`repro.engine.columnar`) of every bottom-up fixpoint
             involved; the top-down strategies accept and ignore it.
             Answers, counters, and call summaries are identical either
             way (answers and summaries are always raw values).
+        workers: worker-pool size for ``scheduler="parallel"``
+            (``None`` = one per CPU core); forwarded to every bottom-up
+            fixpoint involved and ignored by the serial schedulers and
+            the top-down strategies.
     """
     if name not in _STRATEGIES:
         raise ReproError(
@@ -415,8 +429,9 @@ def run_strategy(
         }[name]
         return _transform_strategy(name, transform, sips)(
             program, query, database, planner, budget, executor, scheduler,
-            storage,
+            storage, workers,
         )
     return _STRATEGIES[name](
-        program, query, database, planner, budget, executor, scheduler, storage
+        program, query, database, planner, budget, executor, scheduler,
+        storage, workers,
     )

@@ -228,7 +228,20 @@ class ColumnarRelation:
         return self._round
 
     def mark_round(self, round: int) -> None:
-        """Stamp subsequent :meth:`add` calls with *round* (monotone)."""
+        """Stamp subsequent :meth:`add` calls with *round* (monotone).
+
+        Raises:
+            ValueError: if *round* regresses.  The columnar backend
+                *relies* on monotone stamps — :meth:`rows_before` resolves
+                a cutoff with one ``bisect`` over the stamp array, which
+                is only a prefix if stamps never decrease.
+        """
+        if round < self._round:
+            raise ValueError(
+                f"mark_round({round}) would regress relation "
+                f"{self.name!r} from round {self._round}; rounds must "
+                f"not decrease within one evaluation"
+            )
         self._round = round
 
     def stamp_of(self, row: tuple) -> int:

@@ -51,6 +51,7 @@ derivable (the iteration is inflationary).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..analysis.dependency import DependencyGraph
@@ -77,8 +78,17 @@ __all__ = [
     "scc_naive_fixpoint",
 ]
 
-SCHEDULERS = ("scc", "global")
-DEFAULT_SCHEDULER = "scc"
+SCHEDULERS = ("scc", "global", "parallel")
+
+# The default is overridable via REPRO_SCHEDULER so a CI leg (or an
+# operator) can route every default-scheduler call through the parallel
+# path without touching call sites; an unknown value fails at import
+# rather than silently falling back.
+DEFAULT_SCHEDULER = os.environ.get("REPRO_SCHEDULER", "scc")
+if DEFAULT_SCHEDULER not in SCHEDULERS:
+    raise ValueError(
+        f"REPRO_SCHEDULER={DEFAULT_SCHEDULER!r} is not one of {SCHEDULERS}"
+    )
 
 
 def resolve_scheduler(scheduler: str) -> str:

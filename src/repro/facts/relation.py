@@ -164,7 +164,20 @@ class Relation:
         "old" view of round *k* is :meth:`rows_before` with cutoff *k*.
         Rounds must not decrease within one evaluation; a fresh evaluation
         starts from a :meth:`copy`, whose rows all read as round 0.
+
+        Raises:
+            ValueError: if *round* is lower than the current round — a
+                regressing stamp would silently corrupt every later
+                :meth:`rows_before` view (rows of the regressed rounds
+                leak into "old"), which is exactly the failure mode a
+                buggy parallel merge produces.
         """
+        if round < self._round:
+            raise ValueError(
+                f"mark_round({round}) would regress relation "
+                f"{self.name!r} from round {self._round}; rounds must "
+                f"not decrease within one evaluation"
+            )
         self._round = round
 
     def stamp_of(self, row: tuple) -> int:

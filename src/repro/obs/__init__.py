@@ -26,6 +26,7 @@ from .metrics import (
     collect,
     get_metrics,
     set_metrics,
+    thread_metrics,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "collect",
     "get_metrics",
     "set_metrics",
+    "thread_metrics",
 ]

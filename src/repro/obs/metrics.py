@@ -51,6 +51,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "collect",
+    "thread_metrics",
 ]
 
 
@@ -70,6 +71,17 @@ class TimerStat:
             self.minimum = seconds
         if seconds > self.maximum:
             self.maximum = seconds
+
+    def merge(self, other: "TimerStat") -> None:
+        """Fold *other*'s aggregates into self (empty stats are no-ops)."""
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
 
     @property
     def mean(self) -> float:
@@ -103,6 +115,23 @@ class HistogramStat:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+
+    def merge(self, other: "HistogramStat") -> None:
+        """Fold *other*'s aggregates into self (empty stats are no-ops).
+
+        ``last`` takes *other*'s value — merge callers are expected to
+        fold registries in a deterministic order so the field stays
+        reproducible.
+        """
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.last = other.last
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
 
     @property
     def mean(self) -> float:
@@ -206,6 +235,29 @@ class Metrics:
             stat = self.histograms[name] = HistogramStat()
         stat.observe(value)
 
+    # --- merging --------------------------------------------------------------
+    def merge(self, other: "Metrics") -> None:
+        """Fold every aggregate of *other* into this registry.
+
+        Parallel evaluation gives each worker thread its own registry
+        (via :func:`thread_metrics`) and folds them into the parent when
+        the worker completes; callers merge workers in a fixed order so
+        order-sensitive fields (histogram ``last``) stay deterministic.
+        *other* is left untouched and must not be recording concurrently.
+        """
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.merge(stat)
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        for name, stat in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = HistogramStat()
+            mine.merge(stat)
+
     # --- export ---------------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:
         """Everything collected so far, as plain JSON-serialisable data."""
@@ -244,6 +296,9 @@ class NullMetrics(Metrics):
         return None
 
     def observe(self, name: str, value: float) -> None:
+        return None
+
+    def merge(self, other: "Metrics") -> None:
         return None
 
 
@@ -314,6 +369,10 @@ class ThreadSafeMetrics(Metrics):
                 stat = self.histograms[name] = HistogramStat()
             stat.observe(value)
 
+    def merge(self, other: "Metrics") -> None:
+        with self._lock:
+            super().merge(other)
+
     def snapshot(self) -> dict[str, dict]:
         with self._lock:
             return super().snapshot()
@@ -330,9 +389,21 @@ NULL_METRICS = NullMetrics()
 
 _active: Metrics = NULL_METRICS
 
+_tls = threading.local()
+
 
 def get_metrics() -> Metrics:
-    """The registry instrumentation points should record into."""
+    """The registry instrumentation points should record into.
+
+    A thread-local override installed by :func:`thread_metrics` wins over
+    the process-wide registry — that is how parallel evaluation routes
+    each worker thread's instrumentation into a private registry (the
+    default :class:`Metrics` is single-threaded by design) without the
+    workers knowing they are workers.
+    """
+    override = getattr(_tls, "active", None)
+    if override is not None:
+        return override
     return _active
 
 
@@ -362,3 +433,22 @@ def collect(metrics: Metrics | None = None) -> Iterator[Metrics]:
         yield registry
     finally:
         set_metrics(previous)
+
+
+@contextmanager
+def thread_metrics(metrics: Metrics) -> Iterator[Metrics]:
+    """Route the *calling thread's* :func:`get_metrics` to *metrics*.
+
+    Unlike :func:`collect` (which swaps the process-wide registry), this
+    installs a thread-local override, so other threads keep recording
+    into whatever is globally active.  Parallel workers run their
+    component under this and hand the private registry back to the
+    coordinator, which :meth:`Metrics.merge`\\ s the workers in schedule
+    order.  The previous override (usually none) is restored on exit.
+    """
+    previous = getattr(_tls, "active", None)
+    _tls.active = metrics
+    try:
+        yield metrics
+    finally:
+        _tls.active = previous

@@ -17,10 +17,19 @@ preparation but never blocks unrelated requests behind a slow one.
 Prepared queries are read-only after construction, so sharing one entry
 across threads is sound (each execution copies its working database).
 
-Hit/miss/eviction totals are kept on the cache (exact, locked) and
+Accounting classifies each request by what it *got*, not by what it
+first saw: a race loser ends up using the cached shape, so it counts as
+a hit (and as a ``races`` event recording the wasted preparation), and
+miss accounting is deferred until an insertion actually happens.
+``hits + misses`` therefore always equals the number of
+``get_or_prepare`` calls, and ``misses`` equals the number of shapes
+actually inserted — invariants ``/metrics`` consumers rely on.
+
+Hit/miss/race/eviction totals are kept on the cache (exact, locked) and
 mirrored into the active metrics registry as ``serve.prepared.hits`` /
-``serve.prepared.misses`` / ``serve.prepared.evictions`` — the counters
-the serve smoke CI job asserts on.
+``serve.prepared.misses`` / ``serve.prepared.races`` /
+``serve.prepared.evictions`` — the counters the serve smoke CI job
+asserts on.
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ class PreparedQueryCache:
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.races = 0
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -75,7 +85,13 @@ class PreparedQueryCache:
         """The entry under *key*, preparing it via *factory* on a miss.
 
         Returns ``(prepared, hit)`` where *hit* says whether this request
-        reused a cached shape.  *factory* runs outside the cache lock.
+        ended up reusing a cached shape — including losing a prepare race
+        and adopting the winner's entry.  *factory* runs outside the
+        cache lock.  Miss accounting is deferred until this thread's
+        insertion actually lands: counting at first lookup would book a
+        race loser as a miss *and* hand it cached results, leaving
+        ``misses`` larger than the number of preparations kept and
+        ``hits`` smaller than the number of requests served from cache.
         """
         obs = get_metrics()
         with self._lock:
@@ -87,17 +103,25 @@ class PreparedQueryCache:
                 if obs.enabled:
                     obs.incr("serve.prepared.hits")
                 return entry.prepared, True
-            self.misses += 1
-        if obs.enabled:
-            obs.incr("serve.prepared.misses")
         prepared = factory()
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
                 # Lost a prepare race; adopt the first insertion so every
-                # thread shares one object per shape.
+                # thread shares one object per shape.  The request is
+                # served from cache, so it is a hit — plus a race event
+                # recording the preparation this thread wasted.
                 self._entries.move_to_end(key)
-                return existing.prepared, False
+                existing.hits += 1
+                self.hits += 1
+                self.races += 1
+                if obs.enabled:
+                    obs.incr("serve.prepared.hits")
+                    obs.incr("serve.prepared.races")
+                return existing.prepared, True
+            self.misses += 1
+            if obs.enabled:
+                obs.incr("serve.prepared.misses")
             self._entries[key] = CacheEntry(key=key, prepared=prepared)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -136,5 +160,6 @@ class PreparedQueryCache:
                 "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "races": self.races,
                 "evictions": self.evictions,
             }

@@ -210,6 +210,19 @@ class _Handler(BaseHTTPRequestHandler):
         ):
             if payload.get(field) is not None:
                 config[field] = payload[field]
+        workers = payload.get("workers")
+        if workers is not None:
+            # Validated at the boundary: the pool size must be a positive
+            # integer (bools are JSON booleans, not worker counts).
+            if (
+                isinstance(workers, bool)
+                or not isinstance(workers, int)
+                or workers < 1
+            ):
+                raise ReproError(
+                    f'"workers" must be a positive integer, got {workers!r}'
+                )
+            config["workers"] = workers
         return config
 
 

@@ -70,7 +70,18 @@ _BUDGET_FIELDS = (
 
 def budget_from_payload(payload) -> "EvaluationBudget | None":
     """Decode a request's ``budget`` object into an
-    :class:`EvaluationBudget` (``None`` / empty → no budget)."""
+    :class:`EvaluationBudget` (``None`` / empty → no budget).
+
+    Every present limit must be a positive number: zero, negative, and
+    non-numeric limits are rejected here with a client-error
+    :class:`ReproError` (the HTTP layer renders it as a 400) instead of
+    being smuggled into a budget that trips before any work happens —
+    turning every such request into a confusing empty "partial" result
+    rather than the validation error it really is (and non-numeric
+    values into a mid-evaluation ``TypeError``, a 500).  Booleans are
+    explicitly excluded even though ``bool`` subclasses ``int`` —
+    ``"max_facts": true`` is a client bug, not a budget of one fact.
+    """
     if payload is None:
         return None
     if not isinstance(payload, dict):
@@ -82,6 +93,18 @@ def budget_from_payload(payload) -> "EvaluationBudget | None":
             f"expected {list(_BUDGET_FIELDS)}"
         )
     kwargs = {name: payload.get(name) for name in _BUDGET_FIELDS}
+    for name, value in kwargs.items():
+        if value is None:
+            continue
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or value <= 0
+        ):
+            raise ReproError(
+                f"budget field {name!r} must be a positive number, "
+                f"got {value!r}"
+            )
     if all(value is None for value in kwargs.values()):
         return None
     return EvaluationBudget(**kwargs)
@@ -177,8 +200,17 @@ class QueryService:
             current = self._datasets.get(name)
             if extend and current is None:
                 raise ReproError(f"cannot extend unknown dataset {name!r}")
-            if not extend and program_text is None:
-                raise ReproError("load requires program text")
+            # A load must actually carry source: empty or whitespace-only
+            # text would otherwise install an empty dataset (or, with
+            # extend, bump the version and flush the prepared cache while
+            # changing nothing) — both are client bugs, not mutations.
+            if not any(
+                text is not None and text.strip()
+                for text in (program_text, facts_text)
+            ):
+                raise ReproError(
+                    "load requires non-empty program or facts text"
+                )
             if extend:
                 rules = list(current.program.rules)
                 database = current.database.copy()
@@ -246,8 +278,13 @@ class QueryService:
         executor: str = DEFAULT_EXECUTOR,
         scheduler: str = DEFAULT_SCHEDULER,
         storage: str = DEFAULT_STORAGE,
+        workers: "int | None" = None,
     ) -> dict:
         """Prepare (or re-use) a query shape; the ``/prepare`` endpoint.
+
+        *workers* sizes the worker pool of ``scheduler="parallel"``
+        preparation work; it is deliberately not part of the cache key
+        (any worker count reuses the same compiled shape).
 
         Raises :class:`UnpreparableStrategyError` for the top-down
         strategies — ``/prepare`` reports that as a client error, while
@@ -277,6 +314,7 @@ class QueryService:
                 executor=executor,
                 scheduler=scheduler,
                 storage=storage,
+                workers=workers,
             ),
         )
         return {
@@ -308,11 +346,14 @@ class QueryService:
         scheduler: str = DEFAULT_SCHEDULER,
         storage: str = DEFAULT_STORAGE,
         budget: "EvaluationBudget | None" = None,
+        workers: "int | None" = None,
     ) -> dict:
         """Answer *goal* against *dataset_name*; the ``/query`` endpoint.
 
         Returns a JSON-ready payload.  Budget trips degrade to a sound
         partial payload (``partial: true``) instead of raising.
+        *workers* sizes the ``scheduler="parallel"`` worker pool
+        (``None`` = one per CPU core); serial schedulers ignore it.
         """
         obs = get_metrics()
         started = time.perf_counter()
@@ -332,12 +373,12 @@ class QueryService:
         if strategy in UNPREPARABLE_STRATEGIES:
             payload = self._query_direct(
                 dataset, goal, strategy, sips, planner, executor, scheduler,
-                storage, budget,
+                storage, budget, workers,
             )
         else:
             payload = self._query_prepared(
                 dataset, goal, strategy, sips, planner, executor, scheduler,
-                storage, budget,
+                storage, budget, workers,
             )
         elapsed = time.perf_counter() - started
         payload["elapsed_ms"] = elapsed * 1000.0
@@ -347,7 +388,7 @@ class QueryService:
 
     def _query_prepared(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
-        executor: str, scheduler: str, storage: str, budget,
+        executor: str, scheduler: str, storage: str, budget, workers=None,
     ) -> dict:
         key = self._cache_key(
             dataset, goal, strategy, sips, planner, executor, scheduler,
@@ -370,6 +411,7 @@ class QueryService:
                     scheduler=scheduler,
                     storage=storage,
                     budget=budget,
+                    workers=workers,
                 ),
             )
         except BudgetExceededError as exc:
@@ -383,7 +425,7 @@ class QueryService:
                 prepared=False, cache_hit=False,
             )
         try:
-            result = prepared.execute(goal, budget=budget)
+            result = prepared.execute(goal, budget=budget, workers=workers)
         except BudgetExceededError as exc:
             return self._partial_payload(
                 dataset, goal, strategy,
@@ -397,7 +439,7 @@ class QueryService:
 
     def _query_direct(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
-        executor: str, scheduler: str, storage: str, budget,
+        executor: str, scheduler: str, storage: str, budget, workers=None,
     ) -> dict:
         obs = get_metrics()
         if obs.enabled:
@@ -414,6 +456,7 @@ class QueryService:
                 executor=executor,
                 scheduler=scheduler,
                 storage=storage,
+                workers=workers,
             )
         except BudgetExceededError as exc:
             return self._partial_payload(

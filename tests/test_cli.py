@@ -124,6 +124,7 @@ class TestQueryHelpSnapshot:
         "--executor",
         "--scheduler",
         "--storage",
+        "--workers",
         "--stats",
         "--limit",
         "--timeout",
@@ -146,7 +147,7 @@ class TestQueryHelpSnapshot:
         with pytest.raises(SystemExit):
             main(["query", "--help"])
         help_text = capsys.readouterr().out
-        assert "--scheduler {scc,global}" in help_text
+        assert "--scheduler {scc,global,parallel}" in help_text
 
 
 class TestStorageFlag:

@@ -1,0 +1,321 @@
+"""Unit tests for the parallel scheduler's building blocks.
+
+The differential suite (``tests/test_parallel_differential.py``) pins
+the end-to-end bit-identity claim; this file exercises the pieces in
+isolation — worker resolution, the component dependency graph, the
+checkpoint trip gate under real thread contention, worker-view budget
+accounting, and the per-thread metrics registries the coordinator
+merges.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.engine.budget import Checkpoint, EvaluationBudget
+from repro.engine.counters import EvaluationStats
+from repro.engine.parallel import (
+    component_dependencies,
+    resolve_workers,
+)
+from repro.engine.scheduler import build_schedule
+from repro.errors import BudgetExceededError, ReproError
+from repro.obs import (
+    HistogramStat,
+    Metrics,
+    NullMetrics,
+    ThreadSafeMetrics,
+    TimerStat,
+    get_metrics,
+    set_metrics,
+    thread_metrics,
+)
+
+
+# --- worker resolution -----------------------------------------------------
+class TestResolveWorkers:
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, True, False, 2.0, "2"])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+# --- component dependencies ------------------------------------------------
+class TestComponentDependencies:
+    def test_chain_orders_components(self):
+        program = parse_program(
+            """
+            b(X) :- a(X).
+            c(X) :- b(X).
+            d(X) :- a(X).
+            """
+        ).without_facts()
+        components = build_schedule(program).components
+        deps = component_dependencies(program, components)
+        owner = {
+            predicate: index
+            for index, component in enumerate(components)
+            for predicate in component.derived
+        }
+        # c depends on b's component; b and d depend on nothing derived
+        # (a is extensional).
+        assert deps[owner["c"]] == {owner["b"]}
+        assert deps[owner["b"]] == set()
+        assert deps[owner["d"]] == set()
+
+    def test_independent_components_have_no_edges(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Y) :- p(X, Z), e(Z, Y).
+            q(X, Y) :- f(X, Y).
+            q(X, Y) :- q(X, Z), f(Z, Y).
+            """
+        ).without_facts()
+        components = build_schedule(program).components
+        deps = component_dependencies(program, components)
+        assert all(dep == set() for dep in deps)
+
+
+# --- the trip gate under threads -------------------------------------------
+class TestCheckpointUnderThreads:
+    def _tripping_views(self, workers: int, per_worker_facts: int = 10):
+        """Run *workers* threads that all exhaust a shared budget at the
+        same instant; returns (root, errors-raised, metrics snapshot)."""
+        registry = ThreadSafeMetrics()
+        previous = set_metrics(registry)
+        root_stats = EvaluationStats()
+        root = Checkpoint(EvaluationBudget(max_facts=workers), root_stats)
+        barrier = threading.Barrier(workers)
+        errors: list[BudgetExceededError] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = EvaluationStats()
+            view = root.worker_view(local)
+            barrier.wait()
+            try:
+                for _ in range(per_worker_facts):
+                    local.facts_derived += 1
+                    view.check_round()
+            except BudgetExceededError as error:
+                with lock:
+                    errors.append(error)
+
+        try:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for _ in range(workers):
+                    pool.submit(worker)
+                pool.shutdown(wait=True)
+        finally:
+            set_metrics(previous)
+        return root, errors, registry.snapshot()
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_concurrent_trip_is_single(self, workers):
+        root, errors, snapshot = self._tripping_views(workers)
+        # Every worker unwinds with the *same* stored error object.
+        assert len(errors) == workers
+        assert len({id(error) for error in errors}) == 1
+        assert root.tripped is errors[0]
+        # ...and the trip was observed exactly once, no matter how many
+        # threads raced through the gate.
+        assert snapshot["counters"]["budget.exceeded"] == 1
+        assert snapshot["counters"]["budget.exceeded.facts"] == 1
+
+    def test_poll_notices_sibling_trip(self):
+        root = Checkpoint(EvaluationBudget(max_facts=1), EvaluationStats())
+        tripper_stats = EvaluationStats()
+        tripper = root.worker_view(tripper_stats)
+        tripper_stats.facts_derived = 1
+        with pytest.raises(BudgetExceededError):
+            tripper.check_round()
+        # A sibling that did no work at all still unwinds on its next
+        # poll — the gate check is unconditional, not strided.
+        sibling = root.worker_view(EvaluationStats())
+        with pytest.raises(BudgetExceededError):
+            sibling.poll()
+        with pytest.raises(BudgetExceededError):
+            root.check_round()
+
+    def test_view_counts_root_share(self):
+        # A worker view trips on root + local totals: 3 facts already
+        # merged into the root plus 2 local ones exhaust a budget of 5.
+        root_stats = EvaluationStats()
+        root_stats.facts_derived = 3
+        root = Checkpoint(EvaluationBudget(max_facts=5), root_stats)
+        local = EvaluationStats()
+        view = root.worker_view(local)
+        local.facts_derived = 1
+        view.check_round()  # 3 + 1 < 5: fine
+        local.facts_derived = 2
+        with pytest.raises(BudgetExceededError) as excinfo:
+            view.check_round()
+        # The error reports the root stats record, where the coordinator
+        # merges every worker's share before re-raising.
+        assert excinfo.value.stats is root_stats
+
+    def test_trip_carries_root_partial(self):
+        from repro.facts.database import Database
+
+        database = Database()
+        database.add("p", ("a",))
+        root = Checkpoint(EvaluationBudget(max_facts=1), EvaluationStats())
+        root.bind(database)
+        view = root.worker_view(EvaluationStats())
+        view.stats.facts_derived = 1
+        with pytest.raises(BudgetExceededError) as excinfo:
+            view.check_round()
+        assert excinfo.value.partial is database
+
+    def test_views_chain_to_one_root(self):
+        root = Checkpoint(EvaluationBudget(max_facts=10), EvaluationStats())
+        view = root.worker_view(EvaluationStats())
+        nested = view.worker_view(EvaluationStats())
+        assert nested._root is root
+        assert nested._gate is root._gate
+
+
+# --- metrics merging -------------------------------------------------------
+class TestMetricsMerge:
+    def test_timer_merge_sums_and_bounds(self):
+        a, b = TimerStat(), TimerStat()
+        a.record(1.0)
+        a.record(3.0)
+        b.record(0.5)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 4.5
+        assert a.minimum == 0.5
+        assert a.maximum == 3.0
+
+    def test_empty_merges_are_noops(self):
+        stat = TimerStat()
+        stat.record(1.0)
+        stat.merge(TimerStat())
+        assert stat.count == 1 and stat.minimum == 1.0
+        hist = HistogramStat()
+        hist.observe(2.0)
+        hist.merge(HistogramStat())
+        assert hist.count == 1 and hist.last == 2.0
+
+    def test_histogram_merge_takes_others_last(self):
+        a, b = HistogramStat(), HistogramStat()
+        a.observe(1.0)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.last == 9.0
+        assert a.maximum == 9.0
+
+    def test_registry_merge_folds_everything(self):
+        parent, worker = Metrics(), Metrics()
+        parent.incr("shared", 1)
+        worker.incr("shared", 2)
+        worker.incr("worker_only", 5)
+        worker.observe("delta", 7.0)
+        with worker.timer("span"):
+            pass
+        parent.merge(worker)
+        assert parent.counters["shared"] == 3
+        assert parent.counters["worker_only"] == 5
+        assert parent.histograms["delta"].count == 1
+        assert parent.timers["span"].count == 1
+
+    def test_null_metrics_merge_is_noop(self):
+        from repro.obs import NULL_METRICS
+
+        worker = Metrics()
+        worker.incr("x")
+        NULL_METRICS.merge(worker)
+        assert NULL_METRICS.counters == {}  # the singleton stays empty
+
+    def test_threadsafe_merge_under_contention(self):
+        parent = ThreadSafeMetrics()
+        workers = []
+        for i in range(8):
+            registry = Metrics()
+            registry.incr("n", i)
+            workers.append(registry)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(parent.merge, workers))
+        assert parent.counters["n"] == sum(range(8))
+
+
+class TestThreadMetrics:
+    def test_override_is_thread_local(self):
+        private = Metrics()
+        seen_in_thread = []
+
+        def worker():
+            with thread_metrics(private):
+                get_metrics().incr("inner")
+                seen_in_thread.append(get_metrics())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen_in_thread == [private]
+        assert private.counters["inner"] == 1
+        # This thread never saw the override.
+        assert get_metrics() is not private
+
+    def test_override_restores_on_exit(self):
+        outer, inner = Metrics(), Metrics()
+        with thread_metrics(outer):
+            assert get_metrics() is outer
+            with thread_metrics(inner):
+                assert get_metrics() is inner
+            assert get_metrics() is outer
+        assert get_metrics() is not outer
+
+    def test_override_wins_over_global_registry(self):
+        global_registry = Metrics()
+        previous = set_metrics(global_registry)
+        try:
+            private = Metrics()
+            with thread_metrics(private):
+                get_metrics().incr("routed")
+            assert private.counters == {"routed": 1}
+            assert global_registry.counters == {}
+        finally:
+            set_metrics(previous)
+
+
+# --- round-stamp monotonicity (columnar twin of test_relation.py) ----------
+class TestColumnarMarkRoundGuard:
+    def test_mark_round_rejects_regression(self):
+        from repro.datalog.intern import ConstantInterner
+        from repro.engine.columnar import ColumnarRelation
+
+        relation = ColumnarRelation("p", 2, ConstantInterner())
+        relation.mark_round(2)
+        with pytest.raises(ValueError, match="must not decrease"):
+            relation.mark_round(1)
+        relation.mark_round(2)
+        relation.mark_round(3)
+
+
+# --- the HTTP boundary's workers validation --------------------------------
+class TestServerWorkersConfig:
+    def test_valid_workers_pass_through(self):
+        from repro.serve.server import _Handler
+
+        assert _Handler._config({"workers": 2}) == {"workers": 2}
+        assert "workers" not in _Handler._config({})
+
+    @pytest.mark.parametrize("bad", [0, -3, True, False, 1.5, "2", [2]])
+    def test_invalid_workers_rejected(self, bad):
+        from repro.serve.server import _Handler
+
+        with pytest.raises(ReproError, match="workers"):
+            _Handler._config({"workers": bad})

@@ -1,0 +1,226 @@
+"""Differential tests: the parallel scheduler vs the serial scc oracle.
+
+The parallel scheduler (:mod:`repro.engine.parallel`) claims to be a
+pure scheduling swap at every worker count: the same fact sets and the
+same ``inferences`` / ``attempts`` / ``facts_derived`` / ``iterations``
+counters as ``scheduler="scc"``, bit for bit, whether components run
+concurrently or a recursive component's delta rounds are hash-sharded
+across the pool.  These tests pin that claim over seeded random
+programs, the partition-triggering left-recursive workloads, every
+engine that accepts a scheduler, the prepared-fixpoint path, and the
+budget-trip contract (sound partials, exactly one trip).
+"""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.prepare import prepare_query
+from repro.datalog.parser import parse_program
+from repro.engine.budget import EvaluationBudget
+from repro.engine.counters import EvaluationStats
+from repro.engine.naive import naive_fixpoint
+from repro.engine.parallel import PARTITION_MIN_ROWS
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.engine.stratified import stratified_fixpoint
+from repro.errors import BudgetExceededError
+from repro.obs import Metrics, set_metrics
+
+from .test_kernel_differential import SEEDS, _facts, random_source
+
+WORKER_COUNTS = (1, 2, 4)
+
+# Counters that must match the serial oracle exactly.  (`seconds`-style
+# fields do not exist on EvaluationStats; everything in as_dict() is a
+# deterministic integer, so we compare the whole dict.)
+
+
+def left_recursive_chain(n: int) -> str:
+    """A left-recursive transitive closure whose delta literal sits at
+    position 0 — the shape the hash-partitioned rounds shard."""
+    facts = "\n".join(f"e(n{i}, n{i + 1})." for i in range(n))
+    return facts + "\nt(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, Z), e(Z, Y).\n"
+
+
+def wide_components(n: int) -> str:
+    """Several independent recursive components — the component-parallel
+    half of the scheduler (each closure is its own SCC)."""
+    parts = []
+    for c in range(3):
+        parts.append("\n".join(f"e{c}(m{i}, m{i + 1})." for i in range(n)))
+        parts.append(f"t{c}(X, Y) :- e{c}(X, Y).")
+        parts.append(f"t{c}(X, Y) :- t{c}(X, Z), e{c}(Z, Y).")
+    return "\n".join(parts)
+
+
+def _run(fixpoint, program, scheduler, workers=None, **kwargs):
+    stats = EvaluationStats()
+    completed, _ = fixpoint(
+        program, None, stats, scheduler=scheduler, workers=workers, **kwargs
+    )
+    return _facts(completed), stats.as_dict()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_programs_bit_identical(seed):
+    program = parse_program(random_source(seed))
+    for fixpoint in (seminaive_fixpoint, naive_fixpoint, stratified_fixpoint):
+        serial_facts, serial_stats = _run(fixpoint, program, "scc")
+        for workers in WORKER_COUNTS:
+            par_facts, par_stats = _run(
+                fixpoint, program, "parallel", workers=workers
+            )
+            assert par_facts == serial_facts, (fixpoint.__name__, workers)
+            assert par_stats == serial_stats, (fixpoint.__name__, workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_partitioned_rounds_bit_identical(workers):
+    # Long enough that every delta round clears PARTITION_MIN_ROWS and
+    # the sharded path actually runs (asserted via the obs counter).
+    program = parse_program(left_recursive_chain(12 * PARTITION_MIN_ROWS))
+    serial_facts, serial_stats = _run(seminaive_fixpoint, program, "scc")
+    registry = Metrics()
+    previous = set_metrics(registry)
+    try:
+        par_facts, par_stats = _run(
+            seminaive_fixpoint, program, "parallel", workers=workers
+        )
+    finally:
+        set_metrics(previous)
+    assert par_facts == serial_facts
+    assert par_stats == serial_stats
+    sharded = registry.snapshot()["counters"].get(
+        "parallel.partition.variants", 0
+    )
+    if workers > 1:
+        assert sharded > 0, "partitioned path never fired"
+    else:
+        assert sharded == 0  # one worker has nothing to shard
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_component_parallel_bit_identical(workers):
+    program = parse_program(wide_components(20))
+    serial_facts, serial_stats = _run(seminaive_fixpoint, program, "scc")
+    par_facts, par_stats = _run(
+        seminaive_fixpoint, program, "parallel", workers=workers
+    )
+    assert par_facts == serial_facts
+    assert par_stats == serial_stats
+
+
+@pytest.mark.parametrize("storage", ["tuples", "columnar"])
+@pytest.mark.parametrize("executor", ["kernel", "interpreted"])
+def test_config_axes_bit_identical(storage, executor):
+    if storage == "columnar" and executor == "interpreted":
+        pytest.skip("columnar storage requires the kernel executor")
+    program = parse_program(left_recursive_chain(40))
+    serial_facts, serial_stats = _run(
+        seminaive_fixpoint, program, "scc",
+        executor=executor, storage=storage,
+    )
+    par_facts, par_stats = _run(
+        seminaive_fixpoint, program, "parallel", workers=4,
+        executor=executor, storage=storage,
+    )
+    assert par_facts == serial_facts
+    assert par_stats == serial_stats
+
+
+def test_planner_bit_identical():
+    program = parse_program(left_recursive_chain(40))
+    serial_facts, serial_stats = _run(
+        seminaive_fixpoint, program, "scc", planner="greedy"
+    )
+    par_facts, par_stats = _run(
+        seminaive_fixpoint, program, "parallel", workers=3, planner="greedy"
+    )
+    assert par_facts == serial_facts
+    assert par_stats == serial_stats
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_strategies_answer_identically(seed):
+    source = random_source(seed, negation=False)
+    engine = Engine.from_source(source)
+    goal = "p0(X, Y)?"
+    for strategy in ("seminaive", "alexander", "magic", "supplementary"):
+        base = engine.query(goal, strategy=strategy)
+        for workers in WORKER_COUNTS:
+            par = engine.query(
+                goal, strategy=strategy, scheduler="parallel", workers=workers
+            )
+            assert par.answers == base.answers, (strategy, workers)
+            assert par.stats.as_dict() == base.stats.as_dict(), (
+                strategy, workers,
+            )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_prepared_fixpoint_bit_identical(workers):
+    source = left_recursive_chain(30)
+    program = parse_program(source)
+    serial = prepare_query(program, "t(n0, X)?", strategy="alexander",
+                           scheduler="scc")
+    parallel = prepare_query(program, "t(n0, X)?", strategy="alexander",
+                             scheduler="parallel")
+    base = serial.execute("t(n5, X)?")
+    par = parallel.execute("t(n5, X)?", workers=workers)
+    assert par.answers == base.answers
+    assert par.stats.as_dict() == base.stats.as_dict()
+
+
+def test_budget_trip_partial_is_sound():
+    program = parse_program(left_recursive_chain(60))
+    full, _ = seminaive_fixpoint(program)
+    full_facts = {
+        (rel.name, row) for rel in full.relations() for row in rel
+    }
+    for workers in WORKER_COUNTS:
+        with pytest.raises(BudgetExceededError) as excinfo:
+            seminaive_fixpoint(
+                program,
+                budget=EvaluationBudget(max_facts=50),
+                scheduler="parallel",
+                workers=workers,
+            )
+        error = excinfo.value
+        assert error.limit == "facts"
+        partial_facts = {
+            (rel.name, row)
+            for rel in error.partial.relations()
+            for row in rel
+        }
+        assert partial_facts <= full_facts, workers
+        # The error's stats see the merged totals (>= the limit), never
+        # one worker's under-count.
+        assert error.stats.facts_derived >= 50
+
+
+def test_budget_trip_counted_exactly_once():
+    program = parse_program(left_recursive_chain(60))
+    registry = Metrics()
+    previous = set_metrics(registry)
+    try:
+        with pytest.raises(BudgetExceededError):
+            seminaive_fixpoint(
+                program,
+                budget=EvaluationBudget(max_facts=50),
+                scheduler="parallel",
+                workers=4,
+            )
+    finally:
+        set_metrics(previous)
+    counters = registry.snapshot()["counters"]
+    assert counters.get("budget.exceeded") == 1
+    assert counters.get("budget.exceeded.facts") == 1
+
+
+def test_workers_one_matches_scc_exactly():
+    # workers=1 must not merely agree — it runs the very same serial
+    # component loop, so every counter matches on every seed.
+    for seed in SEEDS[:4]:
+        program = parse_program(random_source(seed))
+        assert _run(seminaive_fixpoint, program, "scc") == _run(
+            seminaive_fixpoint, program, "parallel", workers=1
+        )

@@ -296,9 +296,19 @@ class TestRoundStamps:
         relation.mark_round(3)
         relation.add(("a",))
         relation.discard(("a",))
-        relation.mark_round(0)
+        relation.mark_round(4)
         relation.add(("a",))
-        assert relation.stamp_of(("a",)) == 0
+        # Re-adding after a discard stamps with the *current* round: the
+        # old round-3 stamp was forgotten along with the row.
+        assert relation.stamp_of(("a",)) == 4
+
+    def test_mark_round_rejects_regression(self):
+        relation = Relation("p", 1)
+        relation.mark_round(3)
+        with pytest.raises(ValueError, match="must not decrease"):
+            relation.mark_round(2)
+        relation.mark_round(3)  # same round is fine (idempotent re-stamp)
+        relation.mark_round(4)
 
     def test_copy_resets_stamps(self):
         # Stamps are evaluation-local: a copy is the fresh starting state

@@ -75,7 +75,7 @@ class TestPreparedQueryCache:
         assert first is prepared and second is prepared
         assert cache.stats() == {
             "entries": 1, "max_entries": 4, "hits": 1, "misses": 1,
-            "evictions": 0,
+            "races": 0, "evictions": 0,
         }
 
     def test_lru_eviction_order(self):
@@ -129,6 +129,39 @@ class TestPreparedQueryCache:
         assert len(winners) == 1  # every thread shares one object
         assert cache.peek(("shared",)) in [p for p, _ in results]
         assert len(cache) == 1
+        # Accounting classifies requests by what they got, not what they
+        # first saw: exactly one insertion is a miss; every other request
+        # — early hit or race loser adopting the winner — is a hit, and
+        # each wasted preparation is a race.  (Before the fix, race
+        # losers were booked as misses *and* returned hit=False despite
+        # serving the cached shape.)
+        assert cache.misses == 1
+        assert cache.hits == 3
+        assert cache.races == len(prepared_objects) - 1
+        assert cache.hits + cache.misses == 4
+        assert sum(1 for _, hit in results if not hit) == 1
+
+    def test_race_loser_counts_as_hit_not_miss(self):
+        # Deterministic two-thread reconstruction of the race: the loser
+        # runs its factory while the winner's entry is already cached.
+        cache = PreparedQueryCache(4)
+        winner = self._prepared()
+        loser_prepared = self._prepared()
+
+        def losing_factory():
+            # Simulate the interleaving: the other thread inserts while
+            # this factory (outside the lock) is still preparing.
+            cache.get_or_prepare(("k",), lambda: winner)
+            return loser_prepared
+
+        adopted, hit = cache.get_or_prepare(("k",), losing_factory)
+        assert adopted is winner
+        assert hit is True  # served from cache, despite preparing
+        stats = cache.stats()
+        assert stats["misses"] == 1  # only the winner's insertion
+        assert stats["hits"] == 1   # the loser, on adoption
+        assert stats["races"] == 1  # the wasted preparation
+        assert stats["hits"] + stats["misses"] == 2
 
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
@@ -153,6 +186,23 @@ class TestBudgetFromPayload:
             budget_from_payload({"max_factz": 5})
         with pytest.raises(ReproError, match="must be an object"):
             budget_from_payload(5)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["wall_clock_seconds", "max_iterations", "max_facts", "max_attempts"],
+    )
+    def test_rejects_nonpositive_and_nonnumeric_limits(self, field):
+        # Zero and negative limits would trip before any work; strings
+        # would TypeError mid-evaluation; booleans are JSON client bugs.
+        # All must be a 400-shaped ReproError at decode time instead.
+        for bad in (0, -1, -0.5, "ten", True, False, [1], {"n": 1}):
+            with pytest.raises(ReproError, match="positive number"):
+                budget_from_payload({field: bad})
+
+    def test_accepts_positive_numeric_limits(self):
+        budget = budget_from_payload({"wall_clock_seconds": 0.25})
+        assert budget.wall_clock_seconds == 0.25
+        assert budget_from_payload({"max_facts": 1}).max_facts == 1
 
 
 # --- the HTTP-free service -----------------------------------------------
@@ -238,10 +288,33 @@ class TestQueryService:
 
     def test_load_requires_program_text(self):
         service = QueryService()
-        with pytest.raises(ReproError, match="requires program text"):
+        with pytest.raises(ReproError, match="requires non-empty"):
             service.load("empty")
         with pytest.raises(ReproError, match="cannot extend"):
             service.load("ghost", "p(a).", extend=True)
+
+    def test_load_rejects_blank_text(self):
+        # Empty and whitespace-only source must be a client error, not a
+        # silently-installed empty dataset.
+        service = QueryService()
+        for text in ("", "   \n\t"):
+            with pytest.raises(ReproError, match="requires non-empty"):
+                service.load("blank", program_text=text)
+        with pytest.raises(ReproError, match="requires non-empty"):
+            service.load("blank", program_text="", facts_text="  ")
+        assert service.datasets() == []  # nothing was installed
+
+    def test_extend_without_text_rejected(self, service):
+        # A no-text extend used to bump the version and flush the cache
+        # while changing nothing; it must be rejected before either.
+        service.query("chain", "anc(0, X)?")  # populate the cache
+        version = service.dataset("chain").version
+        with pytest.raises(ReproError, match="requires non-empty"):
+            service.load("chain", extend=True)
+        with pytest.raises(ReproError, match="requires non-empty"):
+            service.load("chain", program_text="  \n", extend=True)
+        assert service.dataset("chain").version == version
+        assert len(service.cache) == 1  # cache survived the rejected load
 
     def test_reload_bumps_version_and_drops_cache(self, service):
         before = service.query("chain", "anc(0, X)?")
