@@ -62,7 +62,21 @@ def test_a6_incremental_insertion(benchmark, report):
         rows,
         title="A6: total inferences to stream chain(n) edge by edge",
     )
-    report("a6_incremental", table)
+    entries = [
+        {
+            "id": f"a6/chain{n}/{variant}",
+            "n": n,
+            "variant": variant,
+            "inferences": inferences,
+        }
+        for n, incremental, recompute, batch in rows
+        for variant, inferences in (
+            ("incremental", incremental),
+            ("recompute", recompute),
+            ("batch", batch),
+        )
+    ]
+    report("a6", table, entries=entries)
     for n, incremental, recompute, batch in rows:
         assert incremental < recompute, table
         # Incremental streaming ~= one batch run (each derivation once).

@@ -13,6 +13,8 @@ Usage examples::
     repro-datalog why program.dl "anc(a, c)"          # proof tree
     repro-datalog repl program.dl                     # interactive session
     repro-datalog serve --load db=program.dl          # HTTP query service
+    repro-datalog update db --add "edge(a,b)." \\
+        --remove "edge(b,c)."                         # incremental /update
 
 (Equivalently ``python -m repro.cli ...``.)
 """
@@ -238,6 +240,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
+
+    update = commands.add_parser(
+        "update",
+        help=(
+            "apply an incremental add/remove batch to a running service "
+            "dataset (see docs/MAINTENANCE.md)"
+        ),
+    )
+    update.add_argument("dataset", help="dataset name on the service")
+    update.add_argument(
+        "--add",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help='ground fact to insert, e.g. "edge(a,b)." (repeatable)',
+    )
+    update.add_argument(
+        "--remove",
+        action="append",
+        default=[],
+        metavar="FACT",
+        help="ground base fact to delete (repeatable)",
+    )
+    update.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="service base URL (default: http://127.0.0.1:8321)",
+    )
+    update.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request socket timeout (default: 30)",
+    )
     return parser
 
 
@@ -398,6 +435,28 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    from .serve.client import ServeClient
+
+    if not args.add and not args.remove:
+        raise ReproError("update requires at least one --add or --remove")
+    client = ServeClient(args.url, timeout=args.timeout)
+    info = client.update(args.dataset, add=args.add, remove=args.remove)
+    print(
+        f"dataset {info['name']!r} now version {info['version']}: "
+        f"+{info['added']} -{info['removed']} facts "
+        f"({info['elapsed_ms']:.1f} ms)"
+    )
+    print(
+        f"cache: {info['cache_entries_patched']} patched, "
+        f"{info['cache_entries_kept']} kept, "
+        f"{info['cache_entries_dropped']} dropped"
+    )
+    if info["affected_predicates"]:
+        print(f"affected: {', '.join(info['affected_predicates'])}")
+    return 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "explain": _cmd_explain,
@@ -407,6 +466,7 @@ _COMMANDS = {
     "why": _cmd_why,
     "repl": _cmd_repl,
     "serve": _cmd_serve,
+    "update": _cmd_update,
 }
 
 

@@ -91,6 +91,52 @@ class Engine:
     def add_facts(self, atoms: Iterable[Atom]) -> int:
         return self._database.add_atoms(atoms)
 
+    def remove_fact(self, atom: Atom | str) -> bool:
+        """Remove one ground fact (atom or source text); True iff stored.
+
+        Removes from the engine's extensional database only — future
+        queries see the change; previously prepared queries do not
+        (their bases are snapshots).  For a continuously materialised
+        model that absorbs deletions incrementally, see
+        :meth:`incremental`.
+        """
+        if isinstance(atom, str):
+            atom = parse_query(atom)
+        if atom.predicate not in self._database:
+            return False
+        relation = self._database.relation(atom.predicate)
+        return relation.discard(self._database.encode_row(atom.ground_key()))
+
+    def incremental(
+        self,
+        planner: "str | None" = None,
+        budget=None,
+        executor: str = DEFAULT_EXECUTOR,
+        storage: str = DEFAULT_STORAGE,
+        maintenance: str = "recompute",
+    ):
+        """A continuously materialised view of this engine's program.
+
+        Returns an :class:`repro.engine.incremental.IncrementalEngine`
+        snapshot of the current program + database whose ``add_many`` /
+        ``remove_many`` patch the materialised model in place.
+        *maintenance* selects the deletion strategy: ``"recompute"``
+        (default), ``"counting"`` (non-recursive programs), or
+        ``"dred"`` (see :mod:`repro.engine.maintain` and
+        ``docs/MAINTENANCE.md``).  Negation-free programs only.
+        """
+        from ..engine.incremental import IncrementalEngine
+
+        return IncrementalEngine(
+            self._program,
+            self._database,
+            planner=planner,
+            budget=budget,
+            executor=executor,
+            storage=storage,
+            maintenance=maintenance,
+        )
+
     # --- querying ----------------------------------------------------------------
     def query(
         self,
@@ -163,6 +209,7 @@ class Engine:
         scheduler: str = DEFAULT_SCHEDULER,
         storage: str = DEFAULT_STORAGE,
         workers: "int | None" = None,
+        maintain: "str | None" = None,
     ):
         """Prepare *goal*'s shape for repeated execution.
 
@@ -176,7 +223,11 @@ class Engine:
         tuple-at-a-time strategies (``sld``, ``oldt``, ``qsqr``).
 
         The prepared query snapshots the engine's current database;
-        facts added afterwards are not visible to it.
+        facts added afterwards are not visible to it.  Pass *maintain*
+        (``"recompute"``, ``"counting"``, or ``"dred"``; materialised
+        strategies only) for a maintained shape whose
+        :meth:`~repro.core.prepare.PreparedQuery.apply_update` patches
+        the materialisation in place instead (``docs/MAINTENANCE.md``).
         """
         from .prepare import prepare_query
 
@@ -192,6 +243,7 @@ class Engine:
             scheduler=scheduler,
             storage=storage,
             workers=workers,
+            maintain=maintain,
         )
 
     def ask(

@@ -35,6 +35,17 @@ Three preparation modes cover the strategy spectrum:
   :class:`repro.errors.UnpreparableStrategyError` tells callers to fall
   back to direct execution.
 
+A materialised shape can additionally be prepared **maintained**
+(``maintain="counting" | "dred" | "recompute"``): the full model is held
+by an :class:`repro.engine.incremental.IncrementalEngine` instead of a
+frozen database, and :meth:`PreparedQuery.apply_update` patches it in
+place under base-fact churn (batched removals then insertions, one
+fixpoint continuation each) — so the serving layer can absorb updates
+without re-preparing the world.  Execution is still a lookup; answer
+sets stay identical to a fresh materialisation because the maintenance
+modes are bit-identical to recomputation (``tests/
+test_maintenance_differential.py``).
+
 Answer sets are identical to the direct path by construction: the
 rewriting is adornment-determined, so rebinding constants only moves the
 seed fact, exactly as re-transforming would (pinned across strategies
@@ -44,6 +55,7 @@ and constants by ``tests/test_prepare.py``).
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 
 from ..analysis.stratify import stratify
@@ -55,7 +67,9 @@ from ..datalog.unify import match_atom
 from ..engine.budget import Checkpoint, EvaluationBudget
 from ..engine.columnar import DEFAULT_STORAGE, as_storage, resolve_storage
 from ..engine.counters import EvaluationStats
+from ..engine.incremental import IncrementalEngine
 from ..engine.kernel import DEFAULT_EXECUTOR, resolve_executor
+from ..engine.maintain import resolve_maintenance
 from ..engine.prepared import CompiledFixpoint, compile_fixpoint, run_fixpoint
 from ..engine.scheduler import DEFAULT_SCHEDULER, resolve_scheduler
 from ..engine.stratified import stratified_fixpoint
@@ -120,6 +134,7 @@ def prepared_cache_key(
     executor: str = DEFAULT_EXECUTOR,
     scheduler: str = DEFAULT_SCHEDULER,
     storage: str = DEFAULT_STORAGE,
+    maintain: "str | None" = None,
 ) -> tuple:
     """The identity a prepared query is reusable under.
 
@@ -128,7 +143,8 @@ def prepared_cache_key(
     ``anc(b, X)?`` share one cache entry.  For the materialised
     strategies the model is query-independent, so the goal contributes
     nothing (``*``/``*``) and every goal shares one entry per
-    (program, config).
+    (program, config).  A maintained shape is a distinct entry from its
+    frozen counterpart (the *maintain* component, ``""`` when absent).
     """
     if strategy in MATERIALISED_STRATEGIES:
         predicate, adornment = "*", "*"
@@ -142,6 +158,7 @@ def prepared_cache_key(
         executor,
         scheduler,
         storage,
+        maintain or "",
         predicate,
         adornment,
     )
@@ -153,18 +170,21 @@ class PreparedQuery:
 
     Attributes:
         strategy: strategy name the results report.
-        mode: ``"transform"`` or ``"materialised"`` (see module
-            docstring).
+        mode: ``"transform"``, ``"materialised"``, or ``"maintained"``
+            (see module docstring).
         query: the template goal the shape was prepared from.
         adornment: the template's binding pattern; every executed goal
             must reproduce it.
         base: the execution base — EDB plus program facts, with lower
-            strata (transform mode) or the full model (materialised
-            mode) already completed.  Shared across executions and
-            copied per run; treated as immutable.
+            strata (transform mode) or the full model (materialised and
+            maintained modes) already completed.  Shared across
+            executions and copied per run; treated as immutable except
+            through :meth:`apply_update`.
         transformed: the rewriting (transform mode only).
         fixpoint: the compiled evaluation plan of the rewritten stratum
             (transform mode only).
+        engine: the live incremental engine (maintained mode only);
+            ``base`` aliases its materialised database.
         key: the :func:`prepared_cache_key` tuple.
         prepare_stats: counters accumulated while preparing (lower-strata
             or full materialisation); execution stats never include them.
@@ -178,18 +198,22 @@ class PreparedQuery:
     key: tuple
     transformed: "TransformedProgram | None" = None
     fixpoint: "CompiledFixpoint | None" = None
+    engine: "IncrementalEngine | None" = None
     prepare_stats: EvaluationStats = field(default_factory=EvaluationStats)
+    _update_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # --- compatibility --------------------------------------------------------
     def compatible(self, goal: Atom) -> bool:
         """True iff *goal* can be executed by this prepared shape.
 
-        Materialised shapes hold the full model and answer any goal by
-        lookup — matching the ``*``/``*`` cache key all goals share —
-        so every goal is compatible.  Transform shapes are specialised
-        to one predicate/arity/adornment.
+        Materialised and maintained shapes hold the full model and
+        answer any goal by lookup — matching the ``*``/``*`` cache key
+        all goals share — so every goal is compatible.  Transform shapes
+        are specialised to one predicate/arity/adornment.
         """
-        if self.mode == "materialised":
+        if self.mode != "transform":
             return True
         return (
             goal.predicate == self.query.predicate
@@ -257,7 +281,7 @@ class PreparedQuery:
         if obs.enabled:
             obs.incr("prepare.executions")
         stats = EvaluationStats()
-        if self.mode == "materialised":
+        if self.mode != "transform":
             answers = self._matching(self.base, goal)
             stats.answers = len(answers)
             return QueryResult(
@@ -302,10 +326,47 @@ class PreparedQuery:
         self._require_compatible(goal)
         if partial is None:
             return ()
-        if self.mode == "materialised":
+        if self.mode != "transform":
             return self._matching(partial, goal)
         _, transformed_goal = self._rebind(goal)
         return self._matching(partial, goal, transformed_goal)
+
+    # --- maintenance ----------------------------------------------------------
+    def apply_update(
+        self,
+        add: "tuple | list" = (),
+        remove: "tuple | list" = (),
+    ) -> tuple[frozenset, frozenset]:
+        """Patch a maintained shape's materialisation in place.
+
+        Removals are applied first (batched, one deletion pass in the
+        engine's maintenance mode), then insertions (batched, one
+        fixpoint continuation).  Returns ``(added, removed)`` — the facts
+        that became newly derivable and the base facts actually removed,
+        as raw ``(predicate, values)`` pairs.  Thread-safe per shape;
+        executions observe either the old or the new materialisation.
+
+        Raises:
+            ReproError: on a non-maintained shape — frozen bases cannot
+                be patched; re-prepare against the new dataset version.
+        """
+        if self.mode != "maintained" or self.engine is None:
+            raise ReproError(
+                "prepared shape is not maintained (mode="
+                f"{self.mode!r}); re-prepare against the updated dataset"
+            )
+        with self._update_lock:
+            removed = (
+                self.engine.remove_many(remove) if remove else frozenset()
+            )
+            added = self.engine.add_many(add) if add else frozenset()
+            # Recompute-mode deletions rebuild into a fresh database
+            # object; re-alias so executions see the patched model.
+            self.base = self.engine.database
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("prepare.updates")
+        return added, removed
 
     @staticmethod
     def _matching(
@@ -334,6 +395,7 @@ def prepare_query(
     budget: "EvaluationBudget | Checkpoint | None" = None,
     storage: str = DEFAULT_STORAGE,
     workers: "int | None" = None,
+    maintain: "str | None" = None,
 ) -> PreparedQuery:
     """Prepare *goal*'s shape on *program* + *database* for reuse.
 
@@ -360,9 +422,23 @@ def prepare_query(
         workers: worker-pool size used by the *preparation* evaluations
             when ``scheduler="parallel"``; not part of the cache key
             (execution worker counts are passed to ``execute`` per run).
+        maintain: when set (``"counting"``, ``"dred"``, or
+            ``"recompute"``), the shape is prepared **maintained**: the
+            model lives in an incremental engine and
+            :meth:`PreparedQuery.apply_update` patches it under
+            base-fact churn.  Materialised strategies only (a transform
+            shape's base is adornment-specialised, not maintainable),
+            negation-free programs only, and part of the cache key.
     """
     if isinstance(goal, str):
         goal = parse_query(goal)
+    if maintain is not None:
+        resolve_maintenance(maintain)
+        if strategy not in MATERIALISED_STRATEGIES:
+            raise ReproError(
+                f"maintained preparation requires a materialised strategy "
+                f"({sorted(MATERIALISED_STRATEGIES)}), got {strategy!r}"
+            )
     if strategy in UNPREPARABLE_STRATEGIES:
         raise UnpreparableStrategyError(
             f"strategy {strategy!r} has no reusable compiled form; "
@@ -382,7 +458,8 @@ def prepare_query(
     resolve_storage(storage)
 
     key = prepared_cache_key(
-        program, goal, strategy, sips, planner, executor, scheduler, storage
+        program, goal, strategy, sips, planner, executor, scheduler, storage,
+        maintain,
     )
     obs = get_metrics()
     prepare_stats = EvaluationStats()
@@ -392,7 +469,32 @@ def prepare_query(
         rules_only = program.without_facts()
         adornment = query_adornment(goal)
 
-        if strategy in MATERIALISED_STRATEGIES:
+        if maintain is not None:
+            # The model lives in an incremental engine; the preparation
+            # *is* the engine's initial materialisation.  The engine
+            # keeps the budget as its per-operation allowance, covering
+            # the build now and every apply_update later.
+            engine = IncrementalEngine(
+                program,
+                database,
+                planner=planner,
+                budget=budget,
+                executor=executor,
+                storage=storage,
+                maintenance=maintain,
+            )
+            prepare_stats.merge(engine.stats)
+            prepared = PreparedQuery(
+                strategy=strategy,
+                mode="maintained",
+                query=goal,
+                adornment=adornment,
+                base=engine.database,
+                key=key,
+                engine=engine,
+                prepare_stats=prepare_stats,
+            )
+        elif strategy in MATERIALISED_STRATEGIES:
             if rules_only.proper_rules:
                 working, _ = stratified_fixpoint(
                     rules_only,

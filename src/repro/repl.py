@@ -5,6 +5,7 @@ Start with ``repro-datalog repl program.dl`` (or programmatically via
 
 * ``anc(a, X)?``        — run the query under the current strategy;
 * ``par(a, b).``        — assert a ground fact;
+* ``:retract par(a,b)`` — delete a ground base fact;
 * ``:strategy oldt``    — switch the evaluation strategy;
 * ``:why anc(a, c)``    — print a proof tree;
 * ``:explain anc(a,X)`` — compare all strategies on one query;
@@ -113,6 +114,7 @@ class Repl:
         name = parts[0] if parts else ""
         argument = parts[1].strip() if len(parts) > 1 else ""
         handler = {
+            "retract": self._cmd_retract,
             "strategy": self._cmd_strategy,
             "why": self._cmd_why,
             "explain": self._cmd_explain,
@@ -128,6 +130,25 @@ class Repl:
             self._write(f"unknown command :{name} — try :help")
             return
         handler(argument)
+
+    def _cmd_retract(self, argument: str) -> None:
+        if not argument:
+            self._write("usage: :retract <ground fact>")
+            return
+        atom = parse_query(argument)
+        if not atom.is_ground():
+            self._write("error: only ground facts can be retracted")
+            return
+        if atom.predicate in self._engine.program.idb_predicates:
+            self._write(
+                f"error: cannot retract derived fact {atom}; "
+                "retract base facts only"
+            )
+            return
+        if self._engine.remove_fact(atom):
+            self._write(f"retracted {atom}.")
+        else:
+            self._write(f"{atom} was not known.")
 
     def _cmd_strategy(self, argument: str) -> None:
         if not argument:

@@ -136,6 +136,53 @@ class PreparedQueryCache:
             entry = self._entries.get(key)
             return entry.prepared if entry is not None else None
 
+    def entries_for(self, dataset: str) -> list[tuple[tuple, PreparedQuery]]:
+        """A snapshot of every ``(key, prepared)`` scoped to *dataset*,
+        without touching LRU order or counters — the update path uses it
+        to find maintained shapes to patch."""
+        with self._lock:
+            return [
+                (key, entry.prepared)
+                for key, entry in self._entries.items()
+                if key[0] == dataset
+            ]
+
+    def rekey_dataset(
+        self,
+        dataset: str,
+        old_version: int,
+        new_version: int,
+        keep: Callable[[tuple, PreparedQuery], bool],
+    ) -> tuple[int, int]:
+        """Migrate *dataset*'s entries from *old_version* to *new_version*.
+
+        An incremental update (:meth:`QueryService.update`) bumps the
+        dataset version like a reload, but unlike a reload most prepared
+        shapes stay valid — maintained shapes were patched in place and
+        shapes untouched by the update answer identically.  For each
+        entry scoped to *dataset* at *old_version*, ``keep(key,
+        prepared)`` decides: keep → the entry is re-keyed to
+        *new_version* preserving its LRU position and hit counts; drop →
+        evicted.  Entries at any *other* version are stale leftovers and
+        are always dropped.  Returns ``(kept, dropped)``.
+        """
+        with self._lock:
+            kept = dropped = 0
+            migrated: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+            for key, entry in self._entries.items():
+                if key[0] != dataset:
+                    migrated[key] = entry
+                    continue
+                if key[1] == old_version and keep(key, entry.prepared):
+                    new_key = (key[0], new_version) + key[2:]
+                    entry.key = new_key
+                    migrated[new_key] = entry
+                    kept += 1
+                else:
+                    dropped += 1
+            self._entries = migrated
+            return kept, dropped
+
     def drop_dataset(self, dataset: str) -> int:
         """Evict every entry whose key scopes to *dataset*; returns count.
 

@@ -97,6 +97,17 @@ class ServeClient:
             },
         )
 
+    def update(
+        self,
+        dataset: str,
+        add: "list[str] | tuple[str, ...]" = (),
+        remove: "list[str] | tuple[str, ...]" = (),
+    ) -> dict:
+        return self._request(
+            "/update",
+            {"dataset": dataset, "add": list(add), "remove": list(remove)},
+        )
+
     def prepare(self, dataset: str, goal: str, **config) -> dict:
         return self._request(
             "/prepare", {"dataset": dataset, "goal": goal, **config}

@@ -10,8 +10,15 @@ Endpoints::
     GET  /health    liveness + loaded datasets (200 as soon as booted)
     GET  /metrics   metrics snapshot + cache totals + in-flight gauge
     POST /load      {"dataset", "program"?, "facts"?, "extend"?}
+    POST /update    {"dataset", "add"?: [facts], "remove"?: [facts]}
     POST /prepare   {"dataset", "goal", "strategy"?, config...}
     POST /query     {"dataset", "goal", "strategy"?, "budget"?, config...}
+
+``/update`` is the incremental mutation path: maintained prepared
+shapes (``"maintain": "counting" | "dred" | "recompute"`` in
+``/prepare`` or ``/query``) are patched in place and unaffected cache
+entries migrate to the new dataset version instead of being dropped —
+see :meth:`repro.serve.service.QueryService.update`.
 
 Error contract: malformed requests and library errors
 (:class:`~repro.errors.ReproError`) are 400 with ``{"error": ...}``;
@@ -142,6 +149,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):
         routes = {
             "/load": self._load,
+            "/update": self._update,
             "/prepare": self._prepare,
             "/query": self._query,
         }
@@ -177,6 +185,21 @@ class _Handler(BaseHTTPRequestHandler):
         )
         return 200, info
 
+    def _update(self):
+        payload = self._read_json()
+        name = self._required(payload, "dataset")
+        add = payload.get("add") or []
+        remove = payload.get("remove") or []
+        for field, value in (("add", add), ("remove", remove)):
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise ReproError(
+                    f'"{field}" must be a list of fact strings, '
+                    f"got {value!r}"
+                )
+        return 200, self.server.service.update(name, add=add, remove=remove)
+
     def _prepare(self):
         payload = self._read_json()
         return 200, self.server.service.prepare(
@@ -207,6 +230,7 @@ class _Handler(BaseHTTPRequestHandler):
         config = {}
         for field in (
             "strategy", "sips", "planner", "executor", "scheduler", "storage",
+            "maintain",
         ):
             if payload.get(field) is not None:
                 config[field] = payload[field]

@@ -25,8 +25,15 @@ limit — the graceful-degradation contract clients can rely on.
 
 Dataset versioning is what makes caching sound: prepared queries
 snapshot their base database, so any mutation goes through
-:meth:`QueryService.load`, which bumps the dataset version (changing
-every cache key) and eagerly drops the stale version's entries.
+:meth:`QueryService.load` — which bumps the dataset version (changing
+every cache key) and eagerly drops the stale version's entries — or
+through :meth:`QueryService.update`, the incremental path: maintained
+shapes (prepared with ``maintain=``) have the delta applied to their
+live materialisation, frozen shapes outside the update's affected cone
+are migrated to the new version untouched, and only shapes the update
+could actually change are dropped.  Sustained update traffic therefore
+keeps the cache warm instead of cold-starting every shape after every
+mutation.
 """
 
 from __future__ import annotations
@@ -126,6 +133,35 @@ def _match_answers(database, goal: Atom) -> tuple[Atom, ...]:
         if match_atom(goal, atom) is not None
     )
     return _sorted_answers(goal, matching)
+
+
+def _affected_predicates(
+    program: Program, updated: "set[str]"
+) -> frozenset[str]:
+    """The affected cone of an update: the updated predicates plus every
+    predicate transitively derivable from them (body → head closure).
+
+    A prepared shape whose goal lies outside this cone answers every
+    query identically before and after the update, so the cache can
+    migrate it to the new dataset version instead of dropping it.
+    """
+    dependents: dict[str, set[str]] = {}
+    for rule in program.proper_rules:
+        for literal in rule.body:
+            dependents.setdefault(literal.predicate, set()).add(
+                rule.head.predicate
+            )
+    affected = set(updated)
+    frontier = set(updated)
+    while frontier:
+        next_frontier: set[str] = set()
+        for predicate in frontier:
+            for head in dependents.get(predicate, ()):
+                if head not in affected:
+                    affected.add(head)
+                    next_frontier.add(head)
+        frontier = next_frontier
+    return frozenset(affected)
 
 
 @dataclass
@@ -242,6 +278,123 @@ class QueryService:
         info["cache_entries_dropped"] = dropped
         return info
 
+    def update(
+        self,
+        name: str,
+        add: "list[str] | tuple[str, ...]" = (),
+        remove: "list[str] | tuple[str, ...]" = (),
+    ) -> dict:
+        """Apply a batched fact update to dataset *name*; the ``/update``
+        endpoint.
+
+        Unlike :meth:`load` — which installs a fresh dataset and drops
+        every prepared shape — an update patches in place and keeps the
+        cache warm:
+
+        1. **maintained** shapes at the current version have the delta
+           applied to their live materialisation (removals first, then
+           insertions, each as one batched maintenance pass);
+        2. the dataset's own database is patched and re-published under
+           ``version + 1`` (so future preparations see the new facts);
+        3. cache entries are *migrated* instead of flushed: maintained
+           shapes and shapes whose answers cannot depend on the updated
+           predicates (outside the affected cone — the updated
+           predicates plus their transitive dependents) are re-keyed to
+           the new version; only entries inside the cone are dropped.
+
+        *add*/*remove* are fact texts (``"edge(a, b)"``).  Removals must
+        target base (non-IDB) predicates; insertions may assert derived
+        facts (they gain external support in maintained shapes).
+        Returns a summary payload with the new dataset info and the
+        cache-migration counts.
+        """
+        obs = get_metrics()
+        started = time.perf_counter()
+        add_atoms = [parse_query(text) for text in add]
+        remove_atoms = [parse_query(text) for text in remove]
+        if not add_atoms and not remove_atoms:
+            raise ReproError("update requires at least one add or remove")
+        for atom in (*add_atoms, *remove_atoms):
+            if not atom.is_ground():
+                raise ReproError(f"update facts must be ground, got {atom}")
+        with self._lock:
+            dataset = self._datasets.get(name)
+            if dataset is None:
+                raise ReproError(
+                    f"unknown dataset {name!r}; loaded: "
+                    f"{sorted(self._datasets)}"
+                )
+            idb = dataset.program.idb_predicates
+            for atom in remove_atoms:
+                if atom.predicate in idb:
+                    raise ReproError(
+                        f"cannot remove derived fact {atom}; remove base "
+                        "facts only"
+                    )
+            # 1. Patch maintained shapes in place (their per-shape lock
+            # serialises against in-flight executions).
+            patched = 0
+            for key, prepared in self.cache.entries_for(name):
+                if key[1] == dataset.version and prepared.mode == "maintained":
+                    prepared.apply_update(add=add_atoms, remove=remove_atoms)
+                    patched += 1
+            # 2. Publish the patched dataset under a new version.
+            database = dataset.database.copy()
+            removed = added = 0
+            for atom in remove_atoms:
+                if atom.predicate not in database:
+                    continue
+                relation = database.relation(atom.predicate)
+                if relation.discard(database.encode_row(atom.ground_key())):
+                    removed += 1
+            for atom in add_atoms:
+                if database.add_atom(atom):
+                    added += 1
+            version = dataset.version + 1
+            self._datasets[name] = Dataset(
+                name=name,
+                program=dataset.program,
+                database=database,
+                version=version,
+                fingerprint=dataset.fingerprint,
+            )
+            # 3. Migrate the cache: maintained shapes were patched, and
+            # frozen shapes outside the affected cone answer identically
+            # against the new version; everything else is stale.
+            affected = _affected_predicates(
+                dataset.program,
+                {atom.predicate for atom in (*add_atoms, *remove_atoms)},
+            )
+
+            def keep(key: tuple, prepared: PreparedQuery) -> bool:
+                if prepared.mode == "maintained":
+                    return True
+                if prepared.mode == "transform":
+                    return prepared.query.predicate not in affected
+                # Frozen full-model shapes depend on everything.
+                return not affected
+
+            kept, dropped = self.cache.rekey_dataset(
+                name, dataset.version, version, keep
+            )
+        if obs.enabled:
+            obs.incr("serve.updates")
+            obs.incr("maintain.update_adds", len(add_atoms))
+            obs.incr("maintain.update_removes", len(remove_atoms))
+        info = self._datasets[name].info()
+        info.update(
+            {
+                "added": added,
+                "removed": removed,
+                "affected_predicates": sorted(affected),
+                "cache_entries_patched": patched,
+                "cache_entries_kept": kept,
+                "cache_entries_dropped": dropped,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            }
+        )
+        return info
+
     def dataset(self, name: str) -> Dataset:
         with self._lock:
             dataset = self._datasets.get(name)
@@ -262,10 +415,11 @@ class QueryService:
     def _cache_key(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
         executor: str, scheduler: str, storage: str,
+        maintain: "str | None" = None,
     ) -> tuple:
         return (dataset.name, dataset.version) + prepared_cache_key(
             dataset.program, goal, strategy, sips, planner, executor,
-            scheduler, storage,
+            scheduler, storage, maintain,
         )
 
     def prepare(
@@ -279,12 +433,16 @@ class QueryService:
         scheduler: str = DEFAULT_SCHEDULER,
         storage: str = DEFAULT_STORAGE,
         workers: "int | None" = None,
+        maintain: "str | None" = None,
     ) -> dict:
         """Prepare (or re-use) a query shape; the ``/prepare`` endpoint.
 
         *workers* sizes the worker pool of ``scheduler="parallel"``
         preparation work; it is deliberately not part of the cache key
-        (any worker count reuses the same compiled shape).
+        (any worker count reuses the same compiled shape).  *maintain*
+        (``"counting"`` / ``"dred"`` / ``"recompute"``) prepares a
+        maintained shape whose materialisation :meth:`update` patches in
+        place instead of dropping.
 
         Raises :class:`UnpreparableStrategyError` for the top-down
         strategies — ``/prepare`` reports that as a client error, while
@@ -295,7 +453,7 @@ class QueryService:
             goal = parse_query(goal)
         key = self._cache_key(
             dataset, goal, strategy, sips, planner, executor, scheduler,
-            storage,
+            storage, maintain,
         )
         if strategy in UNPREPARABLE_STRATEGIES:
             # Surface the library error without caching anything.
@@ -315,6 +473,7 @@ class QueryService:
                 scheduler=scheduler,
                 storage=storage,
                 workers=workers,
+                maintain=maintain,
             ),
         )
         return {
@@ -347,6 +506,7 @@ class QueryService:
         storage: str = DEFAULT_STORAGE,
         budget: "EvaluationBudget | None" = None,
         workers: "int | None" = None,
+        maintain: "str | None" = None,
     ) -> dict:
         """Answer *goal* against *dataset_name*; the ``/query`` endpoint.
 
@@ -354,6 +514,8 @@ class QueryService:
         partial payload (``partial: true``) instead of raising.
         *workers* sizes the ``scheduler="parallel"`` worker pool
         (``None`` = one per CPU core); serial schedulers ignore it.
+        *maintain* routes the request through a maintained shape (see
+        :meth:`prepare`); materialised strategies only.
         """
         obs = get_metrics()
         started = time.perf_counter()
@@ -378,7 +540,7 @@ class QueryService:
         else:
             payload = self._query_prepared(
                 dataset, goal, strategy, sips, planner, executor, scheduler,
-                storage, budget, workers,
+                storage, budget, workers, maintain,
             )
         elapsed = time.perf_counter() - started
         payload["elapsed_ms"] = elapsed * 1000.0
@@ -389,10 +551,11 @@ class QueryService:
     def _query_prepared(
         self, dataset: Dataset, goal: Atom, strategy: str, sips, planner,
         executor: str, scheduler: str, storage: str, budget, workers=None,
+        maintain: "str | None" = None,
     ) -> dict:
         key = self._cache_key(
             dataset, goal, strategy, sips, planner, executor, scheduler,
-            storage,
+            storage, maintain,
         )
         try:
             # The request budget governs whatever work this request
@@ -412,6 +575,7 @@ class QueryService:
                     storage=storage,
                     budget=budget,
                     workers=workers,
+                    maintain=maintain,
                 ),
             )
         except BudgetExceededError as exc:

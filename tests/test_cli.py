@@ -54,6 +54,26 @@ class TestQueryCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestUpdateCommand:
+    def test_update_requires_at_least_one_operation(self, capsys):
+        code = main(["update", "db"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "at least one --add or --remove" in err
+
+    def test_update_unreachable_server_is_a_clean_error(self, capsys):
+        # Port 1 is never listening; the client error must surface as a
+        # normal CLI error (exit 2), not a traceback.
+        code = main(
+            [
+                "update", "db", "--add", "edge(a,b).",
+                "--url", "http://127.0.0.1:1", "--timeout", "0.2",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestExplainCommand:
     def test_table_lists_all_strategies(self, program_file, capsys):
         code = main(["explain", program_file, "anc(a, X)?"])

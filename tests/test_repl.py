@@ -66,6 +66,30 @@ class TestAssertions:
         assert "only ground facts" in out
 
 
+class TestRetraction:
+    def test_retract_removes_base_fact_and_downstream_answers(self):
+        out = run_session(["anc(a,X)?", ":retract par(b,c)", "anc(a,X)?"])
+        assert "retracted par(b, c)." in out
+        # Before: b, c, d reachable; after: only b.
+        lines = out.splitlines()
+        cut = lines.index("retracted par(b, c).")
+        assert lines[:cut] == ["X = b", "X = c", "X = d"]
+        assert lines[cut + 1:] == ["X = b"]
+
+    def test_retract_unknown_fact_reports_not_known(self):
+        out = run_session([":retract par(z, z)"])
+        assert "par(z, z) was not known." in out
+
+    def test_retract_derived_fact_refused(self):
+        out = run_session([":retract anc(a, b)"])
+        assert "error: cannot retract derived fact anc(a, b)" in out
+
+    def test_retract_requires_ground_argument(self):
+        out = run_session([":retract par(a, X)", ":retract"])
+        assert "only ground facts can be retracted" in out
+        assert "usage: :retract <ground fact>" in out
+
+
 class TestCommands:
     def test_strategy_switch(self):
         out = run_session([":strategy oldt", "anc(a, X)?"])

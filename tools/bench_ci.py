@@ -2,10 +2,11 @@
 """CI benchmark smoke runner — the observability gate.
 
 Runs a curated, fast subset of the experiment suite (T1 correspondence,
-T3 magic family, F1 chain scaling, F4 serving prepared-cache parity, A2
-naive-vs-seminaive, A7 planner-vs-textual join order, A8
-kernel-vs-interpreted executor, A9 scc-vs-global fixpoint scheduling,
-A10 columnar-vs-tuple storage, A11 parallel-vs-scc scheduling),
+T3 magic family, F1 chain scaling, F4 serving prepared-cache parity, F5
+streaming-maintenance parity, A2 naive-vs-seminaive, A7
+planner-vs-textual join order, A8 kernel-vs-interpreted executor, A9
+scc-vs-global fixpoint scheduling, A10 columnar-vs-tuple storage, A11
+parallel-vs-scc scheduling),
 cross-checks answers exactly as the full benches do, and compares the
 deterministic inference counts against the committed baseline
 (``benchmarks/baselines/bench_ci_baseline.json``).  Every run writes a
@@ -449,6 +450,15 @@ def _run_f4(failures: list[str], budget=None) -> list[dict]:
     return module.serving_parity_entries(failures, budget)
 
 
+def _run_f5(failures: list[str], budget=None) -> list[dict]:
+    """Maintenance smoke: a short interleaved insert/delete/query stream
+    must keep counting/DRed bit-identical to the recompute oracle at
+    every step, with strictly fewer join attempts on the delete path
+    (see ``benchmarks/bench_f5_streaming.py``)."""
+    module = load_bench_module("bench_f5_streaming")
+    return module.streaming_parity_entries(failures, budget)
+
+
 def _run_a10(failures: list[str], budget=None) -> list[dict]:
     """Storage smoke: the columnar backend must derive the same model
     (compared in raw value space) with the same inference and fact
@@ -580,6 +590,7 @@ CHECK_GROUPS = {
     "t3": _run_t3,
     "f1": _run_f1,
     "f4": _run_f4,
+    "f5": _run_f5,
     "a2": _run_a2,
     "a7": _run_a7,
     "a8": _run_a8,

@@ -13,7 +13,10 @@ the serving contract end to end:
    ``kernel.rules_compiled`` stay **flat** (the hit path did zero
    parse/adorn/transform/plan/compile work);
 4. answers on the hit are identical to the miss;
-5. SIGTERM stops the server with exit code 0 and no traceback on
+5. a maintained shape is prepared, then ``/update`` removes one chain
+   edge — the patched shape answers from cache at the new dataset
+   version with exactly one answer fewer;
+6. SIGTERM stops the server with exit code 0 and no traceback on
    stderr.
 
 Exit code 0 on success, 1 on any assertion failure, with the server's
@@ -128,6 +131,31 @@ def main() -> int:
         cache = client.metrics()["cache"]
         assert cache["hits"] == 1 and cache["misses"] == 1, cache
         print(f"cache totals: {cache}")
+
+        # Incremental /update: a maintained shape is patched in place
+        # and stays cache-hot at the bumped dataset version.
+        maintained = client.query(
+            "t1", goal, strategy="seminaive", maintain="dred"
+        )
+        assert maintained["cache_hit"] is False
+        before_count = maintained["answers"]["count"]
+        info = client.update("t1", remove=[f"par({CHAIN_LENGTH - 2}, {CHAIN_LENGTH - 1})."])
+        assert info["version"] == 2, info
+        assert info["removed"] == 1, info
+        assert info["cache_entries_patched"] == 1, info
+        patched = client.query(
+            "t1", goal, strategy="seminaive", maintain="dred"
+        )
+        assert patched["cache_hit"] is True, "maintained shape must stay warm"
+        assert patched["version"] == 2, patched
+        assert patched["answers"]["count"] == before_count - 1, (
+            before_count, patched["answers"]["count"]
+        )
+        print(
+            f"incremental /update verified: version {info['version']}, "
+            f"{info['cache_entries_patched']} shape patched, "
+            f"{before_count} -> {patched['answers']['count']} answers"
+        )
     except (AssertionError, ServeError) as failure:
         server.kill()
         _, err = server.communicate(timeout=10)
