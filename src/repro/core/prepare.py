@@ -266,7 +266,10 @@ class PreparedQuery:
                 fixpoint and produces the same answers.
 
         Raises:
-            ReproError: when *goal* does not match the prepared shape.
+            ReproError: when *goal* does not match the prepared shape, or
+                when a maintained shape's engine is poisoned (an
+                interrupted update left its materialisation
+                inconsistent).
             BudgetExceededError: when *budget* trips; the error carries
                 the sound partial working database —
                 :meth:`partial_answers` extracts the goal's answers from
@@ -282,6 +285,15 @@ class PreparedQuery:
             obs.incr("prepare.executions")
         stats = EvaluationStats()
         if self.mode != "transform":
+            if self.engine is not None and self.engine.poisoned:
+                # An interrupted apply_update left the maintained
+                # materialisation inconsistent; serving lookups from it
+                # would silently return a half-mutated model.
+                raise ReproError(
+                    "maintained shape's engine is poisoned (an "
+                    "interrupted update left its materialisation "
+                    "inconsistent); drop the shape and re-prepare"
+                )
             answers = self._matching(self.base, goal)
             stats.answers = len(answers)
             return QueryResult(

@@ -27,9 +27,10 @@ count tables, the asserted-fact ledger, and the poison flag).
 
 Every operation runs under the per-operation
 :class:`~repro.engine.budget.EvaluationBudget`/``Checkpoint`` protocol.
-A budget trip mid-mutation leaves the materialisation inconsistent, so
-the engine records it: subsequent calls raise :class:`ProgramError`
-until :meth:`rebuild` restores a consistent state.
+Any exception escaping mid-mutation — a budget trip, a backend error, an
+interrupt — leaves the materialisation inconsistent, so the engine
+records it: subsequent calls raise :class:`ProgramError` until
+:meth:`rebuild` restores a consistent state.
 
 Asserted IDB facts (facts of derived predicates present in the initial
 database or inserted through :meth:`add`) carry *external* support: they
@@ -77,9 +78,8 @@ Fact = tuple[str, tuple]
 _UNSET = object()
 
 _POISONED_MESSAGE = (
-    "IncrementalEngine is poisoned: a budget trip interrupted a mutation "
-    "mid-flight, leaving the materialisation inconsistent; call rebuild() "
-    "before further use"
+    "IncrementalEngine is poisoned: an interrupted mutation left the "
+    "materialisation inconsistent; call rebuild() before further use"
 )
 
 
@@ -99,7 +99,8 @@ class IncrementalEngine:
             engine should not die because its lifetime clock ran out).
             On a trip mid-mutation the engine's materialisation is
             inconsistent — the error carries the partial database, the
-            engine flags itself :attr:`poisoned`, and every call except
+            engine flags itself :attr:`poisoned` (as it does for *any*
+            exception interrupting a mutation), and every call except
             :meth:`rebuild` raises until the state is rebuilt.
         executor: ``"kernel"`` (default) or ``"interpreted"``; applies to
             the initial materialisation, every delta continuation, and
@@ -313,7 +314,8 @@ class IncrementalEngine:
 
     @property
     def poisoned(self) -> bool:
-        """True after a budget trip left the materialisation inconsistent;
+        """True after an interrupted mutation (budget trip or any other
+        mid-flight exception) left the materialisation inconsistent;
         cleared by :meth:`rebuild`."""
         return self._poisoned
 
@@ -394,17 +396,26 @@ class IncrementalEngine:
                 marked.add(atom.predicate)
             raw_row = atom.ground_key()
             row = self._working.encode_row(raw_row)
-            if atom.predicate in idb:
+            if (
+                atom.predicate in idb
+                and (atom.predicate, row) not in self._asserted
+            ):
                 # External support: survives any deletion cascade and is
                 # re-seeded by every rebuild.  Recorded even when the row
                 # is already derivable — support is a property of the
-                # assertion, not of who got there first.
+                # assertion, not of who got there first — so counting
+                # mode bumps the count before the presence check below
+                # can skip the row.  Re-assertions are no-ops (the
+                # ledger is a set), so the bump happens exactly once.
                 self._asserted.add((atom.predicate, row))
                 self._asserted_raw.add((atom.predicate, raw_row))
+                if self._counts is not None:
+                    table = self._counts.setdefault(atom.predicate, {})
+                    table[row] = table.get(row, 0) + 1
             if not self._working.add(atom.predicate, row):
                 continue
             new_facts.add((atom.predicate, raw_row))
-            if self._counts is not None:
+            if self._counts is not None and atom.predicate not in idb:
                 self._counts.setdefault(atom.predicate, {})[row] = 1
             bucket = seeds.setdefault(
                 atom.predicate,
@@ -427,7 +438,10 @@ class IncrementalEngine:
                 op_stats, checkpoint, counts=self._counts,
                 new_facts=new_facts,
             )
-        except BudgetExceededError:
+        except BaseException:
+            # Not just budget trips: any exception escaping mid-propagate
+            # (backend error, interrupt) leaves the materialisation
+            # inconsistent.
             self._poisoned = True
             raise
         finally:
@@ -506,7 +520,7 @@ class IncrementalEngine:
                     self._working, self._executors, arities, seeds,
                     self._asserted, op_stats, checkpoint,
                 )
-        except BudgetExceededError:
+        except BaseException:
             self._poisoned = True
             raise
         finally:
@@ -531,7 +545,7 @@ class IncrementalEngine:
                 executor=self._executor,
                 storage=self._storage,
             )
-        except BudgetExceededError:
+        except BaseException:
             self._poisoned = True
             raise
         finally:
@@ -582,6 +596,11 @@ class IncrementalEngine:
                     executor=self._executor,
                     storage=self._storage,
                 )
+        except BaseException:
+            # A failed rebuild may have replaced part of the state; stay
+            # (or become) poisoned rather than reporting a usable engine.
+            self._poisoned = True
+            raise
         finally:
             self.stats.merge(op_stats)
         self._asserted = {

@@ -136,6 +136,13 @@ class PreparedQueryCache:
             entry = self._entries.get(key)
             return entry.prepared if entry is not None else None
 
+    def drop_entry(self, key: tuple) -> bool:
+        """Evict the entry under *key*, if present; returns whether it
+        was.  The update path uses it to discard maintained shapes after
+        a failed patch, so nothing keeps serving a half-applied state."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def entries_for(self, dataset: str) -> list[tuple[tuple, PreparedQuery]]:
         """A snapshot of every ``(key, prepared)`` scoped to *dataset*,
         without touching LRU order or counters — the update path uses it

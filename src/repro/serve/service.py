@@ -297,10 +297,13 @@ class QueryService:
         2. the dataset's own database is patched and re-published under
            ``version + 1`` (so future preparations see the new facts);
         3. cache entries are *migrated* instead of flushed: maintained
-           shapes and shapes whose answers cannot depend on the updated
-           predicates (outside the affected cone — the updated
-           predicates plus their transitive dependents) are re-keyed to
-           the new version; only entries inside the cone are dropped.
+           shapes patched in step 1 and shapes whose answers cannot
+           depend on the updated predicates (outside the affected cone —
+           the updated predicates plus their transitive dependents) are
+           re-keyed to the new version; entries inside the cone are
+           dropped, as is any maintained shape that raced into the cache
+           after step 1's snapshot (it was prepared against the
+           pre-update database).
 
         *add*/*remove* are fact texts (``"edge(a, b)"``).  Removals must
         target base (non-IDB) predicates; insertions may assert derived
@@ -332,12 +335,28 @@ class QueryService:
                         "facts only"
                     )
             # 1. Patch maintained shapes in place (their per-shape lock
-            # serialises against in-flight executions).
-            patched = 0
-            for key, prepared in self.cache.entries_for(name):
-                if key[1] == dataset.version and prepared.mode == "maintained":
-                    prepared.apply_update(add=add_atoms, remove=remove_atoms)
-                    patched += 1
+            # serialises against in-flight executions).  A failure
+            # mid-loop leaves the already-patched shapes one delta ahead
+            # of a dataset whose version will never be bumped, so every
+            # maintained shape is dropped before re-raising — nothing may
+            # keep serving a half-applied state.
+            patched_keys: set[tuple] = set()
+            try:
+                for key, prepared in self.cache.entries_for(name):
+                    if (
+                        key[1] == dataset.version
+                        and prepared.mode == "maintained"
+                    ):
+                        prepared.apply_update(
+                            add=add_atoms, remove=remove_atoms
+                        )
+                        patched_keys.add(key)
+            except BaseException:
+                for key, prepared in self.cache.entries_for(name):
+                    if prepared.mode == "maintained":
+                        self.cache.drop_entry(key)
+                raise
+            patched = len(patched_keys)
             # 2. Publish the patched dataset under a new version.
             database = dataset.database.copy()
             removed = added = 0
@@ -358,9 +377,13 @@ class QueryService:
                 version=version,
                 fingerprint=dataset.fingerprint,
             )
-            # 3. Migrate the cache: maintained shapes were patched, and
-            # frozen shapes outside the affected cone answer identically
-            # against the new version; everything else is stale.
+            # 3. Migrate the cache: maintained shapes that were actually
+            # patched, and frozen shapes outside the affected cone,
+            # answer identically against the new version; everything
+            # else is stale.  A maintained shape *not* in the patched
+            # set raced in between the patch snapshot and here — it was
+            # prepared against the pre-update database and must be
+            # dropped, not migrated.
             affected = _affected_predicates(
                 dataset.program,
                 {atom.predicate for atom in (*add_atoms, *remove_atoms)},
@@ -368,7 +391,7 @@ class QueryService:
 
             def keep(key: tuple, prepared: PreparedQuery) -> bool:
                 if prepared.mode == "maintained":
-                    return True
+                    return key in patched_keys
                 if prepared.mode == "transform":
                     return prepared.query.predicate not in affected
                 # Frozen full-model shapes depend on everything.

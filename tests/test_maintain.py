@@ -53,6 +53,39 @@ def test_counting_insert_updates_support():
     assert not engine.holds("t(x, y)")
 
 
+def test_counting_asserted_fact_already_derivable_survives():
+    """The review regression: asserting an IDB fact that is *already*
+    derivable must still record its external +1 in counting mode —
+    otherwise deleting the deriving base fact cascades the asserted fact
+    away, diverging from the recompute/DRed oracle."""
+    source = "p(a). q(X) :- p(X)."
+    results = {}
+    for mode in ("recompute", "counting", "dred"):
+        engine = IncrementalEngine(parse_program(source), maintenance=mode)
+        assert engine.holds("q(a)")
+        assert engine.add("q(a)") == frozenset()  # already derivable
+        engine.remove("p(a)")
+        assert engine.holds("q(a)"), mode
+        assert not engine.holds("p(a)")
+        results[mode] = _decoded_facts(engine.database)
+    assert results["counting"] == results["recompute"]
+    assert results["dred"] == results["recompute"]
+
+
+def test_counting_reasserting_idb_fact_is_idempotent():
+    """Re-asserting adds no extra support: one withdrawal of the only
+    derivation plus the single external assert leaves support at 1."""
+    engine = IncrementalEngine(
+        parse_program("p(a). q(X) :- p(X)."), maintenance="counting"
+    )
+    engine.add("q(a)")
+    engine.add("q(a)")
+    assert engine.support("q(a)") == 2  # one derivation + one external
+    engine.remove("p(a)")
+    assert engine.support("q(a)") == 1
+    assert engine.holds("q(a)")
+
+
 def test_counting_support_is_none_in_other_modes():
     engine = IncrementalEngine(UNION, maintenance="dred")
     assert engine.support("t(a, b)") is None
@@ -173,6 +206,46 @@ def test_rebuild_clears_poisoning_and_completes_the_mutation():
     assert _decoded_facts(engine.database) == _decoded_facts(oracle.database)
     assert engine.holds("path(c0, c11)")
     assert engine.add("edge(z, c0)")  # usable again
+
+
+def test_any_exception_mid_mutation_poisons_engine(monkeypatch):
+    """Not just budget trips: a backend error (or interrupt) escaping a
+    mutation leaves the materialisation inconsistent and must poison."""
+    from repro.engine import incremental
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("backend exploded")
+
+    engine = IncrementalEngine(TC, maintenance="dred")
+    engine.add("edge(a, b)")
+    with monkeypatch.context() as patch:
+        patch.setattr(incremental, "propagate", boom)
+        with pytest.raises(RuntimeError, match="backend exploded"):
+            engine.add("edge(b, c)")
+    assert engine.poisoned
+    with pytest.raises(ProgramError, match="poisoned"):
+        engine.holds("edge(a, b)")
+
+    other = IncrementalEngine(TC, maintenance="dred")
+    other.add("edge(a, b)")
+    monkeypatch.setattr(incremental, "delete_dred", boom)
+    with pytest.raises(RuntimeError, match="backend exploded"):
+        other.remove("edge(a, b)")
+    assert other.poisoned
+
+
+def test_failed_rebuild_stays_poisoned(monkeypatch):
+    from repro.engine import incremental
+
+    engine = _tripped_engine()
+    monkeypatch.setattr(
+        incremental,
+        "seminaive_fixpoint",
+        lambda *a, **k: (_ for _ in ()).throw(RuntimeError("rebuild died")),
+    )
+    with pytest.raises(RuntimeError, match="rebuild died"):
+        engine.rebuild(budget=None)
+    assert engine.poisoned
 
 
 def test_rebuild_on_healthy_engine_is_idempotent():

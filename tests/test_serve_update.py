@@ -114,6 +114,15 @@ class TestMaintainedPreparedQuery:
         )
         assert plain != maintained
 
+    def test_execute_refuses_poisoned_engine(self):
+        prepared = prepare_query(
+            self._program(), "path(a, X)?", strategy="seminaive",
+            maintain="dred",
+        )
+        prepared.engine._poisoned = True
+        with pytest.raises(ReproError, match="poisoned"):
+            prepared.execute("path(a, X)?")
+
     def test_engine_prepare_threads_maintain(self):
         engine = Engine(self._program())
         prepared = engine.prepare(
@@ -211,6 +220,54 @@ class TestServiceUpdate:
         assert info["cache_entries_dropped"] == 1
         assert service.query("g", "hue(X)?")["cache_hit"]
         assert not service.query("g", "path(a, X)?")["cache_hit"]
+
+    def test_update_drops_maintained_shape_missed_by_patch_loop(
+        self, service, monkeypatch
+    ):
+        """A maintained shape prepared against the pre-update database can
+        land in the cache between the patch-loop snapshot and the rekey;
+        it was never patched, so migrating it would serve stale answers
+        forever.  Simulated by hiding the entry from the snapshot."""
+        service.query(
+            "g", "path(a, X)?", strategy="seminaive", maintain="dred"
+        )
+        monkeypatch.setattr(service.cache, "entries_for", lambda name: [])
+        info = service.update("g", remove=["edge(b, c)"])
+        assert info["cache_entries_patched"] == 0
+        assert info["cache_entries_dropped"] == 1
+        monkeypatch.undo()
+        # The shape re-prepares against the updated dataset — a miss,
+        # but a correct one.
+        after = service.query(
+            "g", "path(a, X)?", strategy="seminaive", maintain="dred"
+        )
+        assert not after["cache_hit"]
+        assert rows(after) == [["a", "b"]]
+
+    def test_update_failure_drops_maintained_shapes(self, service, monkeypatch):
+        """A patch failing mid-loop leaves patched shapes ahead of a
+        dataset whose version never bumps: every maintained shape must be
+        dropped before the error propagates."""
+        service.query(
+            "g", "path(a, X)?", strategy="seminaive", maintain="dred"
+        )
+        ((_, prepared),) = service.cache.entries_for("g")
+
+        def boom(add=(), remove=()):
+            raise RuntimeError("engine exploded mid-patch")
+
+        monkeypatch.setattr(prepared, "apply_update", boom)
+        with pytest.raises(RuntimeError, match="mid-patch"):
+            service.update("g", remove=["edge(b, c)"])
+        assert service.cache.entries_for("g") == []
+        # The dataset was never bumped; the next maintained query
+        # re-prepares cleanly against the unchanged version.
+        retry = service.query(
+            "g", "path(a, X)?", strategy="seminaive", maintain="dred"
+        )
+        assert retry["version"] == 1
+        assert not retry["cache_hit"]
+        assert rows(retry) == [["a", "b"], ["a", "c"], ["a", "d"]]
 
     def test_update_validation(self, service):
         with pytest.raises(ReproError, match="at least one"):
