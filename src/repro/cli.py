@@ -238,6 +238,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="prepared-query cache capacity (default: 64)",
     )
     serve.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve queries from N pre-forked worker processes sharing "
+            "datasets over shared memory (default: 0 = in-process threads)"
+        ),
+    )
+    serve.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the cross-process prepared-shape registry; "
+            "shapes prepared by any worker (or a previous run) are "
+            "loaded instead of recompiled"
+        ),
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
 
@@ -405,9 +425,18 @@ def _cmd_repl(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import QueryService, create_server, run_server
+    from .serve import PooledService, QueryService, create_server, run_server
 
-    service = QueryService(max_cached=args.max_cached)
+    if args.processes and args.processes > 0:
+        service = PooledService(
+            processes=args.processes,
+            max_cached=args.max_cached,
+            registry=args.registry,
+        )
+    else:
+        service = QueryService(
+            max_cached=args.max_cached, registry=args.registry
+        )
     for spec in args.load:
         name, _, path = spec.partition("=")
         if not name or not path:
@@ -425,9 +454,12 @@ def _cmd_serve(args) -> int:
         service=service,
         quiet=not args.verbose,
     )
+    workers = (
+        f", {args.processes} worker processes" if args.processes else ""
+    )
     print(
         f"serving on http://{args.host}:{server.port} "
-        f"(cache capacity {args.max_cached})",
+        f"(cache capacity {args.max_cached}{workers})",
         file=sys.stderr,
     )
     run_server(server, port_file=args.port_file)

@@ -609,6 +609,12 @@ def _prepare_transform(
         (edb_extra | working.predicates()) - target.idb_predicates
     )
     transformed = _TRANSFORMS[strategy](target, goal, sips_fn, edb)
+    obs = get_metrics()
+    if obs.enabled:
+        # Like prepare.compiles: flat across cache hits *and* across
+        # registry loads of serialized shapes (snapshot rehydration
+        # reuses the serialized rewriting instead of re-transforming).
+        obs.incr("prepare.transforms")
     fixpoint = compile_fixpoint(
         transformed.program,
         working,

@@ -103,6 +103,42 @@ class ConstantInterner:
         for row in rows:
             yield tuple(intern(value) for value in row)
 
+    # --- serialization ------------------------------------------------------
+    def table(self) -> tuple:
+        """The value table in id order, as an immutable snapshot.
+
+        ``table()[i]`` is the value behind id ``i``.  The snapshot layer
+        (:mod:`repro.core.snapshot`) serializes this verbatim: restoring
+        it through :meth:`from_table` reproduces identical id
+        assignments, which is what keeps kernels compiled against the
+        restored interner bit-identical to the originals.
+        """
+        with self._lock:
+            return tuple(self._values)
+
+    @classmethod
+    def from_table(cls, values) -> "ConstantInterner":
+        """An interner whose ids are exactly ``values``' positions.
+
+        Raises:
+            ValueError: when two entries collapse to one dict key (the
+                table then cannot have come from a real interner, whose
+                forward map would never have assigned them separate
+                ids).
+        """
+        interner = cls()
+        ids = interner._ids
+        table = interner._values
+        for index, value in enumerate(values):
+            if value in ids:
+                raise ValueError(
+                    f"interner table entries {ids[value]} and {index} "
+                    f"are equal ({value!r}); table is not a bijection"
+                )
+            ids[value] = index
+            table.append(value)
+        return interner
+
     # --- decoding -----------------------------------------------------------
     def value_of(self, ident: int):
         """The value behind *ident* (raises ``IndexError`` on unknown ids)."""

@@ -603,6 +603,21 @@ class ColumnarDatabase(Database):
             interner=self.interner,
         )
 
+    def freeze(self, extra: "dict | None" = None):
+        """An immutable shared-memory snapshot of this database.
+
+        Serializes the relations (column blocks via the buffer protocol)
+        and the interner table into one
+        :class:`multiprocessing.shared_memory` block that worker
+        processes attach without copying the payload — see
+        :class:`repro.core.snapshot.SharedSnapshot`.  The caller owns
+        the block (``unlink()`` it when retired); this database remains
+        usable and is not itself frozen.
+        """
+        from ..core.snapshot import freeze_database
+
+        return freeze_database(self, extra=extra)
+
     def merge(self, other: Database) -> int:
         if (
             isinstance(other, ColumnarDatabase)

@@ -40,6 +40,7 @@ __all__ = [
     "CompiledLiteral",
     "CompiledRule",
     "compile_rule",
+    "compile_rule_ordered",
     "match_body",
     "RelationView",
 ]
@@ -209,6 +210,46 @@ def compile_rule(rule: Rule, planner: "JoinPlanner | None" = None) -> CompiledRu
         ordered = planner.order_body(rule)
     else:
         ordered = order_body(rule.body, rule)
+    bound: set[Variable] = set()
+    compiled: list[CompiledLiteral] = []
+    for literal in ordered:
+        compiled.append(_compile_literal(literal))
+        if literal.positive:
+            bound.update(literal.variables())
+    head_pattern: list[tuple[str, object]] = []
+    for arg in rule.head.args:
+        if isinstance(arg, Constant):
+            head_pattern.append(("c", arg.value))
+        else:
+            if arg not in bound:
+                raise SafetyError(
+                    f"head variable {arg} of rule {rule} does not occur "
+                    "in any positive body literal"
+                )
+            head_pattern.append(("v", arg))
+    return CompiledRule(
+        rule=rule,
+        head_predicate=rule.head.predicate,
+        head_pattern=tuple(head_pattern),
+        body=tuple(compiled),
+    )
+
+
+def compile_rule_ordered(
+    rule: Rule, ordered: Sequence[Literal]
+) -> CompiledRule:
+    """Compile *rule* with its body in the given, already-decided order.
+
+    The snapshot layer (:mod:`repro.core.snapshot`) serializes each
+    compiled rule's body order as an explicit permutation; reloading
+    must reproduce that exact order without consulting a planner or
+    re-deriving test placement — any re-derivation would make the
+    reloaded plan merely equivalent where the format promises
+    bit-identity.  *ordered* must be a permutation of ``rule.body``
+    whose test literals are fully bound at their position (true of any
+    order :func:`compile_rule` ever produced, which is the only source
+    of serialized plans).
+    """
     bound: set[Variable] = set()
     compiled: list[CompiledLiteral] = []
     for literal in ordered:

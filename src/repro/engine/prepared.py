@@ -214,6 +214,10 @@ def compile_fixpoint(
             )
     if obs.enabled:
         obs.incr("prepare.fixpoints_compiled")
+        # The canonical "compilation actually ran" counter the
+        # cross-process shape registry drives to zero on its hit path
+        # (snapshot rehydration re-lowers kernels but never comes here).
+        obs.incr("prepare.compiles")
     return compiled
 
 

@@ -25,6 +25,7 @@ from .metrics import (
     TimerStat,
     collect,
     get_metrics,
+    merge_snapshots,
     set_metrics,
     thread_metrics,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "TimerStat",
     "collect",
     "get_metrics",
+    "merge_snapshots",
     "set_metrics",
     "thread_metrics",
 ]

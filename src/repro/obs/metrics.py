@@ -52,6 +52,7 @@ __all__ = [
     "set_metrics",
     "collect",
     "thread_metrics",
+    "merge_snapshots",
 ]
 
 
@@ -452,3 +453,63 @@ def thread_metrics(metrics: Metrics) -> Iterator[Metrics]:
         yield metrics
     finally:
         _tls.active = previous
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold already-exported :meth:`Metrics.snapshot` dicts into one.
+
+    :meth:`Metrics.merge` needs live registries; the multiprocess server
+    only has each worker's *snapshot* (shipped over a pipe as plain
+    JSON-able data), so the fold happens on the export format instead:
+    counters sum, timer/histogram counts and totals sum, means are
+    recomputed from the sums, min/max take the extrema across inputs
+    (entries with ``count == 0`` contribute nothing to the extrema), and
+    histogram ``last`` takes the value from the latest input that
+    observed anything — callers pass snapshots in a deterministic order
+    (dispatcher first, then workers by slot index).  Inputs are left
+    untouched; missing sections are treated as empty.
+    """
+    counters: dict[str, int] = {}
+    timers: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, stat in (snapshot.get("timers") or {}).items():
+            if not stat.get("count"):
+                continue
+            mine = timers.get(name)
+            if mine is None:
+                mine = timers[name] = {
+                    "count": 0, "total_s": 0.0,
+                    "min_s": math.inf, "max_s": -math.inf,
+                }
+            mine["count"] += stat["count"]
+            mine["total_s"] += stat["total_s"]
+            mine["min_s"] = min(mine["min_s"], stat["min_s"])
+            mine["max_s"] = max(mine["max_s"], stat["max_s"])
+        for name, stat in (snapshot.get("histograms") or {}).items():
+            if not stat.get("count"):
+                continue
+            mine = histograms.get(name)
+            if mine is None:
+                mine = histograms[name] = {
+                    "count": 0, "total": 0.0,
+                    "min": math.inf, "max": -math.inf, "last": 0.0,
+                }
+            mine["count"] += stat["count"]
+            mine["total"] += stat["total"]
+            mine["min"] = min(mine["min"], stat["min"])
+            mine["max"] = max(mine["max"], stat["max"])
+            mine["last"] = stat["last"]
+    for stat in timers.values():
+        stat["mean_s"] = stat["total_s"] / stat["count"]
+    for stat in histograms.values():
+        stat["mean"] = stat["total"] / stat["count"]
+    return {
+        "timers": {name: timers[name] for name in sorted(timers)},
+        "counters": dict(sorted(counters.items())),
+        "histograms": {name: histograms[name] for name in sorted(histograms)},
+    }

@@ -18,13 +18,23 @@ the dependency set.  Four layers:
   wiring (``/health``, ``/metrics``, ``/load``, ``/prepare``,
   ``/query``), exposed to the CLI as ``repro serve``.
 * :mod:`repro.serve.client` — :class:`ServeClient`, a thin
-  ``urllib``-based client the tests, benchmarks, and smoke job share.
+  ``urllib``-based client the tests, benchmarks, and smoke job share,
+  with bounded retry across worker-restart windows.
+* :mod:`repro.serve.registry` — :class:`ShapeRegistry`, the on-disk
+  store of serialized prepared shapes shared across processes and
+  server restarts.
+* :mod:`repro.serve.pool` — :class:`WorkerPool` / :class:`PooledService`,
+  the multiprocess backend (``repro serve --processes N``): pre-forked
+  workers, shared-memory dataset snapshots, crash-restart, merged
+  ``/metrics``.
 
 See ``docs/SERVING.md`` for the endpoint reference and operational notes.
 """
 
 from .cache import CacheEntry, PreparedQueryCache
 from .client import ServeClient
+from .pool import PooledService, WorkerPool, WorkerPoolError
+from .registry import ShapeRegistry
 from .server import ReproServer, create_server, run_server
 from .service import Dataset, QueryService
 
@@ -32,6 +42,10 @@ __all__ = [
     "CacheEntry",
     "PreparedQueryCache",
     "ServeClient",
+    "ShapeRegistry",
+    "PooledService",
+    "WorkerPool",
+    "WorkerPoolError",
     "ReproServer",
     "create_server",
     "run_server",

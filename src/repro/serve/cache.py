@@ -25,11 +25,16 @@ miss accounting is deferred until an insertion actually happens.
 ``get_or_prepare`` calls, and ``misses`` equals the number of shapes
 actually inserted — invariants ``/metrics`` consumers rely on.
 
-Hit/miss/race/eviction totals are kept on the cache (exact, locked) and
-mirrored into the active metrics registry as ``serve.prepared.hits`` /
-``serve.prepared.misses`` / ``serve.prepared.races`` /
-``serve.prepared.evictions`` — the counters the serve smoke CI job
-asserts on.
+Hit/miss/race/eviction/drop totals are kept on the cache (exact,
+locked) and mirrored into the active metrics registry as
+``serve.prepared.hits`` / ``serve.prepared.misses`` /
+``serve.prepared.races`` / ``serve.prepared.evictions`` /
+``serve.prepared.drops`` — the counters the serve smoke CI job asserts
+on.  Every entry enters through exactly one counted miss and leaves
+through exactly one counted eviction (LRU pressure) or drop (explicit
+invalidation), so ``entries == misses - evictions - drops`` holds at
+every instant — the stress test pins this under concurrent
+``get_or_prepare`` / ``rekey_dataset`` / ``drop_entry`` traffic.
 """
 
 from __future__ import annotations
@@ -74,6 +79,7 @@ class PreparedQueryCache:
         self.misses = 0
         self.races = 0
         self.evictions = 0
+        self.drops = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -141,7 +147,19 @@ class PreparedQueryCache:
         was.  The update path uses it to discard maintained shapes after
         a failed patch, so nothing keeps serving a half-applied state."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            if self._entries.pop(key, None) is None:
+                return False
+            self._count_drops(1)
+            return True
+
+    def _count_drops(self, count: int) -> None:
+        """Book *count* explicit removals (callers hold the lock)."""
+        if not count:
+            return
+        self.drops += count
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.prepared.drops", count)
 
     def entries_for(self, dataset: str) -> list[tuple[tuple, PreparedQuery]]:
         """A snapshot of every ``(key, prepared)`` scoped to *dataset*,
@@ -170,8 +188,19 @@ class PreparedQueryCache:
         entry scoped to *dataset* at *old_version*, ``keep(key,
         prepared)`` decides: keep → the entry is re-keyed to
         *new_version* preserving its LRU position and hit counts; drop →
-        evicted.  Entries at any *other* version are stale leftovers and
-        are always dropped.  Returns ``(kept, dropped)``.
+        evicted.  Returns ``(kept, dropped)``.
+
+        Entries already at *new_version* are **kept as they are**: the
+        update path publishes the new version before migrating the
+        cache, so a concurrent request can legitimately insert a
+        freshly prepared new-version shape in that window — discarding
+        it (as this method once did) silently threw away valid work and
+        broke the accounting.  When a migrating old-version entry
+        collides with such a fresh insertion, exactly one survives (the
+        one already placed) and the other is booked as dropped — never
+        a silent overwrite, which would leak an entry past every
+        counter.  Entries at any *older* version are stale leftovers
+        and are always dropped.
         """
         with self._lock:
             kept = dropped = 0
@@ -180,14 +209,29 @@ class PreparedQueryCache:
                 if key[0] != dataset:
                     migrated[key] = entry
                     continue
+                if key[1] == new_version:
+                    if key in migrated:
+                        # An old-version entry already migrated onto
+                        # this key; one shape, one slot — the earlier
+                        # placement stands, this copy is dropped.
+                        dropped += 1
+                        continue
+                    migrated[key] = entry
+                    kept += 1
+                    continue
                 if key[1] == old_version and keep(key, entry.prepared):
                     new_key = (key[0], new_version) + key[2:]
+                    if new_key in migrated:
+                        # A fresh new-version insertion got there first.
+                        dropped += 1
+                        continue
                     entry.key = new_key
                     migrated[new_key] = entry
                     kept += 1
                 else:
                     dropped += 1
             self._entries = migrated
+            self._count_drops(dropped)
             return kept, dropped
 
     def drop_dataset(self, dataset: str) -> int:
@@ -200,14 +244,20 @@ class PreparedQueryCache:
             stale = [key for key in self._entries if key[0] == dataset]
             for key in stale:
                 del self._entries[key]
+            self._count_drops(len(stale))
             return len(stale)
 
     def clear(self) -> None:
         with self._lock:
+            self._count_drops(len(self._entries))
             self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        """Exact totals for the ``/metrics`` payload."""
+        """Exact totals for the ``/metrics`` payload.
+
+        Taken under the lock, so the invariant ``entries == misses -
+        evictions - drops`` holds within any single returned dict.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -216,4 +266,5 @@ class PreparedQueryCache:
                 "misses": self.misses,
                 "races": self.races,
                 "evictions": self.evictions,
+                "drops": self.drops,
             }

@@ -23,29 +23,74 @@ class ServeError(ReproError):
     Attributes:
         status: HTTP status code, when a response arrived at all.
         payload: the decoded error payload, when the body was JSON.
+        transient: whether retrying could plausibly succeed (connection
+            reset/refused, or a 503 from the dispatcher) — what
+            :class:`ServeClient`'s bounded retry keys on.
     """
 
-    def __init__(self, message: str, status: "int | None" = None, payload=None):
+    def __init__(
+        self, message: str, status: "int | None" = None, payload=None,
+        transient: bool = False,
+    ):
         super().__init__(message)
         self.status = status
         self.payload = payload
+        self.transient = transient
+
+
+_TRANSIENT_REASONS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
 
 
 class ServeClient:
     """Talk JSON to a running :mod:`repro.serve` server.
 
+    Requests that fail *transiently* — the connection was reset or
+    refused (a worker restarting, the multiprocess dispatcher failing
+    over), or the server answered 503 (no worker could take the
+    request) — are retried up to *retries* times with exponential
+    backoff.  Anything the server actually answered (400s, budget
+    trips, normal payloads) is never retried; ``retries=0`` opts out
+    entirely.
+
     Args:
         base_url: e.g. ``"http://127.0.0.1:8321"`` (no trailing slash
             needed).
         timeout: per-request socket timeout in seconds.
+        retries: additional attempts after a transient failure
+            (default 2; 0 disables retrying).
+        backoff: first retry delay in seconds; doubles per attempt.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
 
     # --- transport ------------------------------------------------------------
     def _request(self, path: str, payload: "dict | None" = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload)
+            except ServeError as exc:
+                if attempt >= self.retries or not exc.transient:
+                    raise
+            time.sleep(self.backoff * (2 ** attempt))
+            attempt += 1
+
+    def _request_once(self, path: str, payload: "dict | None" = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -65,9 +110,19 @@ class ServeClient:
             message = (
                 decoded.get("error") if isinstance(decoded, dict) else None
             ) or f"HTTP {exc.code} from {path}"
-            raise ServeError(message, status=exc.code, payload=decoded)
+            raise ServeError(
+                message, status=exc.code, payload=decoded,
+                transient=exc.code == 503,
+            )
         except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach {url}: {exc.reason}")
+            raise ServeError(
+                f"cannot reach {url}: {exc.reason}",
+                transient=isinstance(exc.reason, _TRANSIENT_REASONS),
+            )
+        except _TRANSIENT_REASONS as exc:
+            # urllib can also surface a mid-body reset as the raw OS
+            # error (the response started, then the worker died).
+            raise ServeError(f"connection lost to {url}: {exc}", transient=True)
         try:
             return json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:

@@ -1,0 +1,670 @@
+"""The multiprocess serving backend: a pre-forked worker pool.
+
+Threads share one interpreter; on CPython the GIL serialises the join
+kernels, so the threaded :class:`~repro.serve.server.ReproServer` never
+exceeds one core of evaluation throughput no matter how many clients
+connect.  This module scales ``repro.serve`` across cores with
+**processes** instead:
+
+* a :class:`WorkerPool` pre-forks (spawn start method — it preserves
+  ``sys.path`` and imports cleanly everywhere) ``N`` worker processes,
+  each running a full single-process
+  :class:`~repro.serve.service.QueryService` of its own;
+* :class:`PooledService` is the dispatcher: it keeps the authoritative
+  datasets in-process (so ``/load`` and ``/update`` semantics — version
+  bumps, maintained-shape patching of its own bookkeeping — are exactly
+  the single-process ones), publishes every dataset version as a
+  shared-memory snapshot (:func:`~repro.core.snapshot.freeze_database`),
+  and routes ``/query`` / ``/prepare`` round-robin to the workers;
+* dataset propagation is **pull-based**: every dispatched request
+  carries a spec ``{name, version, shm, size}`` resolved at send time;
+  a worker seeing an unknown version attaches the named block,
+  decodes the database straight out of shared memory (the serialized
+  bytes are never copied between processes), and installs it.  A
+  fire-and-forget ``sync`` broadcast after each mutation warms workers
+  eagerly, but correctness never depends on it;
+* workers that die (OOM-killed, crashed, ``kill -9`` in the tests) are
+  detected at the pipe, respawned, and the in-flight request is retried
+  once on the fresh worker — counted under ``serve.workers.crashed`` /
+  ``serve.workers.restarts`` / ``serve.workers.retries``;
+* ``/metrics`` broadcasts to every worker and folds the per-process
+  registries into one view with
+  :func:`~repro.obs.metrics.merge_snapshots` (dispatcher first, then
+  workers by slot index, so order-sensitive fields are deterministic).
+
+Workers share prepared shapes through the on-disk
+:class:`~repro.serve.registry.ShapeRegistry`: the first worker to
+prepare a shape saves its serialized form, and every other worker (and
+every restarted server) loads it instead of re-transforming and
+re-compiling — the smoke job asserts the second worker's first request
+does zero ``prepare.transforms`` / ``prepare.compiles`` work.
+
+Shared-memory lifetime: the dispatcher owns every block.  Publishing a
+new dataset version keeps the previous block alive briefly (an in-flight
+request dispatched a moment ago may still name it) and unlinks older
+ones; :meth:`PooledService.close` — reached from
+:func:`~repro.serve.server.run_server`'s shutdown path, so SIGTERM too —
+reaps all workers and unlinks every block.  Workers deliberately
+unregister attached blocks from their own ``resource_tracker``
+(:meth:`~repro.core.snapshot.SharedSnapshot.attach`), so a worker
+restart never destroys a block the dispatcher still serves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+
+from ..core.snapshot import SharedSnapshot, freeze_database, load_database
+from ..datalog.parser import parse_program
+from ..errors import ReproError
+from ..obs import ThreadSafeMetrics, get_metrics, merge_snapshots, set_metrics
+from .cache import DEFAULT_MAX_ENTRIES
+from .service import QueryService, budget_from_payload
+
+__all__ = ["WorkerPool", "PooledService", "WorkerPoolError"]
+
+DEFAULT_PROCESSES = 2
+
+_STOP = object()
+
+
+class WorkerPoolError(ReproError):
+    """A request could not be served by any worker (pool shut down, or
+    the worker died and the one retry died too)."""
+
+
+# --- worker side --------------------------------------------------------------
+
+def _ensure_dataset(service: QueryService, installed: dict, spec) -> None:
+    """Install the dataset version named by *spec*, if not already.
+
+    *installed* maps dataset name → installed version for this worker.
+    The shared block is read straight through a memoryview; decoded rows
+    are copied into the worker's own database, so the block is closed
+    again before the request runs (the dispatcher may retire it any
+    time after).
+    """
+    if spec is None:
+        return
+    name, version = spec["name"], spec["version"]
+    if installed.get(name) == version:
+        return
+    snapshot = SharedSnapshot.attach(spec["shm"], spec["size"])
+    try:
+        database, header = load_database(snapshot.data)
+    finally:
+        snapshot.close()
+    extra = header.get("extra") or {}
+    program = parse_program(extra.get("program", "")).without_facts()
+    service.install(
+        name, program, database, version,
+        data_fingerprint=extra.get("data_fingerprint") or None,
+    )
+    installed[name] = version
+
+
+def _worker_main(conn, index: int, config: dict) -> None:
+    """One worker process: a request loop over its end of the pipe.
+
+    Messages are ``{"op", "payload", "spec"}`` dicts; every message gets
+    exactly one reply (``{"ok": True, "result"}`` or ``{"ok": False,
+    "status", "error"}``), which is what keeps the pipe protocol in
+    lock-step with the parent's slot thread.
+    """
+    set_metrics(ThreadSafeMetrics())
+    service = QueryService(
+        max_cached=config.get("max_cached", DEFAULT_MAX_ENTRIES),
+        registry=config.get("registry"),
+    )
+    installed: dict[str, int] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message.get("op")
+        try:
+            if op == "exit":
+                conn.send({"ok": True, "result": {"pid": os.getpid()}})
+                break
+            elif op == "ping":
+                reply = {"ok": True, "result": {"pid": os.getpid()}}
+            elif op == "metrics":
+                reply = {
+                    "ok": True,
+                    "result": {
+                        "pid": os.getpid(),
+                        "metrics": get_metrics().snapshot(),
+                        "cache": service.cache.stats(),
+                    },
+                }
+            elif op in ("query", "prepare", "sync"):
+                _ensure_dataset(service, installed, message.get("spec"))
+                payload = message.get("payload") or {}
+                if op == "sync":
+                    result = {"pid": os.getpid(), "installed": dict(installed)}
+                elif op == "prepare":
+                    result = service.prepare(
+                        message["spec"]["name"],
+                        payload["goal"],
+                        **(payload.get("config") or {}),
+                    )
+                else:
+                    result = service.query(
+                        message["spec"]["name"],
+                        payload["goal"],
+                        budget=budget_from_payload(payload.get("budget")),
+                        **(payload.get("config") or {}),
+                    )
+                reply = {"ok": True, "result": result}
+            else:
+                reply = {
+                    "ok": False, "status": 400,
+                    "error": f"unknown worker op {op!r}",
+                }
+        except ReproError as exc:
+            reply = {"ok": False, "status": 400, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - worker must not die on a bad request
+            reply = {
+                "ok": False, "status": 500,
+                "error": f"worker error: {type(exc).__name__}: {exc}",
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# --- parent side --------------------------------------------------------------
+
+class _Task:
+    """One queued request: resolved by the slot thread, awaited by the
+    submitting request thread (``event is None`` → fire-and-forget)."""
+
+    __slots__ = ("op", "payload", "dataset", "event", "reply", "attempts")
+
+    def __init__(self, op, payload=None, dataset=None, wait=True):
+        self.op = op
+        self.payload = payload
+        self.dataset = dataset
+        self.event = threading.Event() if wait else None
+        self.reply = None
+        self.attempts = 0
+
+    def resolve(self, reply) -> None:
+        self.reply = reply
+        if self.event is not None:
+            self.event.set()
+
+
+class _WorkerDied(Exception):
+    """Internal: the slot's worker process died mid-request."""
+
+
+class _Slot:
+    """One worker process + its pipe + its task queue + its feeder thread."""
+
+    __slots__ = ("index", "process", "conn", "queue", "thread", "restarts")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.queue: "queue.Queue" = queue.Queue()
+        self.thread = None
+        self.restarts = 0
+
+
+class WorkerPool:
+    """``processes`` worker processes behind per-slot task queues.
+
+    *spec_provider* maps a dataset name to the shared-memory spec sent
+    with every dataset-bound request; it is called at **send time** so a
+    request retried after a worker death (or sitting in the queue across
+    a ``/load``) always names the current snapshot.
+    """
+
+    def __init__(
+        self,
+        processes: int = DEFAULT_PROCESSES,
+        config: "dict | None" = None,
+        spec_provider=None,
+        start_method: str = "spawn",
+    ):
+        if processes < 1:
+            raise ReproError(
+                f"worker pool needs at least one process, got {processes}"
+            )
+        self.processes = processes
+        self._config = dict(config or {})
+        self._spec_provider = spec_provider
+        self._context = multiprocessing.get_context(start_method)
+        self._stop = False
+        self._lock = threading.Lock()
+        self._rr = itertools.count()
+        self._slots = [_Slot(i) for i in range(processes)]
+        for slot in self._slots:
+            self._spawn(slot)
+            slot.thread = threading.Thread(
+                target=self._slot_loop, args=(slot,),
+                name=f"repro-serve-slot-{slot.index}", daemon=True,
+            )
+            slot.thread.start()
+
+    # --- lifecycle ------------------------------------------------------------
+    def _spawn(self, slot: _Slot) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, slot.index, self._config),
+            name=f"repro-serve-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+
+    def _respawn(self, slot: _Slot) -> None:
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.workers.crashed")
+            obs.incr("serve.workers.restarts")
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.process.is_alive():  # pragma: no cover - pipe died first
+            slot.process.terminate()
+        slot.process.join(timeout=2.0)
+        slot.restarts += 1
+        self._spawn(slot)
+
+    def shutdown(self) -> None:
+        """Stop feeders, reap every worker, resolve stranded tasks."""
+        with self._lock:
+            if self._stop:
+                return
+            self._stop = True
+        for slot in self._slots:
+            slot.queue.put(_STOP)
+        for slot in self._slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=5.0)
+        for slot in self._slots:
+            # Anything still queued behind the stop sentinel (or raced
+            # in after it) fails fast rather than hanging its waiter.
+            while True:
+                try:
+                    task = slot.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if task is not _STOP:
+                    task.resolve({
+                        "ok": False, "status": 503,
+                        "error": "server shutting down",
+                    })
+            try:
+                slot.conn.send({"op": "exit"})
+                if slot.conn.poll(1.0):
+                    slot.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():  # pragma: no cover - stuck worker
+                slot.process.terminate()
+                slot.process.join(timeout=1.0)
+                if slot.process.is_alive():
+                    slot.process.kill()
+                    slot.process.join(timeout=1.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+
+    # --- dispatch -------------------------------------------------------------
+    def _slot_loop(self, slot: _Slot) -> None:
+        while True:
+            try:
+                task = slot.queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop:
+                    return
+                continue
+            if task is _STOP:
+                return
+            message = {"op": task.op, "payload": task.payload, "spec": None}
+            if task.dataset is not None and self._spec_provider is not None:
+                try:
+                    # Resolved now, not at submit time: a retry or a
+                    # queued request must name the snapshot that is
+                    # current when the worker actually sees it.
+                    message["spec"] = self._spec_provider(task.dataset)
+                except ReproError as exc:
+                    task.resolve(
+                        {"ok": False, "status": 400, "error": str(exc)}
+                    )
+                    continue
+            try:
+                try:
+                    slot.conn.send(message)
+                except (BrokenPipeError, OSError):
+                    # The worker died between requests; same failover
+                    # path as dying mid-request.
+                    raise _WorkerDied()
+                task.resolve(self._await_reply(slot))
+            except _WorkerDied:
+                if self._stop:
+                    task.resolve({
+                        "ok": False, "status": 503,
+                        "error": "server shutting down",
+                    })
+                    return
+                self._respawn(slot)
+                if task.attempts < 1:
+                    task.attempts += 1
+                    obs = get_metrics()
+                    if obs.enabled:
+                        obs.incr("serve.workers.retries")
+                    slot.queue.put(task)
+                else:
+                    task.resolve({
+                        "ok": False, "status": 503,
+                        "error": "worker died twice serving this request",
+                    })
+
+    def _await_reply(self, slot: _Slot):
+        while True:
+            try:
+                if slot.conn.poll(0.05):
+                    return slot.conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerDied()
+            if not slot.process.is_alive():
+                # Drain a reply that landed between the poll and the
+                # death check before declaring the request lost.
+                try:
+                    if slot.conn.poll(0):
+                        return slot.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerDied()
+
+    def submit(self, op: str, payload=None, dataset=None, timeout=60.0):
+        """Route one request to the next worker (round-robin) and wait.
+
+        Raises the worker-reported error class: :class:`ReproError` for
+        client errors (400), :class:`WorkerPoolError` when no worker
+        could serve it (503), ``RuntimeError`` for worker-internal
+        failures (500).
+        """
+        if self._stop:
+            raise WorkerPoolError("worker pool is shut down")
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.workers.dispatched")
+        task = _Task(op, payload=payload, dataset=dataset, wait=True)
+        slot = self._slots[next(self._rr) % self.processes]
+        slot.queue.put(task)
+        if not task.event.wait(timeout):
+            raise WorkerPoolError(
+                f"worker {slot.index} did not answer within {timeout}s"
+            )
+        reply = task.reply
+        if reply.get("ok"):
+            return reply["result"]
+        status, error = reply.get("status", 500), reply.get("error", "")
+        if status == 400:
+            raise ReproError(error)
+        if status == 503:
+            raise WorkerPoolError(error)
+        raise RuntimeError(error)
+
+    def broadcast(self, op: str, payload=None, dataset=None, timeout=5.0):
+        """Send *op* to every worker; a worker that misses *timeout*
+        contributes ``None`` (the pool stays responsive around one stuck
+        worker)."""
+        tasks = []
+        for slot in self._slots:
+            task = _Task(op, payload=payload, dataset=dataset, wait=True)
+            slot.queue.put(task)
+            tasks.append(task)
+        replies = []
+        for task in tasks:
+            if task.event.wait(timeout) and task.reply.get("ok"):
+                replies.append(task.reply["result"])
+            else:
+                replies.append(None)
+        return replies
+
+    def notify(self, op: str, dataset=None) -> None:
+        """Fire-and-forget *op* to every worker (e.g. eager dataset
+        sync); nobody waits on the replies."""
+        for slot in self._slots:
+            slot.queue.put(_Task(op, dataset=dataset, wait=False))
+
+    # --- introspection --------------------------------------------------------
+    def worker_pids(self) -> list:
+        return [
+            slot.process.pid if slot.process is not None else None
+            for slot in self._slots
+        ]
+
+    def restarts(self) -> int:
+        return sum(slot.restarts for slot in self._slots)
+
+
+class PooledService:
+    """The dispatcher-side service: single-process semantics, multiprocess
+    execution.
+
+    Duck-type compatible with :class:`~repro.serve.service.QueryService`
+    where the HTTP layer cares (``load`` / ``update`` / ``query`` /
+    ``prepare`` / ``datasets`` / ``metrics_payload`` / ``health_payload``
+    / ``close``).  Mutations run on the wrapped in-process service (the
+    authority for versions and fingerprints), then publish a
+    shared-memory snapshot; reads are dispatched to the pool.
+    """
+
+    def __init__(
+        self,
+        processes: int = DEFAULT_PROCESSES,
+        max_cached: int = DEFAULT_MAX_ENTRIES,
+        registry=None,
+        start_method: str = "spawn",
+    ):
+        self._service = QueryService(max_cached=max_cached, registry=registry)
+        registry_path = None
+        if self._service.registry is not None:
+            registry_path = str(self._service.registry.root)
+        self._lock = threading.Lock()
+        self._snapshots: dict[str, list] = {}
+        self.pool = WorkerPool(
+            processes,
+            config={"max_cached": max_cached, "registry": registry_path},
+            spec_provider=self._spec,
+            start_method=start_method,
+        )
+        self._closed = False
+
+    # --- delegated bookkeeping ------------------------------------------------
+    @property
+    def cache(self):
+        return self._service.cache
+
+    @property
+    def registry(self):
+        return self._service.registry
+
+    def dataset(self, name: str):
+        return self._service.dataset(name)
+
+    def datasets(self) -> list:
+        return self._service.datasets()
+
+    def load(
+        self,
+        name: str,
+        program_text: "str | None" = None,
+        facts_text: "str | None" = None,
+        extend: bool = False,
+    ) -> dict:
+        info = self._service.load(
+            name, program_text=program_text, facts_text=facts_text,
+            extend=extend,
+        )
+        self._publish(name)
+        return info
+
+    def update(self, name: str, add=(), remove=()) -> dict:
+        info = self._service.update(name, add=add, remove=remove)
+        self._publish(name)
+        return info
+
+    # --- publication ----------------------------------------------------------
+    def _publish(self, name: str) -> None:
+        """Freeze the current dataset version into shared memory.
+
+        Keeps the newest two blocks per dataset: a request dispatched
+        just before this publish may still carry the previous block's
+        name, so it survives one generation before being unlinked.
+        """
+        dataset = self._service.dataset(name)
+        snapshot = freeze_database(
+            dataset.database,
+            extra={
+                "program": "\n".join(
+                    str(rule) for rule in dataset.program.rules
+                ),
+                "dataset": dataset.name,
+                "version": dataset.version,
+                "data_fingerprint": dataset.data_fingerprint,
+            },
+        )
+        with self._lock:
+            history = self._snapshots.setdefault(name, [])
+            history.append((dataset.version, snapshot))
+            while len(history) > 2:
+                _, retired = history.pop(0)
+                retired.close()
+                retired.unlink()
+        self.pool.notify("sync", dataset=name)
+
+    def _spec(self, name: str) -> dict:
+        dataset = self._service.dataset(name)
+        with self._lock:
+            history = self._snapshots.get(name) or []
+            for version, snapshot in reversed(history):
+                if version == dataset.version:
+                    return {
+                        "name": name,
+                        "version": version,
+                        "shm": snapshot.name,
+                        "size": snapshot.size,
+                    }
+        raise ReproError(
+            f"dataset {name!r} has no published snapshot"
+        )  # pragma: no cover - publish always follows load/update
+
+    # --- dispatched requests --------------------------------------------------
+    def query(self, dataset_name: str, goal, budget=None, **config) -> dict:
+        self._service.dataset(dataset_name)  # fail fast on unknown names
+        payload = {
+            "goal": str(goal),
+            "config": {k: v for k, v in config.items() if v is not None},
+            "budget": _budget_payload(budget),
+        }
+        return self.pool.submit("query", payload, dataset=dataset_name)
+
+    def prepare(self, dataset_name: str, goal, **config) -> dict:
+        self._service.dataset(dataset_name)
+        payload = {
+            "goal": str(goal),
+            "config": {k: v for k, v in config.items() if v is not None},
+        }
+        return self.pool.submit("prepare", payload, dataset=dataset_name)
+
+    # --- introspection / lifecycle --------------------------------------------
+    def metrics_payload(self) -> dict:
+        replies = self.pool.broadcast("metrics")
+        snapshots = [get_metrics().snapshot()]
+        caches = []
+        pids = []
+        for reply in replies:
+            if reply is None:
+                continue
+            snapshots.append(reply["metrics"])
+            caches.append(reply["cache"])
+            pids.append(reply["pid"])
+        cache_totals: dict = {}
+        for stats in caches:
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        payload = {
+            "metrics": merge_snapshots(*snapshots),
+            "cache": cache_totals,
+            "workers": {
+                "processes": self.pool.processes,
+                "pids": self.pool.worker_pids(),
+                "responding": len(caches),
+                "restarts": self.pool.restarts(),
+            },
+        }
+        if self.registry is not None and hasattr(self.registry, "stats"):
+            payload["registry"] = self.registry.stats()
+        return payload
+
+    def health_payload(self) -> dict:
+        payload = self._service.health_payload()
+        with self._lock:
+            shared = [
+                snapshot.name
+                for history in self._snapshots.values()
+                for _, snapshot in history
+            ]
+        payload["workers"] = {
+            "processes": self.pool.processes,
+            "pids": self.pool.worker_pids(),
+            "restarts": self.pool.restarts(),
+        }
+        payload["shared_memory"] = sorted(shared)
+        return payload
+
+    def close(self) -> None:
+        """Reap every worker, then unlink every shared block (idempotent,
+        and reached from ``run_server``'s shutdown path — SIGTERM
+        included)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.pool.shutdown()
+        with self._lock:
+            histories = list(self._snapshots.values())
+            self._snapshots.clear()
+        for history in histories:
+            for _, snapshot in history:
+                snapshot.close()
+                snapshot.unlink()
+
+
+def _budget_payload(budget) -> "dict | None":
+    """Re-encode an :class:`~repro.engine.budget.EvaluationBudget` into
+    the wire form :func:`~repro.serve.service.budget_from_payload`
+    decodes (the worker rebuilds it on its side of the pipe)."""
+    if budget is None:
+        return None
+    payload = {}
+    for field in (
+        "wall_clock_seconds", "max_iterations", "max_facts", "max_attempts",
+    ):
+        value = getattr(budget, field, None)
+        if value is not None:
+            payload[field] = value
+    return payload or None

@@ -1,0 +1,154 @@
+"""The on-disk shape registry: prepared queries shared across processes.
+
+The in-memory :class:`~repro.serve.cache.PreparedQueryCache` is
+per-process; with the multiprocess server every worker would otherwise
+pay the full transform/plan/compile pipeline for every shape it sees
+first.  A :class:`ShapeRegistry` is a directory of serialized shapes
+(:mod:`repro.core.snapshot` format), keyed by the library-level
+:func:`~repro.core.prepare.prepared_cache_key` **plus** the dataset's
+data fingerprint — the same identity the cache uses, widened with the
+facts, because a serialized shape embeds its execution base.
+
+The contract with the cache layer:
+
+* a registry **hit** deserializes a bit-identical shape — zero
+  ``prepare.transforms`` / ``prepare.compiles`` (the smoke CI job
+  asserts exactly this for a second worker's first request);
+* a registry **miss** falls through to a real preparation, whose result
+  is saved back (atomically: temp file + ``os.replace``, so concurrent
+  workers racing on one shape never observe a torn file);
+* anything unreadable — a truncated file, a bumped format version from
+  an older/newer build — is counted under ``serve.registry.rejected``
+  and treated as a miss.  Stale or corrupt registry state can cost a
+  re-preparation, never a wrong answer.
+
+Maintained shapes hold a live incremental engine and are skipped
+(:class:`~repro.core.snapshot.SnapshotError` from the dump).  Registry
+files survive server restarts, which is the warm-start path: a restarted
+server's first request on a known shape loads instead of preparing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..core.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    dump_prepared,
+    load_prepared,
+)
+from ..obs import get_metrics
+
+__all__ = ["ShapeRegistry", "shape_digest"]
+
+
+def shape_digest(key: tuple, data_fingerprint: str) -> str:
+    """The registry filename stem for a shape.
+
+    *key* is the library-level cache key (no dataset name/version — the
+    same shape is reusable under any handle); *data_fingerprint* is
+    :func:`~repro.core.snapshot.database_fingerprint` of the dataset, so
+    a fact-level change re-keys every shape even though the program
+    fingerprint inside *key* is unchanged.
+    """
+    payload = json.dumps(
+        [SNAPSHOT_FORMAT_VERSION, list(key), data_fingerprint],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ShapeRegistry:
+    """A directory of serialized prepared shapes, safe for concurrent use
+    by any number of processes (reads see whole files or nothing; writes
+    are atomic renames)."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, digest: str) -> Path:
+        return self.root / f"{digest}.rpqs"
+
+    def load(self, key: tuple, data_fingerprint: str):
+        """The shape under this identity, or ``None`` (miss/rejected).
+
+        Never raises on registry content: an unreadable file is
+        rejected (counted) and reported as a miss, so the caller always
+        has the fall-back of preparing from scratch.
+        """
+        obs = get_metrics()
+        path = self.path(shape_digest(key, data_fingerprint))
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            if obs.enabled:
+                obs.incr("serve.registry.misses")
+            return None
+        except OSError:
+            if obs.enabled:
+                obs.incr("serve.registry.rejected")
+            return None
+        try:
+            prepared = load_prepared(data)
+        except SnapshotError:
+            if obs.enabled:
+                obs.incr("serve.registry.rejected")
+            return None
+        if obs.enabled:
+            obs.incr("serve.registry.hits")
+        return prepared
+
+    def save(self, key: tuple, data_fingerprint: str, prepared) -> bool:
+        """Persist *prepared* under this identity; False when the shape
+        has no serialized form (maintained) or the write failed."""
+        obs = get_metrics()
+        try:
+            data = dump_prepared(prepared)
+        except SnapshotError:
+            return False
+        path = self.path(shape_digest(key, data_fingerprint))
+        try:
+            fd, temp = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".rpqs"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            if obs.enabled:
+                obs.incr("serve.registry.errors")
+            return False
+        if obs.enabled:
+            obs.incr("serve.registry.saves")
+        return True
+
+    def stats(self) -> dict:
+        """Entry count + byte total, for ``/health`` and debugging."""
+        entries = 0
+        total = 0
+        try:
+            for path in self.root.glob("*.rpqs"):
+                entries += 1
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return {"path": str(self.root), "entries": entries, "bytes": total}
+
+    def __repr__(self) -> str:
+        return f"ShapeRegistry({str(self.root)!r})"

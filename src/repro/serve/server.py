@@ -88,6 +88,19 @@ class ReproServer(ThreadingHTTPServer):
     def port(self) -> int:
         return self.server_address[1]
 
+    def handle_error(self, request, client_address):
+        # A client that vanished mid-response (killed worker, SIGTERM
+        # during an in-flight query) is not a server error; the smoke
+        # job fails on any traceback, so swallow connection aborts when
+        # quiet and defer to the stdlib printer otherwise.
+        if self.quiet:
+            import sys
+
+            exc = sys.exc_info()[1]
+            if isinstance(exc, (ConnectionError, BrokenPipeError)):
+                return
+        super().handle_error(request, client_address)
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Request dispatch.  One instance per request, on its own thread."""
@@ -160,17 +173,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def _health(self):
-        return 200, {
-            "status": "ok",
-            "datasets": self.server.service.datasets(),
-        }
+        return 200, self.server.service.health_payload()
 
     def _metrics(self):
-        return 200, {
-            "metrics": get_metrics().snapshot(),
-            "cache": self.server.service.cache.stats(),
-            "inflight": self.server.inflight,
-        }
+        payload = self.server.service.metrics_payload()
+        payload["inflight"] = self.server.inflight
+        return 200, payload
 
     def _load(self):
         payload = self._read_json()
@@ -298,3 +306,6 @@ def run_server(
         server.serve_forever(poll_interval=0.1)
     finally:
         server.server_close()
+        # Pooled services reap worker processes and unlink shared
+        # memory here; the single-process close() is a no-op.
+        server.service.close()

@@ -49,6 +49,7 @@ from ..core.prepare import (
     prepared_cache_key,
     program_fingerprint,
 )
+from ..core.snapshot import database_fingerprint
 from ..core.strategy import QueryResult, available_strategies, run_strategy
 from ..datalog.atoms import Atom
 from ..datalog.parser import parse_program, parse_query
@@ -177,6 +178,10 @@ class Dataset:
             name; part of every prepared-cache key.
         fingerprint: the program's rule fingerprint, reported by
             ``/health`` and ``/metrics`` for cache-debugging.
+        data_fingerprint: order-independent digest of the fact set
+            (:func:`~repro.core.snapshot.database_fingerprint`); keys
+            the cross-process shape registry, where the in-memory
+            version counter means nothing to other processes.
     """
 
     name: str
@@ -184,6 +189,7 @@ class Dataset:
     database: Database
     version: int
     fingerprint: str
+    data_fingerprint: str = ""
 
     def info(self) -> dict:
         return {
@@ -207,10 +213,29 @@ class QueryService:
     version they started with).
     """
 
-    def __init__(self, max_cached: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_cached: int = DEFAULT_MAX_ENTRIES,
+        registry=None,
+    ):
+        """Args:
+            max_cached: prepared-query cache capacity.
+            registry: optional cross-process shape registry — a
+                :class:`~repro.serve.registry.ShapeRegistry` or a
+                directory path to open one at.  With a registry, cache
+                misses first try to *load* a serialized shape (saved by
+                any process, any lifetime) before preparing from
+                scratch, and freshly prepared non-maintained shapes are
+                saved back.
+        """
         self._lock = threading.Lock()
         self._datasets: dict[str, Dataset] = {}
         self.cache = PreparedQueryCache(max_cached)
+        if registry is not None and not hasattr(registry, "load"):
+            from .registry import ShapeRegistry
+
+            registry = ShapeRegistry(registry)
+        self.registry = registry
 
     # --- datasets -------------------------------------------------------------
     def load(
@@ -268,6 +293,7 @@ class QueryService:
                 database=database,
                 version=version,
                 fingerprint=program_fingerprint(program),
+                data_fingerprint=database_fingerprint(database),
             )
             self._datasets[name] = dataset
         dropped = self.cache.drop_dataset(name)
@@ -376,6 +402,7 @@ class QueryService:
                 database=database,
                 version=version,
                 fingerprint=dataset.fingerprint,
+                data_fingerprint=database_fingerprint(database),
             )
             # 3. Migrate the cache: maintained shapes that were actually
             # patched, and frozen shapes outside the affected cone,
@@ -418,6 +445,45 @@ class QueryService:
         )
         return info
 
+    def install(
+        self,
+        name: str,
+        program: Program,
+        database: Database,
+        version: int,
+        data_fingerprint: "str | None" = None,
+    ) -> Dataset:
+        """Install an already-built dataset under an explicit *version*.
+
+        The worker-process path: the dispatcher freezes the
+        authoritative dataset into shared memory, and each worker
+        decodes and installs it here when a request's spec names a
+        version the worker has not seen — pull-based propagation of
+        ``/load`` and ``/update`` version bumps.  Every cache entry for
+        *name* is dropped (they were prepared against a version this
+        process no longer serves).  *database* is adopted, not copied;
+        the caller hands over ownership.
+        """
+        dataset = Dataset(
+            name=name,
+            program=program,
+            database=database,
+            version=version,
+            fingerprint=program_fingerprint(program),
+            data_fingerprint=(
+                data_fingerprint
+                if data_fingerprint is not None
+                else database_fingerprint(database)
+            ),
+        )
+        with self._lock:
+            self._datasets[name] = dataset
+        self.cache.drop_dataset(name)
+        obs = get_metrics()
+        if obs.enabled:
+            obs.incr("serve.installs")
+        return dataset
+
     def dataset(self, name: str) -> Dataset:
         with self._lock:
             dataset = self._datasets.get(name)
@@ -444,6 +510,48 @@ class QueryService:
             dataset.program, goal, strategy, sips, planner, executor,
             scheduler, storage, maintain,
         )
+
+    def _build_prepared(
+        self, dataset: Dataset, goal: Atom, key: tuple, strategy: str,
+        sips, planner, executor: str, scheduler: str, storage: str,
+        budget=None, workers=None, maintain: "str | None" = None,
+    ):
+        """The cache-miss factory: registry consult, then a real prepare.
+
+        When a :class:`~repro.serve.registry.ShapeRegistry` is attached
+        and the shape is serializable (anything but maintained), a
+        registry hit deserializes the shape another process already
+        built — no transform, no planning, no fixpoint compilation.  A
+        miss prepares from scratch and saves the result back, so the
+        *next* process (or a restarted server) hits.  The registry key
+        is the library-level part of *key* (``key[2:]``, dropping the
+        dataset name/version) widened with the dataset's data
+        fingerprint, because the serialized shape embeds its execution
+        base.
+        """
+        registry = self.registry
+        shareable = registry is not None and maintain is None
+        if shareable:
+            prepared = registry.load(key[2:], dataset.data_fingerprint)
+            if prepared is not None:
+                return prepared
+        prepared = prepare_query(
+            dataset.program,
+            goal,
+            dataset.database,
+            strategy=strategy,
+            sips=sips,
+            planner=planner,
+            executor=executor,
+            scheduler=scheduler,
+            storage=storage,
+            budget=budget,
+            workers=workers,
+            maintain=maintain,
+        )
+        if shareable:
+            registry.save(key[2:], dataset.data_fingerprint, prepared)
+        return prepared
 
     def prepare(
         self,
@@ -485,18 +593,9 @@ class QueryService:
         started = time.perf_counter()
         prepared, hit = self.cache.get_or_prepare(
             key,
-            lambda: prepare_query(
-                dataset.program,
-                goal,
-                dataset.database,
-                strategy=strategy,
-                sips=sips,
-                planner=planner,
-                executor=executor,
-                scheduler=scheduler,
-                storage=storage,
-                workers=workers,
-                maintain=maintain,
+            lambda: self._build_prepared(
+                dataset, goal, key, strategy, sips, planner, executor,
+                scheduler, storage, workers=workers, maintain=maintain,
             ),
         )
         return {
@@ -586,18 +685,9 @@ class QueryService:
             # strata / full materialisation), on a hit only execution.
             prepared, hit = self.cache.get_or_prepare(
                 key,
-                lambda: prepare_query(
-                    dataset.program,
-                    goal,
-                    dataset.database,
-                    strategy=strategy,
-                    sips=sips,
-                    planner=planner,
-                    executor=executor,
-                    scheduler=scheduler,
-                    storage=storage,
-                    budget=budget,
-                    workers=workers,
+                lambda: self._build_prepared(
+                    dataset, goal, key, strategy, sips, planner, executor,
+                    scheduler, storage, budget=budget, workers=workers,
                     maintain=maintain,
                 ),
             )
@@ -686,6 +776,30 @@ class QueryService:
             "stats": result.stats.as_dict(),
         }
         return payload
+
+    # --- introspection / lifecycle --------------------------------------------
+    def metrics_payload(self) -> dict:
+        """The ``/metrics`` body (minus the server's in-flight gauge).
+
+        The HTTP layer delegates here so a pooled service can override
+        it with a cross-process merge of every worker's registry.
+        """
+        payload = {
+            "metrics": get_metrics().snapshot(),
+            "cache": self.cache.stats(),
+        }
+        if self.registry is not None and hasattr(self.registry, "stats"):
+            payload["registry"] = self.registry.stats()
+        return payload
+
+    def health_payload(self) -> dict:
+        """The ``/health`` body; pooled services add worker liveness."""
+        return {"status": "ok", "datasets": self.datasets()}
+
+    def close(self) -> None:
+        """Release external resources.  The single-process service holds
+        none; the pooled service overrides this to reap its workers and
+        unlink shared memory."""
 
     def _partial_payload(
         self, dataset: Dataset, goal: Atom, strategy: str,

@@ -1,0 +1,264 @@
+"""Differential tests: the multiprocess serving path vs the direct engine.
+
+The single-process threaded service is the oracle: everything the
+:class:`~repro.serve.pool.PooledService` serves through worker
+processes — answers, stats, update semantics — must be **bit-identical**
+to a direct in-process :class:`~repro.core.engine.Engine.query`.  The
+pool adds shared-memory dataset transport, snapshot decode, registry
+warm-starts, and crash-restart failover; none of that may perturb a
+single row.
+
+Also covered here: worker-death failover over real HTTP (SIGKILL a
+worker mid-run, queries keep succeeding, restarts are counted) and the
+client's bounded-retry behaviour including its opt-out.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.datalog.parser import parse_program
+from repro.obs import ThreadSafeMetrics, collect
+from repro.serve import PooledService, QueryService, create_server
+from repro.serve.client import ServeClient, ServeError
+
+from .test_kernel_differential import SEEDS, random_source
+
+CHAIN = "\n".join(
+    [f"edge({i}, {i + 1})." for i in range(30)]
+    + [
+        "anc(X, Y) :- edge(X, Y).",
+        "anc(X, Y) :- edge(X, Z), anc(Z, Y).",
+    ]
+)
+
+STRATEGIES = ("alexander", "magic", "supplementary", "seminaive")
+
+
+def direct_rows(source: str, goal: str, strategy: str = "alexander", **config):
+    program = parse_program(source)
+    result = Engine(program).query(goal, strategy=strategy, **config)
+    return [list(atom.ground_key()) for atom in result.answers]
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    """One two-worker pool shared by the in-process differential tests
+    (spawn start-up is expensive; datasets are isolated per test by
+    name)."""
+    with collect(ThreadSafeMetrics()):
+        service = PooledService(processes=2)
+        try:
+            yield service
+        finally:
+            service.close()
+
+
+class TestPooledDifferential:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_answers_bit_identical(self, pooled, strategy):
+        name = f"chain-{strategy}"
+        pooled.load(name, program_text=CHAIN)
+        served = pooled.query(name, "anc(0, X)?", strategy=strategy)
+        assert served["answers"]["rows"] == direct_rows(
+            CHAIN, "anc(0, X)?", strategy
+        )
+        again = pooled.query(name, "anc(0, X)?", strategy=strategy)
+        assert again["answers"] == served["answers"]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_random_programs_bit_identical(self, pooled, seed):
+        source = random_source(seed)
+        name = f"rand-{seed}"
+        pooled.load(name, program_text=source)
+        for goal in ("p(X, Y)?", "q(X, Y)?", "p(c0, Y)?"):
+            served = pooled.query(name, goal, storage="columnar")
+            assert served["answers"]["rows"] == direct_rows(
+                source, goal, "alexander", storage="columnar"
+            ), f"seed {seed} goal {goal}"
+
+    def test_update_propagates_to_workers(self, pooled):
+        oracle = QueryService()
+        pooled.load("upd", program_text=CHAIN)
+        oracle.load("upd", program_text=CHAIN)
+        for batch in (["edge(30, 31)."], ["edge(31, 32)."]):
+            pooled.update("upd", add=batch)
+            oracle.update("upd", add=batch)
+            served = pooled.query("upd", "anc(0, X)?")
+            direct = oracle.query("upd", "anc(0, X)?")
+            assert served["answers"] == direct["answers"]
+            assert served["version"] == direct["version"]
+        removed = pooled.update("upd", remove=["edge(31, 32)."])
+        oracle.update("upd", remove=["edge(31, 32)."])
+        assert removed["version"] == 4
+        assert (
+            pooled.query("upd", "anc(0, X)?")["answers"]
+            == oracle.query("upd", "anc(0, X)?")["answers"]
+        )
+
+    def test_budget_payload_travels(self, pooled):
+        pooled.load("budget", program_text=CHAIN)
+        from repro.engine.budget import EvaluationBudget
+
+        served = pooled.query(
+            "budget", "anc(0, X)?", budget=EvaluationBudget(max_facts=3)
+        )
+        assert served["partial"] is True
+        assert served["sound"] is True
+
+    def test_unknown_dataset_fails_fast(self, pooled):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown dataset"):
+            pooled.query("never-loaded", "anc(0, X)?")
+
+    def test_metrics_merge_covers_workers(self, pooled):
+        pooled.load("met", program_text=CHAIN)
+        pooled.query("met", "anc(0, X)?")
+        payload = pooled.metrics_payload()
+        workers = payload["workers"]
+        assert workers["processes"] == 2
+        assert len(workers["pids"]) == 2
+        assert payload["metrics"]["counters"].get("serve.queries", 0) >= 1
+
+
+class TestRegistryWarmsAcrossProcesses:
+    def test_second_worker_first_request_is_cold_start_free(self, tmp_path):
+        """Round-robin sends one request to each worker; the second
+        worker's first request must load the first worker's serialized
+        shape instead of re-transforming — exactly one preparation
+        in the whole pool."""
+        with collect(ThreadSafeMetrics()):
+            service = PooledService(processes=2, registry=tmp_path)
+            try:
+                service.load("chain", program_text=CHAIN)
+                first = service.query("chain", "anc(0, X)?")
+                second = service.query("chain", "anc(0, X)?")
+                assert first["answers"] == second["answers"]
+                counters = service.metrics_payload()["metrics"]["counters"]
+                assert counters.get("prepare.transforms", 0) == 1
+                assert counters.get("prepare.compiles", 0) == 1
+                assert counters.get("serve.registry.hits", 0) == 1
+                assert counters.get("serve.registry.saves", 0) == 1
+            finally:
+                service.close()
+
+    def test_restart_warm_starts_from_registry(self, tmp_path):
+        with collect(ThreadSafeMetrics()):
+            service = PooledService(processes=1, registry=tmp_path)
+            try:
+                service.load("chain", program_text=CHAIN)
+                service.query("chain", "anc(0, X)?")
+            finally:
+                service.close()
+        # A fresh pool (fresh processes, same registry dir) serving the
+        # same facts: its first request loads, never transforms.
+        with collect(ThreadSafeMetrics()):
+            service = PooledService(processes=1, registry=tmp_path)
+            try:
+                service.load("chain", program_text=CHAIN)
+                result = service.query("chain", "anc(0, X)?")
+                assert result["answers"]["rows"] == direct_rows(
+                    CHAIN, "anc(0, X)?"
+                )
+                counters = service.metrics_payload()["metrics"]["counters"]
+                assert counters.get("prepare.transforms", 0) == 0
+                assert counters.get("prepare.compiles", 0) == 0
+                assert counters.get("serve.registry.hits", 0) == 1
+            finally:
+                service.close()
+
+
+class TestWorkerDeathFailover:
+    def test_sigkill_worker_requests_keep_succeeding(self):
+        """Kill one worker over a live HTTP server: the dispatcher
+        respawns it, in-flight work is retried, and answers stay
+        identical throughout."""
+        with collect(ThreadSafeMetrics()):
+            service = PooledService(processes=2)
+            server = create_server(
+                port=0, service=service, install_metrics=False
+            )
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            thread.start()
+            client = ServeClient(
+                f"http://127.0.0.1:{server.port}", timeout=30.0
+            )
+            try:
+                client.wait_healthy(15.0)
+                client.load("chain", CHAIN)
+                expected = client.query("chain", "anc(0, X)?")["answers"]
+                victims = client.health()["workers"]["pids"]
+                assert len(victims) == 2
+                os.kill(victims[0], signal.SIGKILL)
+                deadline = time.monotonic() + 10.0
+                restarted = False
+                while time.monotonic() < deadline and not restarted:
+                    # Round-robin guarantees the dead slot is exercised.
+                    for _ in range(4):
+                        got = client.query("chain", "anc(0, X)?")["answers"]
+                        assert got == expected
+                    restarted = (
+                        client.health()["workers"]["restarts"] >= 1
+                    )
+                assert restarted, "worker was never respawned"
+                pids = client.health()["workers"]["pids"]
+                assert victims[0] not in pids
+                assert len(pids) == 2
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+                thread.join(timeout=5.0)
+
+
+class TestClientRetry:
+    def test_opt_out_fails_immediately(self):
+        client = ServeClient("http://127.0.0.1:1", timeout=1.0, retries=0)
+        started = time.monotonic()
+        with pytest.raises(ServeError) as excinfo:
+            client.health()
+        assert time.monotonic() - started < 1.5
+        assert excinfo.value.transient  # refused → transient, yet not retried
+
+    def test_retries_are_bounded_with_backoff(self):
+        client = ServeClient(
+            "http://127.0.0.1:1", timeout=1.0, retries=2, backoff=0.05
+        )
+        started = time.monotonic()
+        with pytest.raises(ServeError):
+            client.health()
+        elapsed = time.monotonic() - started
+        # Two retry sleeps: 0.05 + 0.10; bounded well under a second.
+        assert 0.10 <= elapsed < 5.0
+
+    def test_http_400_is_not_transient_and_not_retried(self):
+        with collect(ThreadSafeMetrics()):
+            server = create_server(port=0, install_metrics=False)
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            thread.start()
+            client = ServeClient(f"http://127.0.0.1:{server.port}")
+            try:
+                client.wait_healthy(15.0)
+                with pytest.raises(ServeError) as excinfo:
+                    client.query("no-such-dataset", "p(X)?")
+                assert excinfo.value.status == 400
+                assert not excinfo.value.transient
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5.0)

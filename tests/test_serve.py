@@ -10,6 +10,7 @@ response flagged as a sound partial.
 """
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -75,7 +76,7 @@ class TestPreparedQueryCache:
         assert first is prepared and second is prepared
         assert cache.stats() == {
             "entries": 1, "max_entries": 4, "hits": 1, "misses": 1,
-            "races": 0, "evictions": 0,
+            "races": 0, "evictions": 0, "drops": 0,
         }
 
     def test_lru_eviction_order(self):
@@ -166,6 +167,114 @@ class TestPreparedQueryCache:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             PreparedQueryCache(0)
+
+    def test_rekey_keeps_fresh_new_version_entries(self):
+        # A request racing against an update can insert a freshly
+        # prepared new-version shape before rekey_dataset runs; the
+        # migration must keep it, not discard valid work.
+        cache = PreparedQueryCache(8)
+        cache.get_or_prepare(("db", 1, "old"), self._prepared)
+        cache.get_or_prepare(("db", 2, "fresh"), self._prepared)
+        kept, dropped = cache.rekey_dataset("db", 1, 2, lambda k, p: True)
+        assert kept == 2 and dropped == 0
+        assert cache.peek(("db", 2, "old")) is not None
+        assert cache.peek(("db", 2, "fresh")) is not None
+
+    def test_rekey_collision_drops_exactly_one(self):
+        # The same shape exists both as an old-version entry (to be
+        # migrated) and as a fresh new-version insertion.  Exactly one
+        # survives; the other is counted as dropped — a silent
+        # overwrite would leak an entry past every counter.
+        cache = PreparedQueryCache(8)
+        cache.get_or_prepare(("db", 1, "shape"), self._prepared)
+        cache.get_or_prepare(("db", 2, "shape"), self._prepared)
+        kept, dropped = cache.rekey_dataset("db", 1, 2, lambda k, p: True)
+        assert kept == 1 and dropped == 1
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["entries"] == (
+            stats["misses"] - stats["evictions"] - stats["drops"]
+        )
+
+    def test_rekey_drops_older_stale_versions(self):
+        cache = PreparedQueryCache(8)
+        cache.get_or_prepare(("db", 1, "a"), self._prepared)
+        cache.get_or_prepare(("db", 3, "b"), self._prepared)
+        kept, dropped = cache.rekey_dataset("db", 3, 4, lambda k, p: True)
+        assert kept == 1 and dropped == 1  # version-1 leftover dropped
+        assert cache.peek(("db", 4, "b")) is not None
+
+    def test_drop_and_clear_are_counted(self):
+        cache = PreparedQueryCache(8)
+        cache.get_or_prepare(("db", 1, "a"), self._prepared)
+        cache.get_or_prepare(("db", 1, "b"), self._prepared)
+        assert cache.drop_entry(("db", 1, "a"))
+        assert not cache.drop_entry(("db", 1, "a"))  # absent: not counted
+        cache.clear()
+        stats = cache.stats()
+        assert stats["drops"] == 2  # one explicit drop + one cleared entry
+        assert stats["entries"] == 0
+        assert stats["entries"] == (
+            stats["misses"] - stats["evictions"] - stats["drops"]
+        )
+
+    def test_accounting_invariants_under_concurrent_stress(self):
+        """Hammer get_or_prepare / rekey_dataset / drop_entry from many
+        threads; the conservation laws must hold at the end (and the
+        final entry census must reconcile with the counters exactly)."""
+        cache = PreparedQueryCache(16)
+        prepared = self._prepared()
+        requests = 0
+        lock = threading.Lock()
+        stop = threading.Event()
+        version = [1]
+
+        def querier(worker: int):
+            nonlocal requests
+            count = 0
+            while not stop.is_set() and count < 300:
+                with lock:
+                    v = version[0]
+                shape = f"shape-{(worker + count) % 24}"
+                cache.get_or_prepare(("db", v, shape), lambda: prepared)
+                count += 1
+            with lock:
+                requests += count
+
+        def updater():
+            for _ in range(40):
+                with lock:
+                    old = version[0]
+                    version[0] = old + 1
+                cache.rekey_dataset(
+                    "db", old, old + 1,
+                    lambda key, p: key[2].endswith(("0", "2", "4", "6", "8")),
+                )
+                time.sleep(0.001)
+
+        def dropper():
+            for i in range(200):
+                with lock:
+                    v = version[0]
+                cache.drop_entry(("db", v, f"shape-{i % 24}"))
+
+        threads = (
+            [threading.Thread(target=querier, args=(w,)) for w in range(4)]
+            + [threading.Thread(target=updater), threading.Thread(target=dropper)]
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        stop.set()
+        stats = cache.stats()
+        # Conservation: every request is a hit or a miss; every entry
+        # entered via a miss and left via an eviction or a drop.
+        assert stats["hits"] + stats["misses"] == requests
+        assert stats["entries"] == (
+            stats["misses"] - stats["evictions"] - stats["drops"]
+        )
+        assert 0 <= stats["entries"] <= 16
 
 
 # --- budgets from payloads ------------------------------------------------

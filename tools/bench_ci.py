@@ -459,6 +459,16 @@ def _run_f5(failures: list[str], budget=None) -> list[dict]:
     return module.streaming_parity_entries(failures, budget)
 
 
+def _run_f6(failures: list[str], budget=None) -> list[dict]:
+    """Multiprocess serving smoke: a two-worker pool with a shape
+    registry must render answers bit-identical to the direct engine with
+    identical inference counts on both workers, and the second worker's
+    first request must load the registry-cached shape instead of
+    re-transforming (see ``benchmarks/bench_f6_multiproc.py``)."""
+    module = load_bench_module("bench_f6_multiproc")
+    return module.multiproc_parity_entries(failures, budget)
+
+
 def _run_a10(failures: list[str], budget=None) -> list[dict]:
     """Storage smoke: the columnar backend must derive the same model
     (compared in raw value space) with the same inference and fact
@@ -591,6 +601,7 @@ CHECK_GROUPS = {
     "f1": _run_f1,
     "f4": _run_f4,
     "f5": _run_f5,
+    "f6": _run_f6,
     "a2": _run_a2,
     "a7": _run_a7,
     "a8": _run_a8,

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """CI smoke test for the query service (``repro serve``).
 
-Boots the real server as a subprocess on an ephemeral port, then walks
-the serving contract end to end:
+Boots the real server as a subprocess on an ephemeral port and walks the
+serving contract end to end, in two phases.
+
+**Threaded phase** (``repro serve``):
 
 1. ``/health`` answers within the boot deadline;
 2. ``/load`` installs a workload-sized EDB (the T1 ancestor chain);
@@ -19,6 +21,21 @@ the serving contract end to end:
 6. SIGTERM stops the server with exit code 0 and no traceback on
    stderr.
 
+**Multiprocess phase** (``repro serve --processes 2 --registry DIR``):
+
+1. ``/health`` reports two live worker pids;
+2. two round-robin queries land on *different* workers, yet the merged
+   ``/metrics`` shows exactly **one** ``prepare.transforms`` /
+   ``prepare.compiles`` — the second worker's first request loaded the
+   first worker's serialized shape from the cross-process registry
+   (``serve.registry.hits`` ≥ 1) instead of re-transforming;
+3. answers are identical across workers (and to the threaded phase's);
+4. a **restarted** server on the same registry directory serves its
+   first request with **zero** transform/compile work (warm start);
+5. SIGTERM lands while queries are in flight — the server still exits
+   0 with no traceback, every worker is reaped, and every
+   ``/dev/shm/repro-*`` block the server created is unlinked.
+
 Exit code 0 on success, 1 on any assertion failure, with the server's
 stderr echoed for diagnosis.  Used by the ``serve-smoke`` CI job; run
 locally with ``python tools/serve_smoke.py``.
@@ -26,11 +43,13 @@ locally with ``python tools/serve_smoke.py``.
 
 from __future__ import annotations
 
+import glob
 import os
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -72,40 +91,73 @@ def counters_of_interest(client: ServeClient) -> dict[str, int]:
     return {name: int(counters.get(name, 0)) for name in FLAT_ON_HIT + ("serve.prepared.hits",)}
 
 
-def main() -> int:
-    port_file = Path(tempfile.mkdtemp(prefix="serve-smoke-")) / "port"
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-    server = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "serve",
-            "--port",
-            "0",
-            "--port-file",
-            str(port_file),
-        ],
-        env=env,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-    )
-    try:
+class ServerProcess:
+    """A ``repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, *extra_args: str):
+        self.port_file = Path(tempfile.mkdtemp(prefix="serve-smoke-")) / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--port-file", str(self.port_file),
+                *extra_args,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def client(self, timeout: float = 60.0) -> ServeClient:
         deadline = time.monotonic() + BOOT_DEADLINE_SECONDS
-        while not port_file.exists():
-            if server.poll() is not None or time.monotonic() > deadline:
+        while not self.port_file.exists():
+            if self.process.poll() is not None or time.monotonic() > deadline:
                 raise AssertionError("server never wrote its port file")
             time.sleep(0.05)
-        port = int(port_file.read_text().strip())
-        client = ServeClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        port = int(self.port_file.read_text().strip())
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=timeout)
         client.wait_healthy(BOOT_DEADLINE_SECONDS)
-        print(f"server healthy on port {port}")
+        return client
+
+    def kill_for_diagnosis(self) -> str:
+        self.process.kill()
+        _, err = self.process.communicate(timeout=10)
+        return err
+
+    def terminate_and_check(self, label: str) -> "str | None":
+        """SIGTERM; non-None return is the failure message."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            _, err = self.process.communicate(timeout=20)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            return f"{label}: server did not exit within 20s of SIGTERM"
+        if self.process.returncode != 0:
+            return (
+                f"{label}: server exited {self.process.returncode}\n"
+                f"--- server stderr ---\n{err}"
+            )
+        if "Traceback" in err:
+            return (
+                f"{label}: server emitted a traceback on shutdown\n"
+                f"--- server stderr ---\n{err}"
+            )
+        return None
+
+
+def run_threaded_phase() -> "str | None":
+    """The single-process contract; non-None return is the failure."""
+    server = ServerProcess()
+    try:
+        client = server.client()
+        print("[threaded] server healthy")
 
         program_text, goal = scenario_source()
         info = client.load("t1", program_text)
-        print(f"loaded t1: {info['rules']} rules, {info['facts']} facts")
+        print(f"[threaded] loaded t1: {info['rules']} rules, {info['facts']} facts")
 
         first = client.query("t1", goal)
         assert first["cache_hit"] is False, "first request cannot be a hit"
@@ -124,13 +176,13 @@ def main() -> int:
             assert after[name] == before[name], (
                 f"{name} moved on the hit path: {before[name]} -> {after[name]}"
             )
-        print("prepared-cache hit verified; pipeline counters flat:")
+        print("[threaded] prepared-cache hit verified; pipeline counters flat:")
         for name in FLAT_ON_HIT:
             print(f"  {name} = {after[name]}")
 
         cache = client.metrics()["cache"]
         assert cache["hits"] == 1 and cache["misses"] == 1, cache
-        print(f"cache totals: {cache}")
+        print(f"[threaded] cache totals: {cache}")
 
         # Incremental /update: a maintained shape is patched in place
         # and stays cache-hot at the bumped dataset version.
@@ -152,36 +204,145 @@ def main() -> int:
             before_count, patched["answers"]["count"]
         )
         print(
-            f"incremental /update verified: version {info['version']}, "
+            f"[threaded] incremental /update verified: version {info['version']}, "
             f"{info['cache_entries_patched']} shape patched, "
             f"{before_count} -> {patched['answers']['count']} answers"
         )
     except (AssertionError, ServeError) as failure:
-        server.kill()
-        _, err = server.communicate(timeout=10)
-        print(f"FAIL: {failure}", file=sys.stderr)
-        if err:
-            print(f"--- server stderr ---\n{err}", file=sys.stderr)
-        return 1
-    finally:
-        if server.poll() is None:
-            server.send_signal(signal.SIGTERM)
+        err = server.kill_for_diagnosis()
+        return f"{failure}\n--- server stderr ---\n{err}" if err else str(failure)
+    failure = server.terminate_and_check("[threaded]")
+    if failure is None:
+        print("[threaded] clean shutdown (exit 0, no traceback)")
+    return failure
 
+
+def shm_blocks() -> set:
+    return set(glob.glob("/dev/shm/repro-*"))
+
+
+def run_multiproc_phase() -> "str | None":
+    """The ``--processes 2`` contract; non-None return is the failure."""
+    registry_dir = tempfile.mkdtemp(prefix="serve-smoke-registry-")
+    program_text, goal = scenario_source()
+    shm_before = shm_blocks()
+
+    server = ServerProcess("--processes", "2", "--registry", registry_dir)
     try:
-        _, err = server.communicate(timeout=15)
-    except subprocess.TimeoutExpired:
-        server.kill()
-        print("FAIL: server did not exit within 15s of SIGTERM", file=sys.stderr)
-        return 1
-    if server.returncode != 0:
-        print(f"FAIL: server exited {server.returncode}", file=sys.stderr)
-        print(f"--- server stderr ---\n{err}", file=sys.stderr)
-        return 1
-    if "Traceback" in err:
-        print("FAIL: server emitted a traceback on shutdown", file=sys.stderr)
-        print(f"--- server stderr ---\n{err}", file=sys.stderr)
-        return 1
-    print("clean shutdown (exit 0, no traceback)")
+        client = server.client()
+        health = client.health()
+        workers = health.get("workers") or {}
+        assert workers.get("processes") == 2, health
+        pids = workers.get("pids") or []
+        assert len(pids) == 2 and all(pids), health
+        print(f"[multiproc] server healthy; worker pids {pids}")
+
+        info = client.load("t1", program_text)
+        print(f"[multiproc] loaded t1: {info['rules']} rules, {info['facts']} facts")
+        assert client.health()["shared_memory"], "dataset snapshot not published"
+
+        # Round-robin: these two requests land on different workers.
+        first = client.query("t1", goal)
+        second = client.query("t1", goal)
+        assert first["answers"]["count"] == CHAIN_LENGTH - 1, first["answers"]
+        assert second["answers"] == first["answers"], "workers must agree"
+        counters = client.metrics()["metrics"]["counters"]
+        transforms = counters.get("prepare.transforms", 0)
+        compiles = counters.get("prepare.compiles", 0)
+        registry_hits = counters.get("serve.registry.hits", 0)
+        assert transforms == 1, (
+            f"expected exactly one transform across the pool "
+            f"(second worker loads from the registry), saw {transforms}"
+        )
+        assert compiles == 1, (
+            f"expected exactly one fixpoint compilation across the pool, "
+            f"saw {compiles}"
+        )
+        assert registry_hits >= 1, counters
+        print(
+            "[multiproc] cross-process cache hit verified: "
+            f"prepare.transforms={transforms} prepare.compiles={compiles} "
+            f"serve.registry.hits={registry_hits}"
+        )
+    except (AssertionError, ServeError) as failure:
+        err = server.kill_for_diagnosis()
+        return f"{failure}\n--- server stderr ---\n{err}" if err else str(failure)
+    failure = server.terminate_and_check("[multiproc]")
+    if failure is not None:
+        return failure
+    print("[multiproc] clean shutdown (exit 0, no traceback)")
+
+    # Warm restart: a fresh server on the same registry directory must
+    # serve its first request by loading, never by re-preparing.
+    server = ServerProcess("--processes", "2", "--registry", registry_dir)
+    try:
+        client = server.client()
+        client.load("t1", program_text)
+        warm = client.query("t1", goal)
+        assert warm["answers"]["count"] == CHAIN_LENGTH - 1, warm["answers"]
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters.get("prepare.transforms", 0) == 0, (
+            f"warm restart re-transformed: {counters.get('prepare.transforms')}"
+        )
+        assert counters.get("prepare.compiles", 0) == 0, (
+            f"warm restart re-compiled: {counters.get('prepare.compiles')}"
+        )
+        assert counters.get("serve.registry.hits", 0) >= 1, counters
+        print("[multiproc] warm restart verified: zero transforms/compiles")
+
+        # SIGTERM while queries are in flight: fire requests from a
+        # background thread, interrupt them mid-stream.
+        stop = threading.Event()
+
+        def hammer():
+            quiet_client = ServeClient(client.base_url, timeout=5.0, retries=0)
+            while not stop.is_set():
+                try:
+                    quiet_client.query("t1", goal)
+                except ServeError:
+                    return  # the shutdown raced us: expected
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        worker_pids = client.health()["workers"]["pids"]
+    except (AssertionError, ServeError) as failure:
+        err = server.kill_for_diagnosis()
+        return f"{failure}\n--- server stderr ---\n{err}" if err else str(failure)
+    failure = server.terminate_and_check("[multiproc:inflight]")
+    stop.set()
+    thread.join(timeout=5.0)
+    if failure is not None:
+        return failure
+    print("[multiproc] SIGTERM during in-flight queries: clean shutdown")
+
+    # Every worker reaped, every shared-memory block unlinked.
+    for pid in worker_pids:
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, PermissionError):
+            continue
+        # Zombies are reaped by the dispatcher; a live pid here means a
+        # leaked worker process.
+        time.sleep(1.0)
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, PermissionError):
+            continue
+        return f"[multiproc] worker {pid} survived server shutdown"
+    leaked = shm_blocks() - shm_before
+    if leaked:
+        return f"[multiproc] shared-memory blocks leaked: {sorted(leaked)}"
+    print("[multiproc] all workers reaped; no shared-memory leaks")
+    return None
+
+
+def main() -> int:
+    for phase in (run_threaded_phase, run_multiproc_phase):
+        failure = phase()
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
     print("serve smoke: OK")
     return 0
 
